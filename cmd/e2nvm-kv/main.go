@@ -1,0 +1,149 @@
+// Command e2nvm-kv is an interactive key/value shell over an
+// E2-NVM-managed simulated PCM device. It exists to poke at the system by
+// hand: every command prints the bit flips and energy it cost.
+//
+// Usage:
+//
+//	e2nvm-kv [-segments 1024] [-segsize 256] [-clusters 0] [-seed 42]
+//
+// Commands:
+//
+//	put <key> <value>     store a value
+//	get <key>             read a value
+//	del <key>             delete a key
+//	scan <lo> <hi>        list keys in a range
+//	stats                 cumulative device/store metrics
+//	retrain               retrain the model on current contents
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"e2nvm"
+)
+
+func main() {
+	var (
+		segments = flag.Int("segments", 1024, "number of NVM segments")
+		segsize  = flag.Int("segsize", 256, "segment size in bytes")
+		clusters = flag.Int("clusters", 0, "cluster count K (0 = elbow method)")
+		seed     = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("training E2-NVM model over %d×%dB segments...\n", *segments, *segsize)
+	store, err := e2nvm.Open(e2nvm.Config{
+		SegmentSize: *segsize,
+		NumSegments: *segments,
+		Clusters:    *clusters,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ready: %s (max value %d B)\n", store, store.MaxValue())
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		if done := execute(store, strings.Fields(sc.Text())); done {
+			return
+		}
+		fmt.Print("> ")
+	}
+}
+
+func execute(store *e2nvm.Store, args []string) bool {
+	if len(args) == 0 {
+		return false
+	}
+	before := store.Metrics()
+	switch args[0] {
+	case "put":
+		if len(args) < 3 {
+			fmt.Println("usage: put <key> <value>")
+			return false
+		}
+		key, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			fmt.Println("bad key:", err)
+			return false
+		}
+		if err := store.Put(key, []byte(strings.Join(args[2:], " "))); err != nil {
+			fmt.Println("put:", err)
+			return false
+		}
+		report(before, store.Metrics())
+	case "get":
+		key, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			fmt.Println("bad key:", err)
+			return false
+		}
+		v, ok, err := store.Get(key)
+		switch {
+		case err != nil:
+			fmt.Println("get:", err)
+		case !ok:
+			fmt.Println("(not found)")
+		default:
+			fmt.Printf("%q\n", v)
+		}
+	case "del":
+		key, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			fmt.Println("bad key:", err)
+			return false
+		}
+		ok, err := store.Delete(key)
+		if err != nil {
+			fmt.Println("del:", err)
+		} else if !ok {
+			fmt.Println("(not found)")
+		} else {
+			report(before, store.Metrics())
+		}
+	case "scan":
+		if len(args) < 3 {
+			fmt.Println("usage: scan <lo> <hi>")
+			return false
+		}
+		lo, _ := strconv.ParseUint(args[1], 10, 64)
+		hi, _ := strconv.ParseUint(args[2], 10, 64)
+		n := 0
+		_ = store.Scan(lo, hi, func(k uint64, v []byte) bool {
+			fmt.Printf("  %d = %q\n", k, v)
+			n++
+			return n < 50
+		})
+		fmt.Printf("(%d keys)\n", n)
+	case "stats":
+		m := store.Metrics()
+		fmt.Printf("writes=%d reads=%d flips=%d flips/databit=%.4f energy=%.2f uJ avg_write=%.0f ns fallbacks=%d retrains=%d\n",
+			m.Writes, m.Reads, m.BitsFlipped, m.FlipsPerDataBit, m.EnergyPJ/1e6, m.AvgWriteLatencyNs, m.Fallbacks, m.Retrains)
+	case "retrain":
+		fmt.Println("retraining...")
+		if err := store.Retrain(); err != nil {
+			fmt.Println("retrain:", err)
+		} else {
+			fmt.Println("done")
+		}
+	case "quit", "exit":
+		return true
+	default:
+		fmt.Println("commands: put get del scan stats retrain quit")
+	}
+	return false
+}
+
+func report(before, after e2nvm.Metrics) {
+	fmt.Printf("ok (%d bit flips, %.0f pJ)\n",
+		after.BitsFlipped-before.BitsFlipped, after.EnergyPJ-before.EnergyPJ)
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"e2nvm"
+)
+
+func testStore(t *testing.T) *e2nvm.Store {
+	t.Helper()
+	s, err := e2nvm.Open(e2nvm.Config{
+		SegmentSize: 64, NumSegments: 64, Clusters: 3, TrainEpochs: 3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	return string(buf[:n])
+}
+
+func TestExecutePutGetDelete(t *testing.T) {
+	s := testStore(t)
+	out := capture(t, func() { execute(s, []string{"put", "5", "hello", "world"}) })
+	if !strings.Contains(out, "bit flips") {
+		t.Fatalf("put output: %q", out)
+	}
+	out = capture(t, func() { execute(s, []string{"get", "5"}) })
+	if !strings.Contains(out, "hello world") {
+		t.Fatalf("get output: %q", out)
+	}
+	out = capture(t, func() { execute(s, []string{"del", "5"}) })
+	if !strings.Contains(out, "bit flips") {
+		t.Fatalf("del output: %q", out)
+	}
+	out = capture(t, func() { execute(s, []string{"get", "5"}) })
+	if !strings.Contains(out, "not found") {
+		t.Fatalf("get after del: %q", out)
+	}
+	out = capture(t, func() { execute(s, []string{"del", "5"}) })
+	if !strings.Contains(out, "not found") {
+		t.Fatalf("double del: %q", out)
+	}
+}
+
+func TestExecuteScanAndStats(t *testing.T) {
+	s := testStore(t)
+	for _, k := range []string{"1", "2", "3"} {
+		capture(t, func() { execute(s, []string{"put", k, "v" + k}) })
+	}
+	out := capture(t, func() { execute(s, []string{"scan", "1", "2"}) })
+	if !strings.Contains(out, "(2 keys)") {
+		t.Fatalf("scan output: %q", out)
+	}
+	out = capture(t, func() { execute(s, []string{"stats"}) })
+	if !strings.Contains(out, "writes=") || !strings.Contains(out, "flips=") {
+		t.Fatalf("stats output: %q", out)
+	}
+}
+
+func TestExecuteErrorsAndHelp(t *testing.T) {
+	s := testStore(t)
+	out := capture(t, func() { execute(s, []string{"put", "notanumber", "v"}) })
+	if !strings.Contains(out, "bad key") {
+		t.Fatalf("bad key output: %q", out)
+	}
+	out = capture(t, func() { execute(s, []string{"put", "1"}) })
+	if !strings.Contains(out, "usage") {
+		t.Fatalf("short put output: %q", out)
+	}
+	out = capture(t, func() { execute(s, []string{"frobnicate"}) })
+	if !strings.Contains(out, "commands:") {
+		t.Fatalf("help output: %q", out)
+	}
+	if done := execute(s, nil); done {
+		t.Fatal("empty command should not quit")
+	}
+	if done := execute(s, []string{"quit"}); !done {
+		t.Fatal("quit should end the loop")
+	}
+}
+
+func TestExecuteRetrain(t *testing.T) {
+	s := testStore(t)
+	out := capture(t, func() { execute(s, []string{"retrain"}) })
+	if !strings.Contains(out, "done") {
+		t.Fatalf("retrain output: %q", out)
+	}
+}

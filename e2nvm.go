@@ -1,0 +1,329 @@
+// Package e2nvm is a memory-aware storage layer that improves the energy
+// efficiency and write endurance of non-volatile memories (NVMs) by
+// steering writes to memory segments whose current content is similar — in
+// Hamming distance — to the value being written, so that differential
+// writes flip fewer PCM cells.
+//
+// It is a from-scratch Go reproduction of "E2-NVM: A Memory-Aware Write
+// Scheme to Improve Energy Efficiency and Write Endurance of NVMs using
+// Variational Autoencoders" (EDBT 2023). The placement decision is made by
+// a variational autoencoder jointly trained with K-means clustering over
+// the bit images of free memory segments; a cluster-to-memory dynamic
+// address pool tracks free segments per cluster; undersized items are
+// fitted to the model with configurable padding strategies, including an
+// LSTM-based learned padding.
+//
+// Because real Optane/PCM hardware is not assumed, the library ships a
+// cycle- and energy-modeled PCM device simulator that counts bit flips,
+// cache-line writes, per-segment and per-bit wear, and models start-gap
+// wear leveling. The simulator is also what the benchmark harness uses to
+// regenerate the paper's figures (see EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	store, err := e2nvm.Open(e2nvm.Config{SegmentSize: 256, NumSegments: 4096})
+//	if err != nil { ... }
+//	err = store.Put(42, []byte("value"))
+//	v, ok, err := store.Get(42)
+//	m := store.Metrics() // bit flips, energy, latency, wear
+package e2nvm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"e2nvm/internal/core"
+	"e2nvm/internal/kvstore"
+	"e2nvm/internal/nvm"
+	"e2nvm/internal/padding"
+)
+
+// Placement selects the write-placement policy.
+type Placement int
+
+// Placement policies.
+const (
+	// PlacementE2NVM steers each write to a free segment with similar
+	// content (the paper's scheme). This is the default.
+	PlacementE2NVM Placement = iota
+	// PlacementArbitrary picks any free segment for new keys and updates
+	// in place — the behaviour of conventional stores, kept as a
+	// baseline.
+	PlacementArbitrary
+)
+
+// PadLocation mirrors the paper's padding positions for undersized values.
+type PadLocation int
+
+// Padding locations.
+const (
+	PadEnd PadLocation = iota
+	PadBegin
+	PadMiddle
+	PadEdges
+)
+
+// PadType mirrors the paper's padding-content strategies.
+type PadType int
+
+// Padding types.
+const (
+	PadInputBased PadType = iota // Bernoulli with the item's own 1-density (default)
+	PadZero
+	PadOne
+	PadRandom
+	PadDatasetBased
+	PadMemoryBased
+	PadLearned // sliding-window LSTM (§4.1.3)
+)
+
+// Config configures Open.
+type Config struct {
+	// SegmentSize is the NVM segment size in bytes (default 256, one
+	// Optane block).
+	SegmentSize int
+	// NumSegments is the size of the managed memory pool (default 1024).
+	NumSegments int
+
+	// Clusters is the number of content clusters K; 0 selects K with the
+	// elbow method.
+	Clusters int
+	// TrainEpochs is the VAE pretraining epoch count (default 15).
+	TrainEpochs int
+	// LatentDim is the VAE latent width (default 10, as in the paper).
+	LatentDim int
+
+	// Placement selects the placement policy.
+	Placement Placement
+	// PadLocation and PadType select the padding strategy for values
+	// narrower than a segment.
+	PadLocation PadLocation
+	PadType     PadType
+
+	// WearLevelPeriod is the simulated controller's start-gap swap period
+	// ψ (0 disables wear leveling).
+	WearLevelPeriod int
+	// TrackBitWear enables per-bit wear counters (costly; used for wear
+	// CDFs).
+	TrackBitWear bool
+	// AutoRetrain retrains the model in the background when a cluster's
+	// free list runs low.
+	AutoRetrain bool
+	// CrashSafe routes every write through a redo-log transaction (the
+	// role PMDK transactions play in the paper), making writes atomic
+	// across torn cache lines at the cost of logging write amplification.
+	CrashSafe bool
+
+	// Seed makes training and simulation deterministic.
+	Seed int64
+
+	// SeedContent, when non-nil, initializes every segment's content from
+	// the reader-like generator before training; by default segments are
+	// filled with uniformly random bytes under Seed.
+	SeedContent func(addr int, segment []byte)
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentSize <= 0 {
+		c.SegmentSize = 256
+	}
+	if c.NumSegments <= 0 {
+		c.NumSegments = 1024
+	}
+	if c.TrainEpochs <= 0 {
+		c.TrainEpochs = 15
+	}
+	if c.LatentDim <= 0 {
+		c.LatentDim = 10
+	}
+	return c
+}
+
+func (c Config) padLocation() padding.Location {
+	switch c.PadLocation {
+	case PadBegin:
+		return padding.Begin
+	case PadMiddle:
+		return padding.Middle
+	case PadEdges:
+		return padding.Edges
+	default:
+		return padding.End
+	}
+}
+
+func (c Config) padType() padding.Type {
+	switch c.PadType {
+	case PadZero:
+		return padding.Zero
+	case PadOne:
+		return padding.One
+	case PadRandom:
+		return padding.Random
+	case PadDatasetBased:
+		return padding.DatasetBased
+	case PadMemoryBased:
+		return padding.MemoryBased
+	case PadLearned:
+		return padding.Learned
+	default:
+		return padding.InputBased
+	}
+}
+
+// Store is an E2-NVM-managed persistent key/value store over a simulated
+// PCM device. All methods are safe for concurrent use.
+type Store struct {
+	inner *kvstore.Store
+	dev   *nvm.Device
+}
+
+// Open creates a simulated PCM device, seeds its contents, trains the
+// E2-NVM model on them, and returns a ready store.
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	devCfg := nvm.DefaultConfig(cfg.SegmentSize, cfg.NumSegments)
+	devCfg.WearLevelPeriod = cfg.WearLevelPeriod
+	devCfg.TrackBitWear = cfg.TrackBitWear
+	dev, err := nvm.NewDevice(devCfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SeedContent != nil {
+		buf := make([]byte, cfg.SegmentSize)
+		for a := 0; a < cfg.NumSegments; a++ {
+			for i := range buf {
+				buf[i] = 0
+			}
+			cfg.SeedContent(a, buf)
+			if err := dev.FillSegment(a, buf); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		dev.Fill(rand.New(rand.NewSource(cfg.Seed)))
+	}
+
+	modelCfg := core.Config{
+		K:           cfg.Clusters,
+		LatentDim:   cfg.LatentDim,
+		Epochs:      cfg.TrainEpochs,
+		Seed:        cfg.Seed,
+		PadExplicit: true,
+		PadLocation: cfg.padLocation(),
+		PadType:     cfg.padType(),
+	}
+	placement := kvstore.PlaceE2NVM
+	if cfg.Placement == PlacementArbitrary {
+		placement = kvstore.PlaceArbitrary
+	}
+	inner, err := kvstore.Open(dev, modelCfg, kvstore.Options{
+		Placement:   placement,
+		AutoRetrain: cfg.AutoRetrain,
+		CrashSafe:   cfg.CrashSafe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{inner: inner, dev: dev}, nil
+}
+
+// Put stores value under key (the paper's PUT/UPDATE write path).
+func (s *Store) Put(key uint64, value []byte) error { return s.inner.Put(key, value) }
+
+// Get returns the value stored under key.
+func (s *Store) Get(key uint64) ([]byte, bool, error) { return s.inner.Get(key) }
+
+// Delete removes key, recycling its segment into the address pool.
+func (s *Store) Delete(key uint64) (bool, error) { return s.inner.Delete(key) }
+
+// Scan visits keys in [lo, hi] in ascending order until fn returns false.
+func (s *Store) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error {
+	return s.inner.Scan(lo, hi, fn)
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return s.inner.Len() }
+
+// MaxValue returns the largest storable value in bytes.
+func (s *Store) MaxValue() int { return s.inner.MaxValue() }
+
+// Clusters returns the number of content clusters the model learned.
+func (s *Store) Clusters() int { return s.inner.Model().K() }
+
+// NeedsRetrain reports whether a cluster's free list is running low.
+func (s *Store) NeedsRetrain() bool { return s.inner.NeedsRetrain() }
+
+// Retrain synchronously retrains the model on the device's current
+// contents and rebuilds the address pool.
+func (s *Store) Retrain() error { return s.inner.Retrain() }
+
+// Metrics is a snapshot of device- and store-level activity.
+type Metrics struct {
+	// Writes and Reads are device operation counts.
+	Writes, Reads uint64
+	// BitsFlipped is the number of PCM cells actually programmed; the
+	// paper's headline metric. BitsWritten is the payload presented.
+	BitsFlipped, BitsWritten uint64
+	// EnergyPJ is the modeled device energy in picojoules.
+	EnergyPJ float64
+	// AvgWriteLatencyNs is the mean modeled write latency.
+	AvgWriteLatencyNs float64
+	// LinesWritten/LinesSkipped count 64 B cache lines the controller
+	// wrote vs skipped as unchanged.
+	LinesWritten, LinesSkipped uint64
+	// MaxSegmentWrites is the hottest segment's write count.
+	MaxSegmentWrites uint64
+	// WearLevelMoves counts start-gap segment moves.
+	WearLevelMoves uint64
+	// Fallbacks counts placements served by a non-predicted cluster.
+	Fallbacks uint64
+	// Retrains counts completed model retrains.
+	Retrains int
+	// FlipsPerDataBit is BitsFlipped / BitsWritten (0 when nothing was
+	// written) — Figure 12's metric.
+	FlipsPerDataBit float64
+}
+
+// Metrics returns a snapshot of cumulative counters.
+func (s *Store) Metrics() Metrics {
+	ds := s.dev.Stats()
+	ss := s.inner.Stats()
+	m := Metrics{
+		Writes:           ds.Writes,
+		Reads:            ds.Reads,
+		BitsFlipped:      ds.BitsFlipped,
+		BitsWritten:      ds.BitsWritten,
+		EnergyPJ:         ds.EnergyPJ,
+		LinesWritten:     ds.LinesWritten,
+		LinesSkipped:     ds.LinesSkipped,
+		MaxSegmentWrites: ds.MaxSegmentWrites,
+		WearLevelMoves:   ds.WearLevelMoves,
+		Fallbacks:        ss.Fallbacks,
+		Retrains:         ss.Retrains,
+	}
+	if ds.Writes > 0 {
+		m.AvgWriteLatencyNs = ds.WriteLatencyNs / float64(ds.Writes)
+	}
+	if ds.BitsWritten > 0 {
+		m.FlipsPerDataBit = float64(ds.BitsFlipped) / float64(ds.BitsWritten)
+	}
+	return m
+}
+
+// ResetMetrics zeroes the cumulative counters (content and wear state are
+// preserved), so benchmarks can exclude setup costs.
+func (s *Store) ResetMetrics() { s.dev.ResetStats() }
+
+// BitWear returns a copy of the per-bit flip counters, or nil when
+// Config.TrackBitWear was false.
+func (s *Store) BitWear() []uint32 { return s.dev.BitWear() }
+
+// SegmentWrites returns per-segment write-operation counts.
+func (s *Store) SegmentWrites() []uint64 { return s.dev.SegmentWrites() }
+
+// String summarizes the store configuration.
+func (s *Store) String() string {
+	return fmt.Sprintf("e2nvm.Store{segments: %d×%dB, k: %d}",
+		s.dev.NumSegments(), s.dev.SegmentSize(), s.Clusters())
+}

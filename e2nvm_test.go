@@ -1,0 +1,267 @@
+package e2nvm
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func smallConfig() Config {
+	return Config{
+		SegmentSize: 32,
+		NumSegments: 64,
+		Clusters:    3,
+		TrainEpochs: 4,
+		LatentDim:   4,
+		Seed:        1,
+	}
+}
+
+func TestOpenDefaults(t *testing.T) {
+	cfg := Config{SegmentSize: 32, NumSegments: 32, Clusters: 2, TrainEpochs: 3, Seed: 1}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Clusters() != 2 {
+		t.Fatalf("Clusters = %d", s.Clusters())
+	}
+	if s.MaxValue() != 21 {
+		t.Fatalf("MaxValue = %d", s.MaxValue())
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestPutGetDeleteScan(t *testing.T) {
+	s, err := Open(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 20; k++ {
+		if err := s.Put(k, []byte{byte(k), byte(k + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 20 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	v, ok, err := s.Get(5)
+	if err != nil || !ok || !bytes.Equal(v, []byte{5, 6}) {
+		t.Fatalf("Get = (%v,%v,%v)", v, ok, err)
+	}
+	var seen []uint64
+	if err := s.Scan(10, 14, func(k uint64, _ []byte) bool {
+		seen = append(seen, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Scan saw %v", seen)
+	}
+	ok, err = s.Delete(5)
+	if err != nil || !ok {
+		t.Fatalf("Delete = (%v,%v)", ok, err)
+	}
+	if _, ok, _ := s.Get(5); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	s, err := Open(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ResetMetrics()
+	if err := s.Put(1, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Writes != 1 || m.BitsWritten == 0 || m.EnergyPJ <= 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.FlipsPerDataBit <= 0 || m.FlipsPerDataBit > 1 {
+		t.Fatalf("FlipsPerDataBit = %v", m.FlipsPerDataBit)
+	}
+	if m.AvgWriteLatencyNs <= 0 {
+		t.Fatalf("AvgWriteLatencyNs = %v", m.AvgWriteLatencyNs)
+	}
+	s.ResetMetrics()
+	if got := s.Metrics(); got.Writes != 0 {
+		t.Fatal("ResetMetrics did not clear")
+	}
+}
+
+func TestBitWearTracking(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TrackBitWear = true
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if s.BitWear() == nil {
+		t.Fatal("BitWear nil with tracking on")
+	}
+	if len(s.SegmentWrites()) != 64 {
+		t.Fatal("SegmentWrites length wrong")
+	}
+	// Without tracking: nil.
+	s2, err := Open(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.BitWear() != nil {
+		t.Fatal("BitWear should be nil without tracking")
+	}
+}
+
+func TestSeedContent(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SeedContent = func(addr int, seg []byte) {
+		for i := range seg {
+			seg[i] = byte(addr)
+		}
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model trained on the seeded contents; store must work normally.
+	if err := s.Put(1, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWearLevelingEnabled(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WearLevelPeriod = 2
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ResetMetrics()
+	for k := uint64(0); k < 10; k++ {
+		if err := s.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Metrics().WearLevelMoves == 0 {
+		t.Fatal("wear leveling never triggered")
+	}
+	// Data survives wear-leveling moves.
+	for k := uint64(0); k < 10; k++ {
+		v, ok, err := s.Get(k)
+		if err != nil || !ok || v[0] != byte(k) {
+			t.Fatalf("Get(%d) = (%v,%v,%v)", k, v, ok, err)
+		}
+	}
+}
+
+func TestRetrainViaPublicAPI(t *testing.T) {
+	s, err := Open(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 10; k++ {
+		if err := s.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Metrics().Retrains != 1 {
+		t.Fatalf("Retrains = %d", s.Metrics().Retrains)
+	}
+	v, ok, _ := s.Get(3)
+	if !ok || v[0] != 3 {
+		t.Fatal("data lost across retrain")
+	}
+}
+
+func TestArbitraryPlacement(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Placement = PlacementArbitrary
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := s.Get(1)
+	if !ok || v[0] != 'a' {
+		t.Fatal("arbitrary placement store broken")
+	}
+}
+
+func TestPaddingOptionsAccepted(t *testing.T) {
+	for _, pt := range []PadType{PadZero, PadOne, PadRandom, PadInputBased, PadDatasetBased, PadMemoryBased} {
+		cfg := smallConfig()
+		cfg.PadType = pt
+		cfg.PadLocation = PadMiddle
+		s, err := Open(cfg)
+		if err != nil {
+			t.Fatalf("pad type %d: %v", pt, err)
+		}
+		if err := s.Put(1, []byte("z")); err != nil {
+			t.Fatalf("pad type %d put: %v", pt, err)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, err := Open(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g * 10)
+			for i := uint64(0); i < 10; i++ {
+				if err := s.Put(base+i, []byte{byte(base + i)}); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if v, ok, err := s.Get(base + i); err != nil || !ok || v[0] != byte(base+i) {
+					t.Errorf("get(%d) = (%v,%v,%v)", base+i, v, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 40 {
+		t.Fatalf("Len = %d, want 40", s.Len())
+	}
+}
+
+func TestCrashSafePublicConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CrashSafe = true
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ResetMetrics()
+	if err := s.Put(1, []byte("tx")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := s.Get(1)
+	if !ok || string(v) != "tx" {
+		t.Fatalf("Get = (%q,%v)", v, ok)
+	}
+	// Redo logging amplifies device writes: one put issues several.
+	if s.Metrics().Writes < 3 {
+		t.Fatalf("Writes = %d, expected logging amplification", s.Metrics().Writes)
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: open an E2-NVM store over a simulated PCM device, write,
+// read, update, delete, and inspect the energy/endurance metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"e2nvm"
+)
+
+func main() {
+	// Open trains the VAE+K-means model on the device's initial contents
+	// and builds the cluster-to-memory dynamic address pool.
+	store, err := e2nvm.Open(e2nvm.Config{
+		SegmentSize: 128,
+		NumSegments: 512,
+		Clusters:    6,
+		TrainEpochs: 8,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("opened:", store)
+	store.ResetMetrics() // exclude setup costs from the numbers below
+
+	// PUT: the value's content decides where it lands — E2-NVM steers it
+	// to a free segment already holding similar bits.
+	if err := store.Put(1, []byte("the quick brown fox")); err != nil {
+		log.Fatal(err)
+	}
+	// GET goes through the RB-tree index to the segment.
+	v, ok, err := store.Get(1)
+	if err != nil || !ok {
+		log.Fatalf("get: %v ok=%v", err, ok)
+	}
+	fmt.Printf("get(1) = %q\n", v)
+
+	// UPDATE places the new value content-aware and recycles the old
+	// segment into the pool.
+	if err := store.Put(1, []byte("the quick brown fox jumps")); err != nil {
+		log.Fatal(err)
+	}
+	// DELETE resets the segment's valid flag (a single bit flip) and
+	// recycles the address.
+	if _, err := store.Delete(1); err != nil {
+		log.Fatal(err)
+	}
+
+	// Bulk-load a range and scan it.
+	for k := uint64(100); k < 110; k++ {
+		if err := store.Put(k, []byte{byte(k), byte(k >> 1)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Print("scan(100,104): ")
+	_ = store.Scan(100, 104, func(k uint64, v []byte) bool {
+		fmt.Printf("%d ", k)
+		return true
+	})
+	fmt.Println()
+
+	m := store.Metrics()
+	fmt.Printf("writes=%d  bit flips=%d  flips/data-bit=%.4f\n", m.Writes, m.BitsFlipped, m.FlipsPerDataBit)
+	fmt.Printf("energy=%.2f nJ  avg write latency=%.0f ns  cache lines skipped=%d\n",
+		m.EnergyPJ/1e3, m.AvgWriteLatencyNs, m.LinesSkipped)
+}

@@ -1,0 +1,113 @@
+// YCSB: run the six YCSB core workloads against the E2-NVM store and the
+// arbitrary-placement baseline on identically seeded devices, and compare
+// bit flips and energy — the workload the paper's Figure 11 is built on.
+//
+//	go run ./examples/ycsb
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"e2nvm"
+	"e2nvm/internal/workload"
+)
+
+const (
+	segSize  = 64
+	numSegs  = 768
+	records  = 256
+	opsPerWL = 2000
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\tpolicy\tflips/databit\tenergy uJ\tavg write ns")
+	for _, wl := range workload.AllYCSB() {
+		for _, placement := range []e2nvm.Placement{e2nvm.PlacementE2NVM, e2nvm.PlacementArbitrary} {
+			m, err := run(wl, placement)
+			if err != nil {
+				log.Fatal(err)
+			}
+			name := "e2nvm"
+			if placement == e2nvm.PlacementArbitrary {
+				name = "arbitrary"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.4f\t%.2f\t%.0f\n",
+				wl, name, m.FlipsPerDataBit, m.EnergyPJ/1e6, m.AvgWriteLatencyNs)
+		}
+	}
+	w.Flush()
+}
+
+func run(wl workload.YCSBWorkload, placement e2nvm.Placement) (e2nvm.Metrics, error) {
+	// Seed every device identically: values near class prototypes, so the
+	// data has the Hamming structure real payloads have.
+	vg := workload.NewValueGen(segSize, 10, 0.03, 7)
+	store, err := e2nvm.Open(e2nvm.Config{
+		SegmentSize: segSize,
+		NumSegments: numSegs,
+		Clusters:    8,
+		TrainEpochs: 6,
+		Placement:   placement,
+		Seed:        1,
+		// Seed segments shaped like the store's records ([flag][len][value])
+		// so the model's training distribution matches live content.
+		SeedContent: func(addr int, seg []byte) {
+			seg[0] = 1
+			copy(seg[11:], vg.For(uint64(addr)))
+		},
+	})
+	if err != nil {
+		return e2nvm.Metrics{}, err
+	}
+	// Each rewrite of a key carries drifting content (version bump):
+	// the regime where content-aware placement beats in-place updates.
+	versions := map[uint64]int{}
+	val := func(key uint64) []byte {
+		return vg.ForVersion(key, versions[key])[:store.MaxValue()]
+	}
+	bump := func(key uint64) { versions[key]++ }
+
+	// Load phase.
+	for k := uint64(0); k < records; k++ {
+		if err := store.Put(k, val(k)); err != nil {
+			return e2nvm.Metrics{}, err
+		}
+	}
+	store.ResetMetrics()
+
+	gen, err := workload.NewYCSB(wl, records, 42)
+	if err != nil {
+		return e2nvm.Metrics{}, err
+	}
+	for i := 0; i < opsPerWL; i++ {
+		op := gen.Next()
+		switch op.Type {
+		case workload.OpRead:
+			if _, _, err := store.Get(op.Key); err != nil {
+				return e2nvm.Metrics{}, err
+			}
+		case workload.OpUpdate, workload.OpInsert:
+			bump(op.Key)
+			if err := store.Put(op.Key, val(op.Key)); err != nil {
+				return e2nvm.Metrics{}, err
+			}
+		case workload.OpScan:
+			if err := store.Scan(op.Key, op.Key+uint64(op.ScanLen), func(uint64, []byte) bool { return true }); err != nil {
+				return e2nvm.Metrics{}, err
+			}
+		case workload.OpReadModifyWrite:
+			if _, _, err := store.Get(op.Key); err != nil {
+				return e2nvm.Metrics{}, err
+			}
+			bump(op.Key)
+			if err := store.Put(op.Key, val(op.Key)); err != nil {
+				return e2nvm.Metrics{}, err
+			}
+		}
+	}
+	return store.Metrics(), nil
+}

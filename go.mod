@@ -1,0 +1,3 @@
+module e2nvm
+
+go 1.22

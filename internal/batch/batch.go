@@ -1,0 +1,242 @@
+// Package batch implements the small-write batching the paper describes in
+// §4.1.4: grouping small key/value pairs into segment-sized batch records
+// so E2-NVM maps free memory at batch granularity, shrinking the dynamic
+// address pool's footprint and the padded fraction of each model input.
+//
+// The batcher sits on top of any KV store. Incoming puts accumulate in an
+// open batch buffer; once the buffer reaches the batch payload size it is
+// written as a single value under a synthetic batch key. A directory maps
+// user keys to (batch, offset, length). Deletes punch holes; a batch whose
+// live fraction drops below a threshold is compacted by rewriting its
+// surviving entries into the open buffer.
+package batch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// KV is the store interface the batcher wraps (satisfied by
+// kvstore.Store and e2nvm.Store).
+type KV interface {
+	Put(key uint64, value []byte) error
+	Get(key uint64) ([]byte, bool, error)
+	Delete(key uint64) (bool, error)
+}
+
+// batchKeyBase places synthetic batch keys far above user keys.
+const batchKeyBase = uint64(1) << 63
+
+// ErrKeyTooLarge is returned for user keys that collide with the batch key
+// space.
+var ErrKeyTooLarge = errors.New("batch: user key exceeds 2^63-1")
+
+// ErrValueTooLarge is returned when a value exceeds the batch payload.
+var ErrValueTooLarge = errors.New("batch: value exceeds batch payload")
+
+type entryLoc struct {
+	batch  uint64 // synthetic batch key, or 0 when still in the open buffer
+	offset int
+	length int
+}
+
+// Batcher coalesces small writes. Not safe for concurrent use; callers
+// serialize (the underlying store may still be shared).
+type Batcher struct {
+	kv      KV
+	payload int // batch record size
+
+	dir map[uint64]entryLoc
+
+	open    []byte            // accumulating batch buffer
+	openDir map[uint64][2]int // key → (offset, length) within open buffer
+
+	nextBatch uint64
+	liveBytes map[uint64]int // per sealed batch: live payload bytes
+	gcFrac    float64
+}
+
+// New creates a batcher writing payload-byte batch records through kv.
+// gcFrac is the live fraction below which a sealed batch is compacted
+// (default 0.5 when ≤ 0 or ≥ 1).
+func New(kv KV, payload int, gcFrac float64) (*Batcher, error) {
+	if payload < 16 {
+		return nil, fmt.Errorf("batch: payload %d too small", payload)
+	}
+	if gcFrac <= 0 || gcFrac >= 1 {
+		gcFrac = 0.5
+	}
+	return &Batcher{
+		kv:        kv,
+		payload:   payload,
+		dir:       map[uint64]entryLoc{},
+		openDir:   map[uint64][2]int{},
+		nextBatch: batchKeyBase,
+		liveBytes: map[uint64]int{},
+		gcFrac:    gcFrac,
+	}, nil
+}
+
+// entry layout inside a batch record: key(8) len(2) value(len). Deleted
+// entries stay in place; the directory is authoritative.
+func entrySize(v []byte) int { return 10 + len(v) }
+
+// Put stores value under key, buffering until a batch fills.
+func (b *Batcher) Put(key uint64, value []byte) error {
+	if key >= batchKeyBase {
+		return ErrKeyTooLarge
+	}
+	if entrySize(value) > b.payload {
+		return fmt.Errorf("%w: %d > %d", ErrValueTooLarge, entrySize(value), b.payload)
+	}
+	if err := b.dropOld(key); err != nil {
+		return err
+	}
+	if len(b.open)+entrySize(value) > b.payload {
+		if err := b.Flush(); err != nil {
+			return err
+		}
+	}
+	off := len(b.open)
+	var hdr [10]byte
+	binary.LittleEndian.PutUint64(hdr[:8], key)
+	binary.LittleEndian.PutUint16(hdr[8:], uint16(len(value)))
+	b.open = append(b.open, hdr[:]...)
+	b.open = append(b.open, value...)
+	b.openDir[key] = [2]int{off, len(value)}
+	b.dir[key] = entryLoc{batch: 0, offset: off, length: len(value)}
+	return nil
+}
+
+// dropOld removes key's previous version (open-buffer or sealed batch).
+func (b *Batcher) dropOld(key uint64) error {
+	loc, ok := b.dir[key]
+	if !ok {
+		return nil
+	}
+	if loc.batch == 0 {
+		delete(b.openDir, key)
+		// Dead bytes in the open buffer are reclaimed on flush-compact.
+		delete(b.dir, key)
+		return nil
+	}
+	b.liveBytes[loc.batch] -= entrySize(make([]byte, loc.length))
+	delete(b.dir, key)
+	return b.maybeGC(loc.batch)
+}
+
+// Flush seals the open buffer as a batch record.
+func (b *Batcher) Flush() error {
+	if len(b.openDir) == 0 {
+		b.open = b.open[:0]
+		return nil
+	}
+	// Compact live open entries (dead versions are skipped).
+	compacted := make([]byte, 0, len(b.open))
+	newOff := map[uint64]int{}
+	for key, ol := range b.openDir {
+		off, ln := ol[0], ol[1]
+		newOff[key] = len(compacted)
+		compacted = append(compacted, b.open[off:off+10+ln]...)
+	}
+	batchKey := b.nextBatch
+	b.nextBatch++
+	if err := b.kv.Put(batchKey, compacted); err != nil {
+		return err
+	}
+	live := 0
+	for key, ol := range b.openDir {
+		b.dir[key] = entryLoc{batch: batchKey, offset: newOff[key], length: ol[1]}
+		live += 10 + ol[1]
+	}
+	b.liveBytes[batchKey] = live
+	b.open = b.open[:0]
+	b.openDir = map[uint64][2]int{}
+	return nil
+}
+
+// Get returns the value stored under key.
+func (b *Batcher) Get(key uint64) ([]byte, bool, error) {
+	loc, ok := b.dir[key]
+	if !ok {
+		return nil, false, nil
+	}
+	if loc.batch == 0 {
+		out := make([]byte, loc.length)
+		copy(out, b.open[loc.offset+10:loc.offset+10+loc.length])
+		return out, true, nil
+	}
+	rec, ok, err := b.kv.Get(loc.batch)
+	if err != nil || !ok {
+		return nil, false, fmt.Errorf("batch: record %d missing: %v", loc.batch, err)
+	}
+	if loc.offset+10+loc.length > len(rec) {
+		return nil, false, fmt.Errorf("batch: corrupt location for key %d", key)
+	}
+	out := make([]byte, loc.length)
+	copy(out, rec[loc.offset+10:loc.offset+10+loc.length])
+	return out, true, nil
+}
+
+// Delete removes key.
+func (b *Batcher) Delete(key uint64) (bool, error) {
+	if _, ok := b.dir[key]; !ok {
+		return false, nil
+	}
+	if err := b.dropOld(key); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// maybeGC compacts a sealed batch whose live fraction fell below gcFrac by
+// re-inserting its survivors into the open buffer and deleting the record.
+func (b *Batcher) maybeGC(batchKey uint64) error {
+	live := b.liveBytes[batchKey]
+	if live < 0 {
+		live = 0
+	}
+	if float64(live) >= b.gcFrac*float64(b.payload) {
+		return nil
+	}
+	rec, ok, err := b.kv.Get(batchKey)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		delete(b.liveBytes, batchKey)
+		return nil
+	}
+	// Collect survivors before mutating state.
+	type kvp struct {
+		key uint64
+		val []byte
+	}
+	var survivors []kvp
+	for key, loc := range b.dir {
+		if loc.batch != batchKey {
+			continue
+		}
+		v := make([]byte, loc.length)
+		copy(v, rec[loc.offset+10:loc.offset+10+loc.length])
+		survivors = append(survivors, kvp{key, v})
+	}
+	delete(b.liveBytes, batchKey)
+	if _, err := b.kv.Delete(batchKey); err != nil {
+		return err
+	}
+	for _, s := range survivors {
+		delete(b.dir, s.key) // avoid dropOld recursion on the dead batch
+		if err := b.Put(s.key, s.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of live user keys.
+func (b *Batcher) Len() int { return len(b.dir) }
+
+// Batches returns the number of sealed batch records currently alive.
+func (b *Batcher) Batches() int { return len(b.liveBytes) }

@@ -1,0 +1,237 @@
+package batch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// mapKV is an in-memory KV for unit tests; integration with the real store
+// is covered in the kvstore tests and examples.
+type mapKV struct {
+	m    map[uint64][]byte
+	puts int
+}
+
+func newMapKV() *mapKV { return &mapKV{m: map[uint64][]byte{}} }
+
+func (s *mapKV) Put(key uint64, value []byte) error {
+	s.m[key] = append([]byte(nil), value...)
+	s.puts++
+	return nil
+}
+
+func (s *mapKV) Get(key uint64) ([]byte, bool, error) {
+	v, ok := s.m[key]
+	return v, ok, nil
+}
+
+func (s *mapKV) Delete(key uint64) (bool, error) {
+	_, ok := s.m[key]
+	delete(s.m, key)
+	return ok, nil
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(newMapKV(), 8, 0.5); err == nil {
+		t.Fatal("tiny payload accepted")
+	}
+}
+
+func TestPutGetThroughOpenBuffer(t *testing.T) {
+	b, err := New(newMapKV(), 128, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := b.Get(1)
+	if err != nil || !ok || !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("Get = (%q,%v,%v)", v, ok, err)
+	}
+	if b.Batches() != 0 {
+		t.Fatal("no batch should be sealed yet")
+	}
+}
+
+func TestFlushSealsBatch(t *testing.T) {
+	kv := newMapKV()
+	b, err := New(kv, 128, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 5; k++ {
+		if err := b.Put(k, []byte{byte(k), byte(k + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Batches() != 1 || kv.puts != 1 {
+		t.Fatalf("Batches=%d puts=%d, want 1/1", b.Batches(), kv.puts)
+	}
+	for k := uint64(0); k < 5; k++ {
+		v, ok, err := b.Get(k)
+		if err != nil || !ok || v[0] != byte(k) {
+			t.Fatalf("Get(%d) after flush = (%v,%v,%v)", k, v, ok, err)
+		}
+	}
+}
+
+func TestAutoFlushWhenFull(t *testing.T) {
+	kv := newMapKV()
+	b, err := New(kv, 64, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each entry costs 10+6=16 bytes → 4 per batch.
+	for k := uint64(0); k < 9; k++ {
+		if err := b.Put(k, []byte{1, 2, 3, 4, 5, 6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Batches() != 2 {
+		t.Fatalf("Batches = %d, want 2 after 9 entries of 4/batch", b.Batches())
+	}
+}
+
+func TestBatchingReducesStorePuts(t *testing.T) {
+	kv := newMapKV()
+	b, _ := New(kv, 256, 0.5)
+	for k := uint64(0); k < 100; k++ {
+		if err := b.Put(k, []byte("xxxxxxxx")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if kv.puts >= 20 {
+		t.Fatalf("100 small puts caused %d store puts; batching broken", kv.puts)
+	}
+}
+
+func TestUpdateSupersedesOldVersion(t *testing.T) {
+	b, _ := New(newMapKV(), 64, 0.5)
+	if err := b.Put(1, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(1, []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := b.Get(1)
+	if !ok || !bytes.Equal(v, []byte("bbbb")) {
+		t.Fatalf("Get = %q", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	b, _ := New(newMapKV(), 64, 0.5)
+	if err := b.Put(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := b.Delete(1)
+	if err != nil || !ok {
+		t.Fatalf("Delete = (%v,%v)", ok, err)
+	}
+	if _, ok, _ := b.Get(1); ok {
+		t.Fatal("deleted key still present")
+	}
+	if ok, _ := b.Delete(1); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestGCReclaimsSparseBatches(t *testing.T) {
+	kv := newMapKV()
+	b, _ := New(kv, 64, 0.6)
+	for k := uint64(0); k < 4; k++ {
+		if err := b.Put(k, []byte{1, 2, 3, 4, 5, 6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete 3 of 4 entries → live fraction 16/64 < 0.6 → batch GC'd,
+	// survivor moved to the open buffer.
+	for k := uint64(0); k < 3; k++ {
+		if _, err := b.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Batches() != 0 {
+		t.Fatalf("sparse batch not GC'd: %d batches", b.Batches())
+	}
+	v, ok, err := b.Get(3)
+	if err != nil || !ok || v[0] != 1 {
+		t.Fatalf("survivor lost: (%v,%v,%v)", v, ok, err)
+	}
+	if len(kv.m) != 0 {
+		t.Fatalf("dead batch record still in store: %d", len(kv.m))
+	}
+}
+
+func TestKeySpaceGuard(t *testing.T) {
+	b, _ := New(newMapKV(), 64, 0.5)
+	if err := b.Put(batchKeyBase, []byte("x")); err != ErrKeyTooLarge {
+		t.Fatalf("err = %v, want ErrKeyTooLarge", err)
+	}
+	if err := b.Put(1, make([]byte, 60)); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+}
+
+// TestRandomizedAgainstReference runs mixed operations against a map.
+func TestRandomizedAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	b, _ := New(newMapKV(), 96, 0.5)
+	ref := map[uint64][]byte{}
+	for i := 0; i < 3000; i++ {
+		k := uint64(r.Intn(50))
+		switch r.Intn(4) {
+		case 0, 1:
+			v := make([]byte, 1+r.Intn(10))
+			r.Read(v)
+			if err := b.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = v
+		case 2:
+			got, ok, err := b.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantOK := ref[k]
+			if ok != wantOK || (ok && !bytes.Equal(got, want)) {
+				t.Fatalf("iter %d: Get(%d) = (%x,%v), want (%x,%v)", i, k, got, ok, want, wantOK)
+			}
+		case 3:
+			ok, err := b.Delete(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, wantOK := ref[k]; ok != wantOK {
+				t.Fatalf("iter %d: Delete(%d) = %v", i, k, ok)
+			}
+			delete(ref, k)
+		}
+		if b.Len() != len(ref) {
+			t.Fatalf("iter %d: Len = %d, want %d", i, b.Len(), len(ref))
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range ref {
+		got, ok, err := b.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("final Get(%d) = (%x,%v,%v), want %x", k, got, ok, err, want)
+		}
+	}
+}

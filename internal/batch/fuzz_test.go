@@ -1,0 +1,62 @@
+package batch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBatcher drives puts/gets/deletes/flushes from an opcode stream
+// against a reference map.
+func FuzzBatcher(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{100, 100, 100, 3, 3, 3, 250, 250})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		b, err := New(newMapKV(), 96, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := map[uint64][]byte{}
+		for i := 0; i+2 < len(ops); i += 3 {
+			key := uint64(ops[i] % 24)
+			switch ops[i+1] % 5 {
+			case 0, 1:
+				val := []byte{ops[i+2]}
+				if err := b.Put(key, val); err != nil {
+					t.Fatal(err)
+				}
+				ref[key] = val
+			case 2:
+				got, ok, err := b.Get(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, wantOK := ref[key]
+				if ok != wantOK || (ok && !bytes.Equal(got, want)) {
+					t.Fatalf("Get(%d) = (%x,%v), want (%x,%v)", key, got, ok, want, wantOK)
+				}
+			case 3:
+				ok, err := b.Delete(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, want := ref[key]; ok != want {
+					t.Fatalf("Delete(%d) = %v", key, ok)
+				}
+				delete(ref, key)
+			case 4:
+				if err := b.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if b.Len() != len(ref) {
+				t.Fatalf("Len = %d, want %d", b.Len(), len(ref))
+			}
+		}
+		for k, want := range ref {
+			got, ok, err := b.Get(k)
+			if err != nil || !ok || !bytes.Equal(got, want) {
+				t.Fatalf("final Get(%d) = (%x,%v,%v), want %x", k, got, ok, err, want)
+			}
+		}
+	})
+}

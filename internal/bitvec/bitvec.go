@@ -1,0 +1,305 @@
+// Package bitvec provides byte-slice-backed bit vectors and the Hamming
+// arithmetic that the rest of the system is built on: popcounts, distances,
+// diff masks, and bit-level mutation. Every write-scheme comparison in the
+// paper is ultimately a statement about Hamming distances between an old
+// segment image and a new value, so these primitives are kept allocation-free
+// on the hot paths.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vector is a packed bit vector. Bit i lives in byte i/8 at position i%8
+// (LSB-first within a byte). The zero value is an empty vector.
+type Vector struct {
+	data []byte
+	n    int // number of valid bits
+}
+
+// New returns a zeroed vector of n bits.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{data: make([]byte, (n+7)/8), n: n}
+}
+
+// FromBytes wraps b as a vector of len(b)*8 bits. The vector aliases b;
+// mutations are visible to the caller.
+func FromBytes(b []byte) *Vector {
+	return &Vector{data: b, n: len(b) * 8}
+}
+
+// FromBits builds a vector from a slice of 0/1 values. Any nonzero entry is
+// treated as a 1 bit.
+func FromBits(bits []int) *Vector {
+	v := New(len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// FromFloats builds a vector by thresholding f at 0.5, the convention used
+// when converting model outputs back to bit patterns.
+func FromFloats(f []float64) *Vector {
+	v := New(len(f))
+	for i, x := range f {
+		if x >= 0.5 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Bytes returns the backing byte slice. The final byte may contain unused
+// high bits, which are kept at zero by all mutating methods.
+func (v *Vector) Bytes() []byte { return v.data }
+
+// Bit reports whether bit i is set.
+func (v *Vector) Bit(i int) bool {
+	v.check(i)
+	return v.data[i>>3]&(1<<(uint(i)&7)) != 0
+}
+
+// Set sets bit i to b.
+func (v *Vector) Set(i int, b bool) {
+	v.check(i)
+	if b {
+		v.data[i>>3] |= 1 << (uint(i) & 7)
+	} else {
+		v.data[i>>3] &^= 1 << (uint(i) & 7)
+	}
+}
+
+// Flip inverts bit i.
+func (v *Vector) Flip(i int) {
+	v.check(i)
+	v.data[i>>3] ^= 1 << (uint(i) & 7)
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Clone returns an independent copy of v.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{data: make([]byte, len(v.data)), n: v.n}
+	copy(c.data, v.data)
+	return c
+}
+
+// CopyFrom overwrites v with the contents of src. The lengths must match.
+func (v *Vector) CopyFrom(src *Vector) {
+	if v.n != src.n {
+		panic("bitvec: CopyFrom length mismatch")
+	}
+	copy(v.data, src.data)
+}
+
+// OnesCount returns the number of set bits.
+func (v *Vector) OnesCount() int {
+	c := 0
+	for _, b := range v.data {
+		c += bits.OnesCount8(b)
+	}
+	return c
+}
+
+// Floats expands the vector into a []float64 of 0.0/1.0 values, the input
+// representation used by the learning models.
+func (v *Vector) Floats() []float64 {
+	out := make([]float64, v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Bit(i) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Bits expands the vector into a []int of 0/1 values.
+func (v *Vector) Bits() []int {
+	out := make([]int, v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Bit(i) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Invert flips every bit of v in place.
+func (v *Vector) Invert() {
+	for i := range v.data {
+		v.data[i] = ^v.data[i]
+	}
+	v.maskTail()
+}
+
+// maskTail zeroes the unused bits of the final byte so popcounts stay exact.
+func (v *Vector) maskTail() {
+	if r := uint(v.n) & 7; r != 0 && len(v.data) > 0 {
+		v.data[len(v.data)-1] &= byte(1<<r) - 1
+	}
+}
+
+// String renders the vector as a 0/1 string, bit 0 first. Intended for tests
+// and debugging of short vectors.
+func (v *Vector) String() string {
+	buf := make([]byte, v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Bit(i) {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}
+
+// Equal reports whether v and o have identical length and contents.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.data {
+		if v.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Hamming returns the Hamming distance between a and b, which must have
+// equal length.
+func Hamming(a, b *Vector) int {
+	if a.n != b.n {
+		panic("bitvec: Hamming length mismatch")
+	}
+	return HammingBytes(a.data, b.data)
+}
+
+// HammingBytes returns the number of differing bits between two equal-length
+// byte slices. It is the single hottest function in the simulator.
+func HammingBytes(a, b []byte) int {
+	if len(a) != len(b) {
+		panic("bitvec: HammingBytes length mismatch")
+	}
+	d := 0
+	i := 0
+	// 8 bytes at a time without unsafe: assemble uint64 lanes manually.
+	for ; i+8 <= len(a); i += 8 {
+		var x, y uint64
+		for j := 0; j < 8; j++ {
+			x |= uint64(a[i+j]) << (8 * uint(j))
+			y |= uint64(b[i+j]) << (8 * uint(j))
+		}
+		d += bits.OnesCount64(x ^ y)
+	}
+	for ; i < len(a); i++ {
+		d += bits.OnesCount8(a[i] ^ b[i])
+	}
+	return d
+}
+
+// HammingFloats returns the Hamming distance between two float vectors after
+// thresholding each element at 0.5.
+func HammingFloats(a, b []float64) int {
+	if len(a) != len(b) {
+		panic("bitvec: HammingFloats length mismatch")
+	}
+	d := 0
+	for i := range a {
+		if (a[i] >= 0.5) != (b[i] >= 0.5) {
+			d++
+		}
+	}
+	return d
+}
+
+// DiffBits returns the indices of bits that differ between a and b.
+func DiffBits(a, b *Vector) []int {
+	if a.n != b.n {
+		panic("bitvec: DiffBits length mismatch")
+	}
+	var idx []int
+	for i, ab := range a.data {
+		x := ab ^ b.data[i]
+		for x != 0 {
+			t := bits.TrailingZeros8(x)
+			bit := i*8 + t
+			if bit < a.n {
+				idx = append(idx, bit)
+			}
+			x &= x - 1
+		}
+	}
+	return idx
+}
+
+// OnesDensity returns the fraction of set bits, or 0 for an empty vector.
+func (v *Vector) OnesDensity() float64 {
+	if v.n == 0 {
+		return 0
+	}
+	return float64(v.OnesCount()) / float64(v.n)
+}
+
+// Slice returns a new vector holding bits [lo, hi) of v.
+func (v *Vector) Slice(lo, hi int) *Vector {
+	if lo < 0 || hi > v.n || lo > hi {
+		panic(fmt.Sprintf("bitvec: Slice bounds [%d,%d) out of range [0,%d)", lo, hi, v.n))
+	}
+	out := New(hi - lo)
+	for i := lo; i < hi; i++ {
+		if v.Bit(i) {
+			out.Set(i-lo, true)
+		}
+	}
+	return out
+}
+
+// Concat returns the concatenation of the given vectors.
+func Concat(vs ...*Vector) *Vector {
+	total := 0
+	for _, v := range vs {
+		total += v.n
+	}
+	out := New(total)
+	pos := 0
+	for _, v := range vs {
+		for i := 0; i < v.n; i++ {
+			if v.Bit(i) {
+				out.Set(pos+i, true)
+			}
+		}
+		pos += v.n
+	}
+	return out
+}
+
+// ShiftRight returns v rotated right by k bit positions (bits wrap around),
+// the transformation used by the MinShift write scheme.
+func (v *Vector) ShiftRight(k int) *Vector {
+	if v.n == 0 {
+		return v.Clone()
+	}
+	k = ((k % v.n) + v.n) % v.n
+	out := New(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Bit(i) {
+			out.Set((i+k)%v.n, true)
+		}
+	}
+	return out
+}

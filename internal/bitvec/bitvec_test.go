@@ -1,0 +1,323 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	v := New(17)
+	if v.Len() != 17 {
+		t.Fatalf("Len = %d, want 17", v.Len())
+	}
+	if v.OnesCount() != 0 {
+		t.Fatalf("new vector has %d ones, want 0", v.OnesCount())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetBitFlip(t *testing.T) {
+	v := New(10)
+	v.Set(3, true)
+	if !v.Bit(3) {
+		t.Fatal("bit 3 not set")
+	}
+	v.Flip(3)
+	if v.Bit(3) {
+		t.Fatal("bit 3 still set after flip")
+	}
+	v.Flip(9)
+	if !v.Bit(9) {
+		t.Fatal("bit 9 not set after flip")
+	}
+	if got := v.OnesCount(); got != 1 {
+		t.Fatalf("OnesCount = %d, want 1", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(8)
+	for _, i := range []int{-1, 8, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d) did not panic", i)
+				}
+			}()
+			v.Bit(i)
+		}()
+	}
+}
+
+func TestFromBitsRoundTrip(t *testing.T) {
+	in := []int{0, 1, 1, 0, 1, 0, 0, 0, 1}
+	v := FromBits(in)
+	out := v.Bits()
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("bit %d = %d, want %d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestFromFloatsThreshold(t *testing.T) {
+	v := FromFloats([]float64{0.49, 0.5, 0.51, 0, 1})
+	want := []int{0, 1, 1, 0, 1}
+	for i, w := range want {
+		if got := v.Bits()[i]; got != w {
+			t.Fatalf("bit %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestFromBytesAliases(t *testing.T) {
+	b := []byte{0x01, 0x80}
+	v := FromBytes(b)
+	if v.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", v.Len())
+	}
+	if !v.Bit(0) || !v.Bit(15) {
+		t.Fatal("expected bits 0 and 15 set")
+	}
+	v.Set(1, true)
+	if b[0] != 0x03 {
+		t.Fatalf("mutation not visible through alias: %#x", b[0])
+	}
+}
+
+func TestHamming(t *testing.T) {
+	a := FromBits([]int{0, 0, 1, 1})
+	b := FromBits([]int{0, 1, 1, 0})
+	if d := Hamming(a, b); d != 2 {
+		t.Fatalf("Hamming = %d, want 2", d)
+	}
+	if d := Hamming(a, a); d != 0 {
+		t.Fatalf("self Hamming = %d, want 0", d)
+	}
+}
+
+func TestHammingBytesLong(t *testing.T) {
+	// Exercise both the 8-byte fast path and the byte tail.
+	a := make([]byte, 37)
+	b := make([]byte, 37)
+	for i := range a {
+		a[i] = byte(i * 7)
+		b[i] = byte(i * 13)
+	}
+	want := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for x != 0 {
+			want++
+			x &= x - 1
+		}
+	}
+	if got := HammingBytes(a, b); got != want {
+		t.Fatalf("HammingBytes = %d, want %d", got, want)
+	}
+}
+
+func TestHammingLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Hamming(New(8), New(9))
+}
+
+func TestHammingFloats(t *testing.T) {
+	a := []float64{0.1, 0.9, 0.6}
+	b := []float64{0.9, 0.9, 0.2}
+	if d := HammingFloats(a, b); d != 2 {
+		t.Fatalf("HammingFloats = %d, want 2", d)
+	}
+}
+
+func TestDiffBits(t *testing.T) {
+	a := FromBits([]int{1, 0, 0, 1, 1, 0, 0, 0, 1, 0})
+	b := FromBits([]int{1, 1, 0, 0, 1, 0, 0, 0, 0, 0})
+	got := DiffBits(a, b)
+	want := []int{1, 3, 8}
+	if len(got) != len(want) {
+		t.Fatalf("DiffBits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DiffBits = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInvertMasksTail(t *testing.T) {
+	v := New(5)
+	v.Invert()
+	if got := v.OnesCount(); got != 5 {
+		t.Fatalf("OnesCount after invert = %d, want 5", got)
+	}
+	// The three unused tail bits must remain zero.
+	if v.Bytes()[0] != 0x1f {
+		t.Fatalf("tail bits leaked: %#x", v.Bytes()[0])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := FromBits([]int{1, 0, 1})
+	c := v.Clone()
+	c.Flip(0)
+	if !v.Bit(0) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !v.Equal(v.Clone()) {
+		t.Fatal("Clone not Equal to original")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	v := New(8)
+	src := FromBits([]int{1, 1, 0, 0, 1, 0, 1, 0})
+	v.CopyFrom(src)
+	if !v.Equal(src) {
+		t.Fatal("CopyFrom did not copy")
+	}
+}
+
+func TestSliceAndConcat(t *testing.T) {
+	v := FromBits([]int{1, 0, 1, 1, 0, 0, 1, 0})
+	s := v.Slice(2, 6)
+	if s.String() != "1100" {
+		t.Fatalf("Slice = %s, want 1100", s.String())
+	}
+	back := Concat(v.Slice(0, 2), s, v.Slice(6, 8))
+	if !back.Equal(v) {
+		t.Fatalf("Concat(slices) = %s, want %s", back.String(), v.String())
+	}
+}
+
+func TestShiftRight(t *testing.T) {
+	v := FromBits([]int{1, 0, 0, 0})
+	if got := v.ShiftRight(1).String(); got != "0100" {
+		t.Fatalf("ShiftRight(1) = %s, want 0100", got)
+	}
+	if got := v.ShiftRight(4).String(); got != v.String() {
+		t.Fatalf("ShiftRight(n) = %s, want identity", got)
+	}
+	if got := v.ShiftRight(-1).String(); got != "0001" {
+		t.Fatalf("ShiftRight(-1) = %s, want 0001", got)
+	}
+}
+
+func TestOnesDensity(t *testing.T) {
+	if d := New(0).OnesDensity(); d != 0 {
+		t.Fatalf("empty density = %v, want 0", d)
+	}
+	v := FromBits([]int{1, 1, 0, 0})
+	if d := v.OnesDensity(); d != 0.5 {
+		t.Fatalf("density = %v, want 0.5", d)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	v := FromBits([]int{0, 1, 1, 0, 1})
+	if v.String() != "01101" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func randVec(r *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// Property: Hamming is a metric — symmetric, zero iff equal, triangle
+// inequality.
+func TestHammingMetricProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + r.Intn(200)
+		a, b, c := randVec(r, n), randVec(r, n), randVec(r, n)
+		dab, dba := Hamming(a, b), Hamming(b, a)
+		if dab != dba {
+			t.Fatalf("not symmetric: %d vs %d", dab, dba)
+		}
+		if (dab == 0) != a.Equal(b) {
+			t.Fatalf("zero-distance vs equality mismatch")
+		}
+		if Hamming(a, c) > dab+Hamming(b, c) {
+			t.Fatal("triangle inequality violated")
+		}
+	}
+}
+
+// Property: Hamming(a,b) == OnesCount(a XOR b) via DiffBits length.
+func TestHammingMatchesDiffBits(t *testing.T) {
+	f := func(seed int64, ln uint8) bool {
+		n := int(ln)%128 + 1
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVec(r, n), randVec(r, n)
+		return Hamming(a, b) == len(DiffBits(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rotations preserve popcount and compose additively.
+func TestShiftProperties(t *testing.T) {
+	f := func(seed int64, ln uint8, k1, k2 int8) bool {
+		n := int(ln)%64 + 1
+		r := rand.New(rand.NewSource(seed))
+		v := randVec(r, n)
+		s := v.ShiftRight(int(k1))
+		if s.OnesCount() != v.OnesCount() {
+			return false
+		}
+		return s.ShiftRight(int(k2)).Equal(v.ShiftRight(int(k1) + int(k2)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FromFloats(v.Floats()) == v.
+func TestFloatsRoundTrip(t *testing.T) {
+	f := func(seed int64, ln uint8) bool {
+		n := int(ln)%100 + 1
+		r := rand.New(rand.NewSource(seed))
+		v := randVec(r, n)
+		return FromFloats(v.Floats()).Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHammingBytes256(b *testing.B) {
+	x := make([]byte, 256)
+	y := make([]byte, 256)
+	for i := range x {
+		x[i] = byte(i)
+		y[i] = byte(i * 3)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HammingBytes(x, y)
+	}
+}

@@ -1,0 +1,450 @@
+// Package core implements the E2-NVM model itself (§3.2–3.4): the VAE
+// encoder jointly trained with K-means clustering over the latent space,
+// the padding front-end for undersized items, elbow-based selection of K,
+// and the background-retraining manager that swaps in a freshly trained
+// model when the dynamic address pool runs low.
+//
+// Training follows the paper's recipe: (1) pretrain the VAE on the bit
+// images of the memory segments, (2) run K-means on the latent means,
+// (3) fine-tune the VAE with the joint clustering loss pulling latents
+// toward their centroids while re-fitting the centroids, and (4) keep only
+// the encoder + centroids for prediction.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"e2nvm/internal/bitvec"
+	"e2nvm/internal/kmeans"
+	"e2nvm/internal/padding"
+	"e2nvm/internal/vae"
+)
+
+// Config controls model architecture and training.
+type Config struct {
+	// InputBits is the model width w: the number of bits in one memory
+	// segment image.
+	InputBits int
+	// K is the number of clusters. 0 selects K automatically with the
+	// elbow method over ElbowRange.
+	K int
+	// ElbowRange is the candidate K values scanned when K == 0
+	// (default 2..12).
+	ElbowRange []int
+
+	HiddenDim int
+	LatentDim int
+
+	Epochs      int     // VAE pretraining epochs (default 15)
+	JointEpochs int     // joint fine-tuning epochs with cluster loss (default 5)
+	BatchSize   int     // default 32
+	Beta        float64 // KL weight (default 0.1 — bits are near-deterministic)
+	Gamma       float64 // cluster-loss weight during fine-tuning (default 0.5)
+	LR          float64
+
+	// PadLocation/PadType select the padding strategy for items narrower
+	// than InputBits. Unless PadExplicit is set, the zero value selects
+	// the default strategy End + InputBased.
+	PadLocation padding.Location
+	PadType     padding.Type
+	// PadExplicit marks PadLocation/PadType as deliberately chosen, so
+	// that Begin+Zero (their zero values) can be requested explicitly.
+	PadExplicit bool
+	// LearnedPadWindow/LearnedPadPredict configure the sliding-window
+	// LSTM when PadType == Learned (defaults 64 and 8, the paper's).
+	LearnedPadWindow  int
+	LearnedPadPredict int
+	LearnedPadHidden  int // default 10
+	LearnedPadEpochs  int // default 20
+
+	Seed int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.InputBits <= 0 {
+		return c, fmt.Errorf("core: InputBits %d must be positive", c.InputBits)
+	}
+	if c.K < 0 {
+		return c, fmt.Errorf("core: K %d must be non-negative", c.K)
+	}
+	if len(c.ElbowRange) == 0 {
+		c.ElbowRange = []int{2, 3, 4, 5, 6, 8, 10, 12}
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 15
+	}
+	if c.JointEpochs < 0 {
+		c.JointEpochs = 0
+	} else if c.JointEpochs == 0 {
+		c.JointEpochs = 5
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.1
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = 0.5
+	}
+	if !c.PadExplicit && c.PadType == padding.Zero && c.PadLocation == padding.Begin {
+		c.PadLocation = padding.End
+		c.PadType = padding.InputBased
+	}
+	if c.LearnedPadWindow <= 0 {
+		c.LearnedPadWindow = 64
+	}
+	if c.LearnedPadPredict <= 0 {
+		c.LearnedPadPredict = 8
+	}
+	if c.LearnedPadHidden <= 0 {
+		c.LearnedPadHidden = 10
+	}
+	if c.LearnedPadEpochs <= 0 {
+		c.LearnedPadEpochs = 20
+	}
+	return c, nil
+}
+
+// Model is a trained E2-NVM predictor: VAE encoder + K-means centroids +
+// padding front-end. Prediction methods are safe for concurrent use
+// (they are read-only after training), matching the paper's note that VAE
+// operations in the serving path are read-only.
+type Model struct {
+	cfg    Config
+	vae    *vae.Model
+	km     *kmeans.Model
+	padder *padding.Padder
+
+	history   []vae.EpochLoss
+	sseCurve  []float64 // populated when K was chosen by the elbow method
+	trainedOn int
+
+	mu sync.Mutex // guards padder (its RNG and dataset stats mutate)
+}
+
+// Train fits an E2-NVM model on the bit images of the current memory
+// segments. Each row of data must hold exactly cfg.InputBits values in
+// {0,1}; BytesToBits converts raw segment contents.
+func Train(data [][]float64, cfg Config) (*Model, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	for i, row := range data {
+		if len(row) != c.InputBits {
+			return nil, fmt.Errorf("core: row %d has %d bits, want %d", i, len(row), c.InputBits)
+		}
+	}
+
+	v, err := vae.New(vae.Config{
+		InputDim:  c.InputBits,
+		HiddenDim: c.HiddenDim,
+		LatentDim: c.LatentDim,
+		LR:        c.LR,
+		Beta:      c.Beta,
+		Gamma:     c.Gamma,
+		Seed:      c.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{cfg: c, vae: v, trainedOn: len(data)}
+
+	// (1) Pretrain the VAE.
+	hist, err := v.Fit(data, vae.FitOptions{Epochs: c.Epochs, BatchSize: c.BatchSize})
+	if err != nil {
+		return nil, err
+	}
+	m.history = hist
+
+	// (2) Cluster latents; choose K by the elbow method when unset.
+	latents := v.EncodeAll(data)
+	k := c.K
+	if k == 0 {
+		ks := feasibleKs(c.ElbowRange, len(data))
+		if len(ks) == 0 {
+			return nil, fmt.Errorf("core: no feasible K in elbow range for %d samples", len(data))
+		}
+		curve, err := kmeans.SSECurve(latents, ks, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m.sseCurve = curve
+		k = ks[kmeans.ElbowPoint(curve)]
+	}
+	if k > len(data) {
+		k = len(data)
+	}
+	kcfg := kmeans.NewConfig(k)
+	kcfg.Seed = c.Seed
+	km, err := kmeans.Fit(latents, kcfg)
+	if err != nil {
+		return nil, err
+	}
+	m.km = km
+
+	// (3) Joint fine-tuning: alternate VAE epochs (with the cluster pull)
+	// and centroid refits.
+	for e := 0; e < c.JointEpochs; e++ {
+		h, err := v.Fit(data, vae.FitOptions{Epochs: 1, BatchSize: c.BatchSize, Centroids: km.Centroids})
+		if err != nil {
+			return nil, err
+		}
+		m.history = append(m.history, h...)
+		latents = v.EncodeAll(data)
+		km, err = kmeans.Fit(latents, kcfg)
+		if err != nil {
+			return nil, err
+		}
+		m.km = km
+	}
+
+	// (4) Padding front-end.
+	p := padding.New(c.PadLocation, c.PadType, c.Seed+1)
+	for _, row := range data {
+		p.Observe(row)
+	}
+	if c.PadType == padding.Learned {
+		net, err := padding.TrainLearnedModel(data, c.LearnedPadWindow, c.LearnedPadPredict,
+			c.LearnedPadHidden, c.LearnedPadEpochs, c.Seed+2)
+		if err != nil {
+			return nil, err
+		}
+		p.SetModel(net, c.LearnedPadWindow, c.LearnedPadPredict)
+	}
+	m.padder = p
+	return m, nil
+}
+
+// feasibleKs filters candidate K values to those not exceeding the sample
+// count.
+func feasibleKs(ks []int, n int) []int {
+	var out []int
+	for _, k := range ks {
+		if k >= 1 && k <= n {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Config returns the defaulted configuration the model was trained with.
+func (m *Model) Config() Config { return m.cfg }
+
+// K returns the number of clusters.
+func (m *Model) K() int { return m.km.K }
+
+// InputBits returns the model width w.
+func (m *Model) InputBits() int { return m.cfg.InputBits }
+
+// History returns the training loss curve (pretraining followed by joint
+// fine-tuning epochs).
+func (m *Model) History() []vae.EpochLoss { return m.history }
+
+// SSECurve returns the elbow-method SSE values when K was auto-selected,
+// or nil when K was fixed.
+func (m *Model) SSECurve() []float64 { return m.sseCurve }
+
+// TrainedOn returns the number of segment images the model was fitted on.
+func (m *Model) TrainedOn() int { return m.trainedOn }
+
+// Centroids exposes the latent-space centroids (read-only).
+func (m *Model) Centroids() [][]float64 { return m.km.Centroids }
+
+// LatentSSE returns the final K-means sum of squared errors over the
+// training latents — the cluster-tightness metric joint training improves.
+func (m *Model) LatentSSE() float64 { return m.km.SSE }
+
+// FLOPsPerPredict estimates the compute per prediction (encoder pass plus
+// the K·latent centroid scan), consumed by the energy profiler.
+func (m *Model) FLOPsPerPredict() float64 {
+	return m.vae.FLOPsPerPredict() + 2*float64(m.km.K)*float64(m.vae.LatentDim())
+}
+
+// Predict maps a full-width item (InputBits values in {0,1}) to its
+// cluster.
+func (m *Model) Predict(item []float64) int {
+	if len(item) != m.cfg.InputBits {
+		panic(fmt.Sprintf("core: Predict item of %d bits, want %d (use PredictPadded)", len(item), m.cfg.InputBits))
+	}
+	return m.km.Predict(m.vae.Encode(item))
+}
+
+// PredictPadded maps an item of up to InputBits bits to its cluster,
+// applying the configured padding strategy when the item is narrower than
+// the model (§4). The padded bits are used only for this prediction.
+func (m *Model) PredictPadded(item []float64) int {
+	if len(item) == m.cfg.InputBits {
+		return m.Predict(item)
+	}
+	m.mu.Lock()
+	padded := m.padder.Pad(item, m.cfg.InputBits)
+	m.mu.Unlock()
+	return m.Predict(padded)
+}
+
+// PredictBytes maps a raw segment image to its cluster.
+func (m *Model) PredictBytes(b []byte) int {
+	return m.PredictPadded(BytesToBits(b))
+}
+
+// PredictBytesBatch predicts the clusters of many segment images in
+// parallel (prediction is thread-safe), preserving input order. It is the
+// bulk path used when populating or rebuilding the address pool over large
+// devices.
+func (m *Model) PredictBytesBatch(imgs [][]byte) []int {
+	out := make([]int, len(imgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(imgs) {
+		workers = len(imgs)
+	}
+	if workers <= 1 {
+		for i, b := range imgs {
+			out[i] = m.PredictBytes(b)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(imgs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(imgs) {
+			hi = len(imgs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = m.PredictBytes(imgs[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Encode exposes the latent embedding of a full-width item.
+func (m *Model) Encode(item []float64) []float64 { return m.vae.Encode(item) }
+
+// Padder returns the model's padding front-end (used by experiments to
+// install memory-density callbacks).
+func (m *Model) Padder() *padding.Padder { return m.padder }
+
+// SetPadder swaps the padding front-end, letting experiments sweep padding
+// strategies against one trained encoder (Figure 14).
+func (m *Model) SetPadder(p *padding.Padder) {
+	m.mu.Lock()
+	m.padder = p
+	m.mu.Unlock()
+}
+
+// BytesToBits expands raw bytes into the {0,1} float vector the model
+// consumes.
+func BytesToBits(b []byte) []float64 { return bitvec.FromBytes(b).Floats() }
+
+// BitsToBytes packs a {0,1} float vector back into bytes (thresholding at
+// 0.5).
+func BitsToBytes(bits []float64) []byte {
+	v := bitvec.FromFloats(bits)
+	out := make([]byte, len(v.Bytes()))
+	copy(out, v.Bytes())
+	return out
+}
+
+// ---------------------------------------------------------------------- --
+
+// Manager holds the live model and performs background retraining with an
+// atomic swap, implementing the paper's lazy-retraining policy: serving
+// continues on the old model while the new one trains; once ready, the new
+// model takes over.
+type Manager struct {
+	mu      sync.RWMutex
+	current *Model
+
+	retraining sync.Mutex // serializes retrains
+	inFlight   bool
+
+	// Retrains counts completed background retrains.
+	retrains int
+}
+
+// NewManager wraps an initially trained model.
+func NewManager(m *Model) *Manager {
+	return &Manager{current: m}
+}
+
+// Current returns the live model.
+func (g *Manager) Current() *Model {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.current
+}
+
+// Retrains returns the number of completed background retrains.
+func (g *Manager) Retrains() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.retrains
+}
+
+// Retraining reports whether a background retrain is in flight.
+func (g *Manager) Retraining() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.inFlight
+}
+
+// RetrainAsync trains a new model on data in the background and swaps it
+// in when done, invoking onDone (which may be nil) with the new model or
+// the training error. At most one retrain runs at a time; a concurrent
+// request returns false and is dropped.
+func (g *Manager) RetrainAsync(data [][]float64, cfg Config, onDone func(*Model, error)) bool {
+	g.mu.Lock()
+	if g.inFlight {
+		g.mu.Unlock()
+		return false
+	}
+	g.inFlight = true
+	g.mu.Unlock()
+
+	go func() {
+		m, err := Train(data, cfg)
+		g.mu.Lock()
+		if err == nil {
+			g.current = m
+			g.retrains++
+		}
+		g.inFlight = false
+		g.mu.Unlock()
+		if onDone != nil {
+			onDone(m, err)
+		}
+	}()
+	return true
+}
+
+// RetrainSync trains and swaps synchronously (used by experiments that
+// model the paper's "stop the world and retrain" Figure 16 step).
+func (g *Manager) RetrainSync(data [][]float64, cfg Config) (*Model, error) {
+	g.retraining.Lock()
+	defer g.retraining.Unlock()
+	m, err := Train(data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	g.current = m
+	g.retrains++
+	g.mu.Unlock()
+	return m, nil
+}

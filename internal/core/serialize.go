@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"e2nvm/internal/kmeans"
+	"e2nvm/internal/lstm"
+	"e2nvm/internal/padding"
+	"e2nvm/internal/vae"
+)
+
+// snapshot is the gob-encoded on-disk form of a trained E2-NVM model. A
+// version field guards against format drift.
+type snapshot struct {
+	Version   int
+	Cfg       Config
+	VAE       *vae.Snapshot
+	Centroids [][]float64
+	SSE       float64
+	TrainedOn int
+	SSECurve  []float64
+
+	PadOnes, PadBits uint64
+	LSTM             *lstm.Snapshot // nil unless PadType == Learned
+	LSTMWindow       int
+	LSTMPredict      int
+}
+
+const snapshotVersion = 1
+
+// Save serializes the trained model (encoder weights, centroids, padding
+// state) so a store can reopen without retraining.
+func (m *Model) Save(w io.Writer) error {
+	s := snapshot{
+		Version:   snapshotVersion,
+		Cfg:       m.cfg,
+		VAE:       m.vae.Snapshot(),
+		Centroids: m.km.Centroids,
+		SSE:       m.km.SSE,
+		TrainedOn: m.trainedOn,
+		SSECurve:  m.sseCurve,
+	}
+	m.mu.Lock()
+	s.PadOnes, s.PadBits = m.padder.DatasetStats()
+	if net, win, pred := m.padder.Model(); net != nil {
+		s.LSTM = net.Snapshot()
+		s.LSTMWindow = win
+		s.LSTMPredict = pred
+	}
+	m.mu.Unlock()
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Load reconstructs a model previously written by Save. The restored model
+// predicts identically to the saved one.
+func Load(r io.Reader) (*Model, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, want %d", s.Version, snapshotVersion)
+	}
+	v, err := vae.FromSnapshot(s.VAE)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Centroids) == 0 {
+		return nil, fmt.Errorf("core: snapshot has no centroids")
+	}
+	m := &Model{
+		cfg:       s.Cfg,
+		vae:       v,
+		km:        &kmeans.Model{K: len(s.Centroids), Centroids: s.Centroids, SSE: s.SSE},
+		trainedOn: s.TrainedOn,
+		sseCurve:  s.SSECurve,
+	}
+	p := padding.New(s.Cfg.PadLocation, s.Cfg.PadType, s.Cfg.Seed+1)
+	p.SetDatasetStats(s.PadOnes, s.PadBits)
+	if s.LSTM != nil {
+		net, err := lstm.FromSnapshot(s.LSTM)
+		if err != nil {
+			return nil, err
+		}
+		p.SetModel(net, s.LSTMWindow, s.LSTMPredict)
+	}
+	m.padder = p
+	return m, nil
+}

@@ -1,0 +1,191 @@
+// Package dap implements E2-NVM's cluster-to-memory Dynamic Address Pool
+// (§3.3.1): a thread-safe map from cluster id to the list of free memory
+// segment addresses whose current content belongs to that cluster.
+//
+// A PUT pops the first available address of the predicted cluster ("we just
+// take the first available address in the cluster knowing that it will have
+// a very similar content"); a DELETE recycles the freed address back into
+// the cluster its content now belongs to. When a cluster runs dry the pool
+// falls back to the nearest non-empty cluster so the system can always
+// serve writes, and reports the cluster as low so the owner can trigger
+// background retraining.
+package dap
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a cluster-to-memory dynamic address pool.
+type Pool struct {
+	mu       sync.Mutex
+	clusters [][]int // cluster id → FIFO of free addresses
+	free     int     // total free addresses
+	maxSize  int     // optional cap on total entries (0 = unlimited)
+
+	// lowWater is the per-cluster threshold below which the cluster is
+	// reported by LowClusters, the paper's retraining trigger.
+	lowWater int
+
+	popped uint64 // Get operations served
+	pushed uint64 // Add operations accepted
+}
+
+// Option configures a Pool.
+type Option func(*Pool)
+
+// WithMaxEntries caps the total number of addresses the pool will hold —
+// the paper's option (1) for bounding the DRAM footprint of the table.
+func WithMaxEntries(n int) Option {
+	return func(p *Pool) { p.maxSize = n }
+}
+
+// WithLowWater sets the per-cluster free-list threshold that marks a
+// cluster as needing retraining (default 0: never low).
+func WithLowWater(n int) Option {
+	return func(p *Pool) { p.lowWater = n }
+}
+
+// New creates a pool with k clusters.
+func New(k int, opts ...Option) (*Pool, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("dap: cluster count %d must be positive", k)
+	}
+	p := &Pool{clusters: make([][]int, k)}
+	for _, o := range opts {
+		o(p)
+	}
+	return p, nil
+}
+
+// K returns the number of clusters.
+func (p *Pool) K() int { return len(p.clusters) }
+
+// Add recycles a free address into cluster c. It returns false when the
+// pool is at its configured capacity (the address is then simply dropped
+// from tracking, matching the paper's bounded-table option).
+func (p *Pool) Add(c, addr int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkCluster(c)
+	if p.maxSize > 0 && p.free >= p.maxSize {
+		return false
+	}
+	p.clusters[c] = append(p.clusters[c], addr)
+	p.free++
+	p.pushed++
+	return true
+}
+
+// Get pops the first available address of cluster c. If c is empty, the
+// nearest non-empty cluster (by cluster-id distance, a cheap proxy for
+// latent-space adjacency) is used instead; fallback reports which cluster
+// actually served the request. ok is false only when the whole pool is
+// empty.
+func (p *Pool) Get(c int) (addr, servedBy int, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkCluster(c)
+	if len(p.clusters[c]) > 0 {
+		return p.pop(c), c, true
+	}
+	if p.free == 0 {
+		return 0, 0, false
+	}
+	for d := 1; d < len(p.clusters); d++ {
+		if cc := c - d; cc >= 0 && len(p.clusters[cc]) > 0 {
+			return p.pop(cc), cc, true
+		}
+		if cc := c + d; cc < len(p.clusters) && len(p.clusters[cc]) > 0 {
+			return p.pop(cc), cc, true
+		}
+	}
+	// Unreachable: free > 0 implies some cluster is non-empty.
+	return 0, 0, false
+}
+
+func (p *Pool) pop(c int) int {
+	addr := p.clusters[c][0]
+	p.clusters[c] = p.clusters[c][1:]
+	p.free--
+	p.popped++
+	return addr
+}
+
+func (p *Pool) checkCluster(c int) {
+	if c < 0 || c >= len(p.clusters) {
+		panic(fmt.Sprintf("dap: cluster %d out of range [0,%d)", c, len(p.clusters)))
+	}
+}
+
+// Free returns the total number of free addresses tracked.
+func (p *Pool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.free
+}
+
+// ClusterSizes returns the current free-list length of every cluster.
+func (p *Pool) ClusterSizes() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, len(p.clusters))
+	for i, c := range p.clusters {
+		out[i] = len(c)
+	}
+	return out
+}
+
+// LowClusters returns the ids of clusters at or below the low-water mark —
+// the signal E2-NVM uses to kick off background retraining (§4.1.4).
+func (p *Pool) LowClusters() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lowWater <= 0 {
+		return nil
+	}
+	var low []int
+	for i, c := range p.clusters {
+		if len(c) <= p.lowWater {
+			low = append(low, i)
+		}
+	}
+	return low
+}
+
+// Reset discards all entries and re-shapes the pool to k clusters —
+// performed after a model retrain, when every free address is re-predicted
+// under the new model.
+func (p *Pool) Reset(k int) error {
+	if k <= 0 {
+		return fmt.Errorf("dap: cluster count %d must be positive", k)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.clusters = make([][]int, k)
+	p.free = 0
+	return nil
+}
+
+// Stats reports cumulative pool activity.
+type Stats struct {
+	Free   int
+	Popped uint64
+	Pushed uint64
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Free: p.free, Popped: p.popped, Pushed: p.pushed}
+}
+
+// FootprintBytes estimates the pool's DRAM footprint: 8 bytes per tracked
+// address plus 24 bytes of slice header per cluster (the quantity plotted
+// in the paper's Figure 7).
+func (p *Pool) FootprintBytes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.free*8 + len(p.clusters)*24
+}

@@ -1,0 +1,196 @@
+package dap
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := New(-2); err == nil {
+		t.Fatal("expected error for negative k")
+	}
+}
+
+func TestAddGetFIFO(t *testing.T) {
+	p, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Add(1, 10)
+	p.Add(1, 11)
+	addr, served, ok := p.Get(1)
+	if !ok || addr != 10 || served != 1 {
+		t.Fatalf("Get = (%d,%d,%v), want (10,1,true)", addr, served, ok)
+	}
+	addr, _, _ = p.Get(1)
+	if addr != 11 {
+		t.Fatalf("second Get = %d, want 11", addr)
+	}
+}
+
+func TestGetEmptyPool(t *testing.T) {
+	p, _ := New(2)
+	if _, _, ok := p.Get(0); ok {
+		t.Fatal("Get on empty pool should fail")
+	}
+}
+
+func TestGetFallsBackToNearestCluster(t *testing.T) {
+	p, _ := New(5)
+	p.Add(4, 99)
+	addr, served, ok := p.Get(0)
+	if !ok || addr != 99 || served != 4 {
+		t.Fatalf("fallback Get = (%d,%d,%v), want (99,4,true)", addr, served, ok)
+	}
+	// Nearest non-empty wins over farther ones.
+	p.Add(0, 1)
+	p.Add(4, 2)
+	_, served, _ = p.Get(1)
+	if served != 0 {
+		t.Fatalf("fallback served by %d, want nearest cluster 0", served)
+	}
+}
+
+func TestClusterOutOfRangePanics(t *testing.T) {
+	p, _ := New(2)
+	for _, c := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("cluster %d did not panic", c)
+				}
+			}()
+			p.Add(c, 0)
+		}()
+	}
+}
+
+func TestMaxEntriesCap(t *testing.T) {
+	p, _ := New(2, WithMaxEntries(2))
+	if !p.Add(0, 1) || !p.Add(0, 2) {
+		t.Fatal("first two adds should succeed")
+	}
+	if p.Add(1, 3) {
+		t.Fatal("third add should be rejected at cap")
+	}
+	if p.Free() != 2 {
+		t.Fatalf("Free = %d, want 2", p.Free())
+	}
+}
+
+func TestLowClusters(t *testing.T) {
+	p, _ := New(3, WithLowWater(1))
+	p.Add(0, 1)
+	p.Add(0, 2)
+	p.Add(1, 3)
+	low := p.LowClusters()
+	// Cluster 1 has exactly lowWater entries, cluster 2 has none.
+	if len(low) != 2 || low[0] != 1 || low[1] != 2 {
+		t.Fatalf("LowClusters = %v, want [1 2]", low)
+	}
+	// Without a low-water mark, nothing is reported.
+	q, _ := New(3)
+	if q.LowClusters() != nil {
+		t.Fatal("LowClusters should be nil without WithLowWater")
+	}
+}
+
+func TestClusterSizesAndStats(t *testing.T) {
+	p, _ := New(2)
+	p.Add(0, 1)
+	p.Add(1, 2)
+	p.Add(1, 3)
+	sizes := p.ClusterSizes()
+	if sizes[0] != 1 || sizes[1] != 2 {
+		t.Fatalf("ClusterSizes = %v", sizes)
+	}
+	p.Get(0)
+	s := p.Stats()
+	if s.Free != 2 || s.Popped != 1 || s.Pushed != 3 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p, _ := New(2)
+	p.Add(0, 1)
+	if err := p.Reset(4); err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 4 || p.Free() != 0 {
+		t.Fatalf("after Reset: K=%d Free=%d", p.K(), p.Free())
+	}
+	if err := p.Reset(0); err == nil {
+		t.Fatal("Reset(0) should error")
+	}
+}
+
+func TestFootprintBytes(t *testing.T) {
+	p, _ := New(2)
+	base := p.FootprintBytes()
+	p.Add(0, 1)
+	if p.FootprintBytes() != base+8 {
+		t.Fatalf("footprint did not grow by 8: %d -> %d", base, p.FootprintBytes())
+	}
+}
+
+// Property: the pool conserves addresses — everything added and not yet
+// popped is retrievable exactly once, with no duplicates or inventions.
+func TestConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p, err := New(4)
+		if err != nil {
+			return false
+		}
+		next := 0
+		outstanding := map[int]bool{}
+		for _, op := range ops {
+			if op%2 == 0 {
+				p.Add(int(op/2)%4, next)
+				outstanding[next] = true
+				next++
+			} else {
+				addr, _, ok := p.Get(int(op/2) % 4)
+				if !ok {
+					if len(outstanding) != 0 {
+						return false // pool claimed empty while addresses remain
+					}
+					continue
+				}
+				if !outstanding[addr] {
+					return false // duplicate or invented address
+				}
+				delete(outstanding, addr)
+			}
+		}
+		return p.Free() == len(outstanding)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	p, _ := New(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p.Add(g, g*1000+i)
+				if i%2 == 1 {
+					p.Get(g)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.Free() != 8*250 {
+		t.Fatalf("Free = %d, want %d", p.Free(), 8*250)
+	}
+}

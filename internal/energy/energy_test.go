@@ -1,0 +1,78 @@
+package energy
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestAccounting(t *testing.T) {
+	p := New()
+	p.AddNVM(1000, 500)
+	p.AddDRAM(64)
+	p.AddCompute(10)
+	wantE := 1000 + 64*DRAMPJPerBit + 10*ComputePJPerFLOP
+	if got := p.EnergyPJ(); math.Abs(got-wantE) > 1e-9 {
+		t.Fatalf("EnergyPJ = %v, want %v", got, wantE)
+	}
+	wantT := 500 + 10*ComputeNsPerFLOP
+	if got := p.TimeNs(); math.Abs(got-wantT) > 1e-9 {
+		t.Fatalf("TimeNs = %v, want %v", got, wantT)
+	}
+	p.AdvanceTime(100)
+	if got := p.TimeNs(); math.Abs(got-wantT-100) > 1e-9 {
+		t.Fatalf("AdvanceTime: %v", got)
+	}
+}
+
+func TestSampleSeries(t *testing.T) {
+	p := New()
+	a := p.Sample("start")
+	p.AddNVM(2000, 1000)
+	b := p.Sample("after")
+	if b.EnergyPJ-a.EnergyPJ != 2000 {
+		t.Fatalf("delta energy = %v", b.EnergyPJ-a.EnergyPJ)
+	}
+	s := p.Series()
+	if len(s) != 2 || s[0].Label != "start" || s[1].Label != "after" {
+		t.Fatalf("series = %+v", s)
+	}
+	// 2000 pJ over 1000 ns = 2 pJ/ns = 2 mW.
+	if w := PowerW(a, b); math.Abs(w-2e-3) > 1e-12 {
+		t.Fatalf("PowerW = %v, want 0.002", w)
+	}
+	if PowerW(b, a) != 0 {
+		t.Fatal("non-positive interval power should be 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New()
+	p.AddCompute(5)
+	p.Sample("x")
+	p.Reset()
+	if p.EnergyPJ() != 0 || p.TimeNs() != 0 || len(p.Series()) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.AddNVM(1, 1)
+				p.AddDRAM(1)
+				p.AddCompute(1)
+			}
+		}()
+	}
+	wg.Wait()
+	want := 8000 * (1.0 + DRAMPJPerBit + ComputePJPerFLOP)
+	if got := p.EnergyPJ(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("EnergyPJ = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"e2nvm/internal/stats"
+	"e2nvm/internal/vae"
+	"e2nvm/internal/workload"
+)
+
+func init() { register("fig09", Fig9) }
+
+// Fig9 reproduces Figure 9: training- and validation-loss curves of the
+// feature-extraction model on different datasets, showing fast convergence
+// and generalization (validation tracking training).
+func Fig9(cfg RunConfig) (*Result, error) {
+	const segSize = 32
+	n := cfg.scaleInt(500, 120)
+	epochs := cfg.scaleInt(20, 8)
+
+	sets := []*workload.Dataset{
+		workload.MNISTLike(n, segSize*8, cfg.Seed),
+		workload.CIFARLike(n, segSize*8, cfg.Seed+1),
+		workload.PubMedLike(n, segSize*8, cfg.Seed+2),
+	}
+	table := stats.NewTable("dataset", "epoch", "train_loss", "val_loss")
+	var series []stats.Series
+	notes := []string{fmt.Sprintf("%d items per dataset, %d B segments, %d epochs, 80/20 split", n, segSize, epochs)}
+
+	for _, ds := range sets {
+		split := len(ds.Items) * 8 / 10
+		train, val := ds.Split(split)
+		m, err := vae.New(vae.Config{InputDim: segSize * 8, LatentDim: 10, Beta: 0.1, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		hist, err := m.Fit(train, vae.FitOptions{Epochs: epochs, BatchSize: 32, Validation: val})
+		if err != nil {
+			return nil, err
+		}
+		trainS := stats.Series{Name: ds.Name + "/train"}
+		valS := stats.Series{Name: ds.Name + "/val"}
+		for _, h := range hist {
+			tl := h.Train.Total(0.1, 0)
+			vl := h.Validation.Total(0.1, 0)
+			trainS.Add(float64(h.Epoch), tl)
+			valS.Add(float64(h.Epoch), vl)
+			if h.Epoch%4 == 0 || h.Epoch == epochs-1 {
+				table.AddRow(ds.Name, h.Epoch, tl, vl)
+			}
+		}
+		series = append(series, trainS, valS)
+		first := hist[0].Train.Total(0.1, 0)
+		last := hist[len(hist)-1].Train.Total(0.1, 0)
+		notes = append(notes, fmt.Sprintf("%s: train loss %.3f → %.3f", ds.Name, first, last))
+	}
+	return &Result{
+		ID:     "fig09",
+		Title:  "Training and validation loss during feature extraction",
+		Table:  table,
+		Series: series,
+		Notes:  notes,
+	}, nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"e2nvm/internal/core"
+	"e2nvm/internal/kvstore"
+	"e2nvm/internal/nvm"
+	"e2nvm/internal/stats"
+	"e2nvm/internal/workload"
+)
+
+func init() { register("fig11", Fig11) }
+
+// Fig11 reproduces Figure 11: the average energy consumed per PMem
+// cache-line access while running the six YCSB core workloads, as the
+// memory segment size changes and for two cluster counts. Smaller segments
+// and more clusters both reduce per-access energy.
+func Fig11(cfg RunConfig) (*Result, error) {
+	segSizes := []int{32, 128, 512}
+	ks := []int{5, 20}
+	numSegs := cfg.scaleInt(384, 96)
+	ops := cfg.scaleInt(1500, 250)
+
+	table := stats.NewTable("workload", "segment_B", "k", "energy_pJ/cacheline", "flips/write")
+
+	for _, segSize := range segSizes {
+		segBits := segSize * 8
+		// Seed images shared by every run at this segment size.
+		vg := workload.NewValueGen(segSize-11, 12, 0.03, cfg.Seed)
+		// Seed segments shaped like store records ([flag][len][value]).
+		seedImgs := make([][]byte, numSegs)
+		for i := range seedImgs {
+			img := make([]byte, segSize)
+			img[0] = 1
+			copy(img[11:], vg.For(uint64(i)))
+			seedImgs[i] = img
+		}
+		seedBits := make([][]float64, numSegs)
+		for i, img := range seedImgs {
+			seedBits[i] = core.BytesToBits(img)
+		}
+		for _, k := range ks {
+			model, err := core.Train(seedBits, core.Config{
+				InputBits: segBits, K: k, LatentDim: 10, HiddenDim: 48,
+				Epochs: 6, JointEpochs: 1, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, w := range workload.AllYCSB() {
+				dev, err := seededDevice(nvm.DefaultConfig(segSize, numSegs), seedImgs)
+				if err != nil {
+					return nil, err
+				}
+				store, err := kvstore.OpenWith(dev, model, kvstore.Options{})
+				if err != nil {
+					return nil, err
+				}
+				recordCount := numSegs / 3
+				gen, err := workload.NewYCSB(w, recordCount, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				// Values drift across versions, so updates carry new
+				// content (the regime where placement matters).
+				versions := map[uint64]int{}
+				valFor := func(key uint64) []byte {
+					return vg.ForVersion(key, versions[key])
+				}
+				for key := uint64(0); key < uint64(recordCount); key++ {
+					if err := store.Put(key, valFor(key)); err != nil {
+						return nil, err
+					}
+				}
+				dev.ResetStats()
+				for i := 0; i < ops; i++ {
+					op := gen.Next()
+					switch op.Type {
+					case workload.OpRead:
+						if _, _, err := store.Get(op.Key); err != nil {
+							return nil, err
+						}
+					case workload.OpUpdate, workload.OpInsert:
+						versions[op.Key]++
+						if err := store.Put(op.Key, valFor(op.Key)); err != nil {
+							return nil, err
+						}
+					case workload.OpScan:
+						n := 0
+						if err := store.Scan(op.Key, op.Key+uint64(op.ScanLen), func(uint64, []byte) bool {
+							n++
+							return true
+						}); err != nil {
+							return nil, err
+						}
+					case workload.OpReadModifyWrite:
+						if _, _, err := store.Get(op.Key); err != nil {
+							return nil, err
+						}
+						versions[op.Key]++
+						if err := store.Put(op.Key, valFor(op.Key)); err != nil {
+							return nil, err
+						}
+					}
+				}
+				s := dev.Stats()
+				linesPerSeg := uint64((segSize + 63) / 64)
+				accesses := s.LinesWritten + s.LinesSkipped + s.Reads*linesPerSeg
+				if accesses == 0 {
+					accesses = 1
+				}
+				flipsPerWrite := 0.0
+				if s.Writes > 0 {
+					flipsPerWrite = float64(s.BitsFlipped) / float64(s.Writes)
+				}
+				table.AddRow(w.String(), segSize, k, s.EnergyPJ/float64(accesses), flipsPerWrite)
+			}
+		}
+	}
+	return &Result{
+		ID:    "fig11",
+		Title: "Energy per cache-line access vs segment size, YCSB A–F",
+		Table: table,
+		Notes: []string{
+			fmt.Sprintf("%d segments, %d ops per run, record count = segments/3", numSegs, ops),
+			"expected shape: energy per access falls with smaller segments and with more clusters",
+		},
+	}, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"e2nvm/internal/energy"
+	"e2nvm/internal/stats"
+	"e2nvm/internal/vae"
+	"e2nvm/internal/workload"
+)
+
+func init() { register("fig18", Fig18) }
+
+// Fig18 reproduces Figure 18: the retraining cost per epoch — latency and
+// energy — as the number of indexed memory segments grows (ImageNet-like
+// data). Both grow roughly linearly in the segment count; the paper uses
+// this curve to set the retraining low-water mark.
+func Fig18(cfg RunConfig) (*Result, error) {
+	const segSize = 32
+	bits := segSize * 8
+	counts := []int{
+		cfg.scaleInt(500, 100),
+		cfg.scaleInt(1000, 200),
+		cfg.scaleInt(2000, 400),
+		cfg.scaleInt(5000, 800),
+	}
+	table := stats.NewTable("segments", "wall_ms/epoch", "modeled_energy_uJ/epoch")
+	for _, n := range counts {
+		ds := workload.ImageNetLike(n, bits, cfg.Seed+int64(n))
+		m, err := vae.New(vae.Config{InputDim: bits, LatentDim: 10, HiddenDim: 48, Beta: 0.1, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		const epochs = 3
+		t0 := time.Now()
+		if _, err := m.Fit(ds.Items, vae.FitOptions{Epochs: epochs, BatchSize: 32}); err != nil {
+			return nil, err
+		}
+		perEpochMs := float64(time.Since(t0).Microseconds()) / 1e3 / epochs
+		// Modeled energy: forward+backward ≈ 3× the predict FLOPs per
+		// sample per epoch.
+		prof := energy.New()
+		prof.AddCompute(3 * m.FLOPsPerPredict() * float64(n))
+		table.AddRow(n, perEpochMs, prof.EnergyPJ()/1e6)
+	}
+	return &Result{
+		ID:    "fig18",
+		Title: "Retraining latency and energy per epoch vs number of segments (ImageNet-like)",
+		Table: table,
+		Notes: []string{
+			fmt.Sprintf("segment size %d B; both columns grow ~linearly with the segment count", segSize),
+		},
+	}, nil
+}

@@ -1,0 +1,158 @@
+// Package hamtree implements a Hamming-distance search tree over free
+// memory-segment contents — a reconstruction of the Hamming-Tree approach
+// the paper cites as prior memory-aware work (Kargar & Nawab, CIDR'21):
+// organizing memory contents on a tree keyed by Hamming distance so an
+// incoming write can be routed to a similar free segment without training
+// a model.
+//
+// The structure is a BK-tree (Burkhard–Keller): each node holds a content
+// signature and its children are indexed by their distance to it, which
+// lets nearest-neighbour queries prune whole subtrees by the triangle
+// inequality. Deletions are lazy (tombstones), with an automatic rebuild
+// once tombstones dominate.
+package hamtree
+
+import (
+	"fmt"
+
+	"e2nvm/internal/bitvec"
+)
+
+type node struct {
+	content  []byte
+	addrs    []int // free segments currently holding this exact content
+	children map[int]*node
+}
+
+// Tree is a Hamming BK-tree mapping contents to free segment addresses.
+// It is not safe for concurrent use.
+type Tree struct {
+	root    *node
+	live    int
+	dead    int // tombstoned entries awaiting rebuild
+	segSize int
+}
+
+// New creates a tree for segments of segSize bytes.
+func New(segSize int) (*Tree, error) {
+	if segSize <= 0 {
+		return nil, fmt.Errorf("hamtree: segment size %d must be positive", segSize)
+	}
+	return &Tree{segSize: segSize}, nil
+}
+
+// Len returns the number of free addresses stored.
+func (t *Tree) Len() int { return t.live }
+
+// Insert registers a free segment with the given content.
+func (t *Tree) Insert(addr int, content []byte) error {
+	if len(content) != t.segSize {
+		return fmt.Errorf("hamtree: content of %d bytes, want %d", len(content), t.segSize)
+	}
+	c := append([]byte(nil), content...)
+	t.live++
+	if t.root == nil {
+		t.root = &node{content: c, addrs: []int{addr}}
+		return nil
+	}
+	n := t.root
+	for {
+		d := bitvec.HammingBytes(n.content, c)
+		if d == 0 {
+			n.addrs = append(n.addrs, addr)
+			return nil
+		}
+		if n.children == nil {
+			n.children = map[int]*node{}
+		}
+		child, ok := n.children[d]
+		if !ok {
+			n.children[d] = &node{content: c, addrs: []int{addr}}
+			return nil
+		}
+		n = child
+	}
+}
+
+// Nearest pops the free address whose content is closest (Hamming) to
+// content, returning the address and its distance. ok is false when the
+// tree is empty.
+func (t *Tree) Nearest(content []byte) (addr, dist int, ok bool) {
+	if t.root == nil || t.live == 0 {
+		return 0, 0, false
+	}
+	if len(content) != t.segSize {
+		panic(fmt.Sprintf("hamtree: query of %d bytes, want %d", len(content), t.segSize))
+	}
+	best := (*node)(nil)
+	bestD := t.segSize*8 + 1
+	var walk func(n *node)
+	walk = func(n *node) {
+		d := bitvec.HammingBytes(n.content, content)
+		if len(n.addrs) > 0 && d < bestD {
+			best, bestD = n, d
+		}
+		// Triangle inequality: a child at edge distance e can contain
+		// entries within |e−d| of the query, so prune e outside
+		// [d−bestD, d+bestD].
+		for e, child := range n.children {
+			if e >= d-bestD && e <= d+bestD {
+				walk(child)
+			}
+		}
+	}
+	walk(t.root)
+	if best == nil {
+		return 0, 0, false
+	}
+	addr = best.addrs[len(best.addrs)-1]
+	best.addrs = best.addrs[:len(best.addrs)-1]
+	t.live--
+	if len(best.addrs) == 0 {
+		t.dead++
+		t.maybeRebuild()
+	}
+	return addr, bestD, true
+}
+
+// maybeRebuild compacts the tree when emptied nodes dominate.
+func (t *Tree) maybeRebuild() {
+	if t.dead <= 64 || t.dead <= t.live {
+		return
+	}
+	old := t.root
+	t.root = nil
+	t.dead = 0
+	t.live = 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, a := range n.addrs {
+			// Insert ignores errors here: contents came from this tree.
+			_ = t.Insert(a, n.content)
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	if old != nil {
+		walk(old)
+	}
+}
+
+// Depth returns the maximum node depth (diagnostics).
+func (t *Tree) Depth() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		max := 0
+		for _, c := range n.children {
+			if d := walk(c); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	}
+	return walk(t.root)
+}

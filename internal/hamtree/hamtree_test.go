@@ -1,0 +1,219 @@
+package hamtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"e2nvm/internal/bitvec"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("expected error for zero segment size")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("empty Len != 0")
+	}
+	if _, _, ok := tr.Nearest(make([]byte, 8)); ok {
+		t.Fatal("Nearest on empty tree succeeded")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tr, _ := New(8)
+	if err := tr.Insert(0, make([]byte, 7)); err == nil {
+		t.Fatal("wrong-size insert accepted")
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	tr, _ := New(4)
+	a := []byte{1, 2, 3, 4}
+	b := []byte{0xff, 0xff, 0xff, 0xff}
+	if err := tr.Insert(10, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(20, b); err != nil {
+		t.Fatal(err)
+	}
+	addr, d, ok := tr.Nearest(a)
+	if !ok || addr != 10 || d != 0 {
+		t.Fatalf("Nearest = (%d,%d,%v), want (10,0,true)", addr, d, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after pop", tr.Len())
+	}
+	// Popped address is gone; next query for a returns b at distance > 0.
+	addr, d, ok = tr.Nearest(a)
+	if !ok || addr != 20 || d == 0 {
+		t.Fatalf("second Nearest = (%d,%d,%v)", addr, d, ok)
+	}
+}
+
+func TestDuplicateContents(t *testing.T) {
+	tr, _ := New(4)
+	c := []byte{5, 5, 5, 5}
+	for i := 0; i < 3; i++ {
+		if err := tr.Insert(i, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		addr, d, ok := tr.Nearest(c)
+		if !ok || d != 0 || seen[addr] {
+			t.Fatalf("pop %d = (%d,%d,%v)", i, addr, d, ok)
+		}
+		seen[addr] = true
+	}
+	if tr.Len() != 0 {
+		t.Fatal("tree should be empty")
+	}
+}
+
+// TestNearestIsTrueNearest cross-checks the BK-tree search against brute
+// force.
+func TestNearestIsTrueNearest(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr, err := New(8)
+		if err != nil {
+			return false
+		}
+		contents := make([][]byte, 40)
+		for i := range contents {
+			c := make([]byte, 8)
+			r.Read(c)
+			contents[i] = c
+			if err := tr.Insert(i, c); err != nil {
+				return false
+			}
+		}
+		q := make([]byte, 8)
+		r.Read(q)
+		_, d, ok := tr.Nearest(q)
+		if !ok {
+			return false
+		}
+		bestD := 1 << 30
+		for _, c := range contents {
+			if dd := bitvec.HammingBytes(c, q); dd < bestD {
+				bestD = dd
+			}
+		}
+		return d == bestD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChurn exercises insert/pop cycles (triggering rebuilds) while
+// checking conservation.
+func TestChurn(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	tr, _ := New(8)
+	outstanding := map[int]bool{}
+	next := 0
+	for op := 0; op < 3000; op++ {
+		if r.Intn(2) == 0 || len(outstanding) == 0 {
+			c := make([]byte, 8)
+			r.Read(c)
+			if err := tr.Insert(next, c); err != nil {
+				t.Fatal(err)
+			}
+			outstanding[next] = true
+			next++
+		} else {
+			q := make([]byte, 8)
+			r.Read(q)
+			addr, _, ok := tr.Nearest(q)
+			if !ok {
+				t.Fatal("Nearest failed with live entries")
+			}
+			if !outstanding[addr] {
+				t.Fatalf("popped unknown/duplicate address %d", addr)
+			}
+			delete(outstanding, addr)
+		}
+		if tr.Len() != len(outstanding) {
+			t.Fatalf("Len = %d, want %d", tr.Len(), len(outstanding))
+		}
+	}
+	if tr.Depth() <= 0 && tr.Len() > 0 {
+		t.Fatal("depth diagnostic broken")
+	}
+}
+
+// TestPlacementQuality: routing writes through the tree onto clustered
+// contents must flip far fewer bits than FIFO placement.
+func TestPlacementQuality(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	const segSize = 16
+	protos := make([][]byte, 4)
+	for i := range protos {
+		p := make([]byte, segSize)
+		r.Read(p)
+		protos[i] = p
+	}
+	noisy := func() []byte {
+		c := append([]byte(nil), protos[r.Intn(4)]...)
+		for i := 0; i < 6; i++ {
+			b := r.Intn(segSize * 8)
+			c[b>>3] ^= 1 << (uint(b) & 7)
+		}
+		return c
+	}
+	tr, _ := New(segSize)
+	free := make([][]byte, 128)
+	for i := range free {
+		free[i] = noisy()
+		if err := tr.Insert(i, free[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	treeFlips, fifoFlips := 0, 0
+	fifo := 0
+	for w := 0; w < 100; w++ {
+		item := noisy()
+		_, d, ok := tr.Nearest(item)
+		if !ok {
+			t.Fatal("tree exhausted")
+		}
+		treeFlips += d
+		fifoFlips += bitvec.HammingBytes(free[fifo], item)
+		fifo++
+	}
+	if treeFlips*2 > fifoFlips {
+		t.Fatalf("tree placement flips %d not well below FIFO %d", treeFlips, fifoFlips)
+	}
+}
+
+func BenchmarkNearest1024(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr, _ := New(32)
+	for i := 0; i < 1024; i++ {
+		c := make([]byte, 32)
+		r.Read(c)
+		_ = tr.Insert(i, c)
+	}
+	q := make([]byte, 32)
+	r.Read(q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, _, ok := tr.Nearest(q)
+		if !ok {
+			b.Fatal("empty")
+		}
+		_ = tr.Insert(addr, q)
+	}
+}

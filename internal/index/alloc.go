@@ -1,0 +1,60 @@
+package index
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNoSpace is returned when an allocator has no free segments left.
+var ErrNoSpace = errors.New("index: no free segments")
+
+// Allocator hands out NVM segments for value placement. The baseline
+// FreeList ignores content; the E2-NVM allocator (package kvstore) chooses
+// a free segment whose current content is similar to the value, which is
+// what "plugging a store into E2-NVM" means in the paper's Figure 12.
+type Allocator interface {
+	// Place returns a free segment address for storing value.
+	Place(value []byte) (int, error)
+	// Release recycles a freed segment whose current content is content.
+	Release(addr int, content []byte)
+	// FreeCount returns the number of free segments.
+	FreeCount() int
+}
+
+// FreeList is the content-oblivious baseline allocator: a FIFO of free
+// addresses ("new data items select an arbitrary location in memory").
+type FreeList struct {
+	mu   sync.Mutex
+	free []int
+}
+
+// NewFreeList returns a FreeList pre-populated with addrs.
+func NewFreeList(addrs []int) *FreeList {
+	return &FreeList{free: append([]int(nil), addrs...)}
+}
+
+// Place implements Allocator; value content is ignored.
+func (f *FreeList) Place(value []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.free) == 0 {
+		return 0, ErrNoSpace
+	}
+	addr := f.free[0]
+	f.free = f.free[1:]
+	return addr, nil
+}
+
+// Release implements Allocator.
+func (f *FreeList) Release(addr int, content []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.free = append(f.free, addr)
+}
+
+// FreeCount implements Allocator.
+func (f *FreeList) FreeCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.free)
+}

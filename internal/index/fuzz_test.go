@@ -1,0 +1,101 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"e2nvm/internal/nvm"
+)
+
+// FuzzRBTree drives the red-black tree with an opcode stream against a
+// reference map, checking invariants after every operation. Under plain
+// `go test` only the seed corpus runs; `go test -fuzz=FuzzRBTree` explores.
+func FuzzRBTree(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{10, 10, 10, 11, 11, 12})
+	f.Add([]byte{255, 0, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var tr RBTree
+		ref := map[uint64]int64{}
+		for i := 0; i+1 < len(ops); i += 2 {
+			key := uint64(ops[i] % 32)
+			switch ops[i+1] % 3 {
+			case 0, 1:
+				tr.Put(key, int64(ops[i+1]))
+				ref[key] = int64(ops[i+1])
+			case 2:
+				_, okT := tr.Delete(key)
+				_, okR := ref[key]
+				if okT != okR {
+					t.Fatalf("Delete(%d) = %v, ref %v", key, okT, okR)
+				}
+				delete(ref, key)
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				t.Fatalf("Get(%d) = (%d,%v), want %d", k, got, ok, v)
+			}
+		}
+	})
+}
+
+// FuzzBPTreeStore drives the persistent B+-Tree with fuzzed keys/values
+// against a reference map.
+func FuzzBPTreeStore(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{9, 9, 9, 1, 1, 1, 200, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		dev, err := nvm.NewDevice(nvm.DefaultConfig(128, 256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := NewFreeList(addrSeq(256))
+		s, err := NewBPTree(dev, meta, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := map[uint64][]byte{}
+		for i := 0; i+2 < len(ops); i += 3 {
+			key := uint64(ops[i] % 40)
+			switch ops[i+1] % 3 {
+			case 0, 1:
+				val := []byte{ops[i+2], ops[i+1]}
+				if err := s.Put(key, val); err != nil {
+					t.Skip("meta region exhausted") // valid fuzz input, bounded device
+				}
+				ref[key] = val
+			case 2:
+				ok, err := s.Delete(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, want := ref[key]; ok != want {
+					t.Fatalf("Delete(%d) = %v", key, ok)
+				}
+				delete(ref, key)
+			}
+		}
+		for k, want := range ref {
+			got, ok, err := s.Get(k)
+			if err != nil || !ok || !bytes.Equal(got, want) {
+				t.Fatalf("Get(%d) = (%x,%v,%v), want %x", k, got, ok, err, want)
+			}
+		}
+	})
+}
+
+func addrSeq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,379 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"e2nvm/internal/nvm"
+)
+
+// --------------------------------------------------------------- wisckey --
+
+// WiscKey follows Lu et al.'s key/value separation: values go to a value
+// log (here: segments obtained from the Allocator, so E2-NVM can steer
+// them), while only small (key, address) records flow through the LSM.
+// The in-DRAM table serves lookups; key runs are persisted as sorted
+// batches and periodically compacted, reproducing WiscKey's key-metadata
+// write traffic without its value-movement amplification.
+type WiscKey struct {
+	baseStats
+	dev   *nvm.Device
+	meta  *FreeList
+	pages pageWriter
+	vals  valueZone
+
+	mem        map[uint64]int64 // unflushed (key → value addr, -1 = tombstone)
+	memLimit   int
+	runs       []*keyRun // persisted sorted runs, newest first
+	maxRuns    int
+	table      map[uint64]int // live key → value addr (DRAM lookup view)
+	runEntries int            // entries per run segment
+}
+
+type keyRun struct {
+	addrs   []int // meta segments holding this run
+	entries int
+}
+
+// NewWiscKey creates a WiscKey-style store. memLimit is the number of
+// entries buffered before a flush (default 64); maxRuns triggers
+// compaction (default 4).
+func NewWiscKey(dev *nvm.Device, meta *FreeList, values Allocator, memLimit, maxRuns int) (*WiscKey, error) {
+	if values == nil {
+		return nil, fmt.Errorf("wisckey: value allocator required (WiscKey always separates values)")
+	}
+	if memLimit <= 0 {
+		memLimit = 64
+	}
+	if maxRuns <= 0 {
+		maxRuns = 4
+	}
+	return &WiscKey{
+		dev:        dev,
+		meta:       meta,
+		pages:      pageWriter{dev},
+		vals:       valueZone{dev: dev, alloc: values},
+		mem:        map[uint64]int64{},
+		memLimit:   memLimit,
+		maxRuns:    maxRuns,
+		table:      map[uint64]int{},
+		runEntries: dev.SegmentSize() / 16, // key(8) + addr(8) per entry
+	}, nil
+}
+
+// Name implements Store.
+func (w *WiscKey) Name() string { return "WiscKey" }
+
+// Put implements Store.
+func (w *WiscKey) Put(key uint64, value []byte) error {
+	w.countValue(value)
+	if old, ok := w.table[key]; ok {
+		if err := w.vals.freeValue(old); err != nil {
+			return err
+		}
+	}
+	addr, err := w.vals.writeValue(value)
+	if err != nil {
+		return err
+	}
+	w.table[key] = addr
+	w.mem[key] = int64(addr)
+	if len(w.mem) >= w.memLimit {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush persists the memtable as a sorted run of (key, addr) records.
+func (w *WiscKey) flush() error {
+	keys := make([]uint64, 0, len(w.mem))
+	for k := range w.mem {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	run := &keyRun{entries: len(keys)}
+	for lo := 0; lo < len(keys); lo += w.runEntries {
+		hi := lo + w.runEntries
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		img := make([]byte, 0, (hi-lo)*16)
+		var tmp [16]byte
+		for _, k := range keys[lo:hi] {
+			binary.LittleEndian.PutUint64(tmp[:8], k)
+			binary.LittleEndian.PutUint64(tmp[8:], uint64(w.mem[k]))
+			img = append(img, tmp[:]...)
+		}
+		addr, err := w.meta.Place(nil)
+		if err != nil {
+			return fmt.Errorf("wisckey: run allocation: %w", err)
+		}
+		if err := w.pages.writePage(addr, img); err != nil {
+			return err
+		}
+		run.addrs = append(run.addrs, addr)
+	}
+	w.runs = append([]*keyRun{run}, w.runs...)
+	w.mem = map[uint64]int64{}
+	if len(w.runs) > w.maxRuns {
+		return w.compact()
+	}
+	return nil
+}
+
+// compact merges all runs into one sorted run built from the live table
+// and releases the old run segments.
+func (w *WiscKey) compact() error {
+	keys := make([]uint64, 0, len(w.table))
+	for k := range w.table {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	merged := &keyRun{entries: len(keys)}
+	for lo := 0; lo < len(keys); lo += w.runEntries {
+		hi := lo + w.runEntries
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		img := make([]byte, 0, (hi-lo)*16)
+		var tmp [16]byte
+		for _, k := range keys[lo:hi] {
+			binary.LittleEndian.PutUint64(tmp[:8], k)
+			binary.LittleEndian.PutUint64(tmp[8:], uint64(w.table[k]))
+			img = append(img, tmp[:]...)
+		}
+		addr, err := w.meta.Place(nil)
+		if err != nil {
+			return fmt.Errorf("wisckey: compaction allocation: %w", err)
+		}
+		if err := w.pages.writePage(addr, img); err != nil {
+			return err
+		}
+		merged.addrs = append(merged.addrs, addr)
+	}
+	for _, r := range w.runs {
+		for _, a := range r.addrs {
+			w.meta.Release(a, nil)
+		}
+	}
+	w.runs = []*keyRun{merged}
+	return nil
+}
+
+// Get implements Store.
+func (w *WiscKey) Get(key uint64) ([]byte, bool, error) {
+	addr, ok := w.table[key]
+	if !ok {
+		return nil, false, nil
+	}
+	v, err := w.vals.readValue(addr)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Delete implements Store.
+func (w *WiscKey) Delete(key uint64) (bool, error) {
+	addr, ok := w.table[key]
+	if !ok {
+		return false, nil
+	}
+	if err := w.vals.freeValue(addr); err != nil {
+		return false, err
+	}
+	delete(w.table, key)
+	w.mem[key] = -1 // tombstone
+	if len(w.mem) >= w.memLimit {
+		return true, w.flush()
+	}
+	return true, nil
+}
+
+// Len returns the number of live keys (test helper).
+func (w *WiscKey) Len() int { return len(w.table) }
+
+// --------------------------------------------------------------- novelsm --
+
+// NoveLSM follows Kannan et al.: the mutable memtable itself lives in NVM,
+// so puts append (key, addr) records in place into memtable segments with
+// byte-addressable writes instead of a WAL + DRAM memtable. When the NVM
+// memtable arena fills, entries are compacted into sorted immutable
+// segments. Values are placed through the Allocator like the other stores.
+type NoveLSM struct {
+	baseStats
+	dev   *nvm.Device
+	meta  *FreeList
+	pages pageWriter
+	vals  valueZone
+
+	arenaSegs  int   // memtable arena size in segments
+	arena      []int // allocated arena segment addresses
+	arenaUsed  int   // entries currently in the arena
+	perSeg     int   // entries per segment
+	memEntries []memEntry
+
+	sstables []*keyRun
+	table    map[uint64]int // live key → value addr
+}
+
+type memEntry struct {
+	key  uint64
+	addr int64
+}
+
+// NewNoveLSM creates a NoveLSM-style store with an NVM memtable arena of
+// arenaSegs segments (default 4).
+func NewNoveLSM(dev *nvm.Device, meta *FreeList, values Allocator, arenaSegs int) (*NoveLSM, error) {
+	if values == nil {
+		return nil, fmt.Errorf("novelsm: value allocator required")
+	}
+	if arenaSegs <= 0 {
+		arenaSegs = 4
+	}
+	n := &NoveLSM{
+		dev:       dev,
+		meta:      meta,
+		pages:     pageWriter{dev},
+		vals:      valueZone{dev: dev, alloc: values},
+		arenaSegs: arenaSegs,
+		perSeg:    dev.SegmentSize() / 16,
+		table:     map[uint64]int{},
+	}
+	for i := 0; i < arenaSegs; i++ {
+		addr, err := meta.Place(nil)
+		if err != nil {
+			return nil, fmt.Errorf("novelsm: arena allocation: %w", err)
+		}
+		n.arena = append(n.arena, addr)
+	}
+	return n, nil
+}
+
+// Name implements Store.
+func (n *NoveLSM) Name() string { return "NoveLSM" }
+
+// appendEntry writes one (key, addr) record into the arena in place,
+// rewriting only the segment that holds the new record (differential
+// write keeps the flip cost to the record bytes).
+func (n *NoveLSM) appendEntry(e memEntry) error {
+	n.memEntries = append(n.memEntries, e)
+	seg := n.arenaUsed / n.perSeg
+	n.arenaUsed++
+	// Serialize the whole segment image (existing entries + the new one);
+	// the device's differential write only flips the new record's bits.
+	lo := seg * n.perSeg
+	hi := lo + n.perSeg
+	if hi > len(n.memEntries) {
+		hi = len(n.memEntries)
+	}
+	img := make([]byte, 0, (hi-lo)*16)
+	var tmp [16]byte
+	for _, me := range n.memEntries[lo:hi] {
+		binary.LittleEndian.PutUint64(tmp[:8], me.key)
+		binary.LittleEndian.PutUint64(tmp[8:], uint64(me.addr))
+		img = append(img, tmp[:]...)
+	}
+	if err := n.pages.writePage(n.arena[seg], img); err != nil {
+		return err
+	}
+	if n.arenaUsed >= n.arenaSegs*n.perSeg {
+		return n.compactArena()
+	}
+	return nil
+}
+
+// compactArena freezes the memtable into a sorted sstable and resets the
+// arena (zero-writing the arena segments, as NoveLSM recycles its NVM
+// memtable space).
+func (n *NoveLSM) compactArena() error {
+	keys := make([]uint64, 0, len(n.table))
+	for k := range n.table {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	sst := &keyRun{entries: len(keys)}
+	for lo := 0; lo < len(keys); lo += n.perSeg {
+		hi := lo + n.perSeg
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		img := make([]byte, 0, (hi-lo)*16)
+		var tmp [16]byte
+		for _, k := range keys[lo:hi] {
+			binary.LittleEndian.PutUint64(tmp[:8], k)
+			binary.LittleEndian.PutUint64(tmp[8:], uint64(n.table[k]))
+			img = append(img, tmp[:]...)
+		}
+		addr, err := n.meta.Place(nil)
+		if err != nil {
+			return fmt.Errorf("novelsm: sstable allocation: %w", err)
+		}
+		if err := n.pages.writePage(addr, img); err != nil {
+			return err
+		}
+		sst.addrs = append(sst.addrs, addr)
+	}
+	// Release superseded sstables.
+	for _, old := range n.sstables {
+		for _, a := range old.addrs {
+			n.meta.Release(a, nil)
+		}
+	}
+	n.sstables = []*keyRun{sst}
+	// Reset the arena in place.
+	for _, a := range n.arena {
+		if err := n.pages.writePage(a, nil); err != nil {
+			return err
+		}
+	}
+	n.memEntries = n.memEntries[:0]
+	n.arenaUsed = 0
+	return nil
+}
+
+// Put implements Store.
+func (n *NoveLSM) Put(key uint64, value []byte) error {
+	n.countValue(value)
+	if old, ok := n.table[key]; ok {
+		if err := n.vals.freeValue(old); err != nil {
+			return err
+		}
+	}
+	addr, err := n.vals.writeValue(value)
+	if err != nil {
+		return err
+	}
+	n.table[key] = addr
+	return n.appendEntry(memEntry{key: key, addr: int64(addr)})
+}
+
+// Get implements Store.
+func (n *NoveLSM) Get(key uint64) ([]byte, bool, error) {
+	addr, ok := n.table[key]
+	if !ok {
+		return nil, false, nil
+	}
+	v, err := n.vals.readValue(addr)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Delete implements Store.
+func (n *NoveLSM) Delete(key uint64) (bool, error) {
+	addr, ok := n.table[key]
+	if !ok {
+		return false, nil
+	}
+	if err := n.vals.freeValue(addr); err != nil {
+		return false, err
+	}
+	delete(n.table, key)
+	return true, n.appendEntry(memEntry{key: key, addr: -1})
+}
+
+// Len returns the number of live keys (test helper).
+func (n *NoveLSM) Len() int { return len(n.table) }

@@ -1,0 +1,220 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"e2nvm/internal/nvm"
+)
+
+// PathHash implements Path Hashing (Zuo & Hua, MSST'17): a hash table whose
+// collision handling walks a position-sharing inverted binary tree of
+// levels instead of chaining or cuckoo displacement, so a PUT never moves
+// existing entries — the write-friendly property the paper groups it with.
+//
+// Level 0 has nbuckets buckets; each level above halves the bucket count.
+// A key hashing to bucket b at level 0 may fall back to bucket b/2 at
+// level 1, b/4 at level 2, and so on through the reserved path levels.
+// Each bucket is one NVM segment of fixed slots.
+type PathHash struct {
+	baseStats
+	dev   *nvm.Device
+	pages pageWriter
+	vals  *valueZone // nil in inline mode
+
+	slotPayload  int
+	slotsPerBkt  int
+	levels       [][]*phBucket
+	totalBuckets int
+}
+
+type phBucket struct {
+	addr    int
+	used    []bool
+	keys    []uint64
+	payload [][]byte
+}
+
+// NewPathHash builds a table with nbuckets level-0 buckets and pathLevels
+// fallback levels, taking bucket segments from meta. values selects
+// out-of-line placement (nil = inline).
+func NewPathHash(dev *nvm.Device, meta *FreeList, values Allocator, nbuckets, pathLevels, slotPayload int) (*PathHash, error) {
+	if nbuckets <= 0 {
+		return nil, fmt.Errorf("pathhash: nbuckets %d must be positive", nbuckets)
+	}
+	if values != nil && slotPayload < 8 {
+		slotPayload = 8
+	}
+	if slotPayload <= 0 {
+		return nil, fmt.Errorf("pathhash: slotPayload %d must be positive", slotPayload)
+	}
+	t := &PathHash{dev: dev, pages: pageWriter{dev}, slotPayload: slotPayload}
+	if values != nil {
+		t.vals = &valueZone{dev: dev, alloc: values}
+	}
+	slotBytes := 8 + 2 + slotPayload
+	s := (dev.SegmentSize() - 1) / slotBytes
+	for s > 0 && (s+7)/8+s*slotBytes > dev.SegmentSize() {
+		s--
+	}
+	if s == 0 {
+		return nil, fmt.Errorf("pathhash: slot payload %d too large for %d-byte segments", slotPayload, dev.SegmentSize())
+	}
+	t.slotsPerBkt = s
+	n := nbuckets
+	for lvl := 0; lvl <= pathLevels && n > 0; lvl++ {
+		level := make([]*phBucket, n)
+		for b := range level {
+			addr, err := meta.Place(nil)
+			if err != nil {
+				return nil, fmt.Errorf("pathhash: bucket allocation: %w", err)
+			}
+			level[b] = &phBucket{
+				addr:    addr,
+				used:    make([]bool, s),
+				keys:    make([]uint64, s),
+				payload: make([][]byte, s),
+			}
+			t.totalBuckets++
+		}
+		t.levels = append(t.levels, level)
+		n /= 2
+	}
+	return t, nil
+}
+
+// Name implements Store.
+func (t *PathHash) Name() string { return "Path Hashing" }
+
+func phHash(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	return key
+}
+
+// bucketAt returns the bucket on the key's path at the given level: the
+// level-0 position, halved once per level (the inverted-binary-tree
+// position sharing of path hashing).
+func (t *PathHash) bucketAt(key uint64, lvl int) *phBucket {
+	level := t.levels[lvl]
+	b0 := phHash(key) % uint64(len(t.levels[0]))
+	return level[(b0>>uint(lvl))%uint64(len(level))]
+}
+
+func (t *PathHash) serializeBucket(b *phBucket) []byte {
+	bm := (t.slotsPerBkt + 7) / 8
+	slotBytes := 8 + 2 + t.slotPayload
+	out := make([]byte, bm+t.slotsPerBkt*slotBytes)
+	for i := 0; i < t.slotsPerBkt; i++ {
+		if !b.used[i] {
+			continue
+		}
+		out[i>>3] |= 1 << (uint(i) & 7)
+		off := bm + i*slotBytes
+		binary.LittleEndian.PutUint64(out[off:], b.keys[i])
+		binary.LittleEndian.PutUint16(out[off+8:], uint16(len(b.payload[i])))
+		copy(out[off+10:off+10+t.slotPayload], b.payload[i])
+	}
+	return out
+}
+
+// locate finds the bucket and slot holding key, or (nil, -1).
+func (t *PathHash) locate(key uint64) (*phBucket, int) {
+	for lvl := range t.levels {
+		b := t.bucketAt(key, lvl)
+		for i, u := range b.used {
+			if u && b.keys[i] == key {
+				return b, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// Put implements Store.
+func (t *PathHash) Put(key uint64, value []byte) error {
+	t.countValue(value)
+	payload := value
+	if t.vals != nil {
+		addr, err := t.vals.writeValue(value)
+		if err != nil {
+			return err
+		}
+		payload = make([]byte, 8)
+		binary.LittleEndian.PutUint64(payload, uint64(addr))
+	}
+	if len(payload) > t.slotPayload {
+		return fmt.Errorf("pathhash: payload %d exceeds slot payload %d", len(payload), t.slotPayload)
+	}
+	if b, s := t.locate(key); s >= 0 {
+		if t.vals != nil {
+			old := int(binary.LittleEndian.Uint64(b.payload[s]))
+			if err := t.vals.freeValue(old); err != nil {
+				return err
+			}
+		}
+		b.payload[s] = payload
+		return t.pages.writePage(b.addr, t.serializeBucket(b))
+	}
+	for lvl := range t.levels {
+		b := t.bucketAt(key, lvl)
+		for i, u := range b.used {
+			if !u {
+				b.used[i] = true
+				b.keys[i] = key
+				b.payload[i] = payload
+				return t.pages.writePage(b.addr, t.serializeBucket(b))
+			}
+		}
+	}
+	return fmt.Errorf("pathhash: all path positions full for key %d", key)
+}
+
+// Get implements Store.
+func (t *PathHash) Get(key uint64) ([]byte, bool, error) {
+	b, s := t.locate(key)
+	if s < 0 {
+		return nil, false, nil
+	}
+	if t.vals == nil {
+		return append([]byte(nil), b.payload[s]...), true, nil
+	}
+	v, err := t.vals.readValue(int(binary.LittleEndian.Uint64(b.payload[s])))
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Delete implements Store.
+func (t *PathHash) Delete(key uint64) (bool, error) {
+	b, s := t.locate(key)
+	if s < 0 {
+		return false, nil
+	}
+	if t.vals != nil {
+		addr := int(binary.LittleEndian.Uint64(b.payload[s]))
+		if err := t.vals.freeValue(addr); err != nil {
+			return false, err
+		}
+	}
+	b.used[s] = false
+	b.payload[s] = nil
+	return true, t.pages.writePage(b.addr, t.serializeBucket(b))
+}
+
+// Len returns the number of live keys (test helper).
+func (t *PathHash) Len() int {
+	n := 0
+	for _, level := range t.levels {
+		for _, b := range level {
+			for _, u := range b.used {
+				if u {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,389 @@
+// Package index provides the data-index structures of the paper: the
+// red-black tree that maps keys to NVM segment addresses in the E2-NVM
+// key/value store (Figure 3, Algorithm 1 step 7), and the five persistent
+// store designs — B+-Tree, FP-Tree, Path Hashing, WiscKey, NoveLSM — whose
+// bit-flip behaviour before/after E2-NVM augmentation is compared in
+// Figure 12.
+package index
+
+import "fmt"
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+type rbNode struct {
+	key                 uint64
+	val                 int64
+	c                   color
+	left, right, parent *rbNode
+}
+
+// RBTree is a red-black tree mapping uint64 keys to int64 values (NVM
+// segment addresses in the KV store). The zero value is ready to use. It is
+// not safe for concurrent mutation; the KV store serializes access.
+type RBTree struct {
+	root *rbNode
+	size int
+}
+
+// Len returns the number of keys.
+func (t *RBTree) Len() int { return t.size }
+
+// Get returns the value for key.
+func (t *RBTree) Get(key uint64) (int64, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	return 0, false
+}
+
+// Put inserts or updates key. It returns the previous value, if any.
+func (t *RBTree) Put(key uint64, val int64) (int64, bool) {
+	var parent *rbNode
+	n := t.root
+	for n != nil {
+		parent = n
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			old := n.val
+			n.val = val
+			return old, true
+		}
+	}
+	node := &rbNode{key: key, val: val, c: red, parent: parent}
+	switch {
+	case parent == nil:
+		t.root = node
+	case key < parent.key:
+		parent.left = node
+	default:
+		parent.right = node
+	}
+	t.size++
+	t.insertFixup(node)
+	return 0, false
+}
+
+func (t *RBTree) insertFixup(z *rbNode) {
+	for z.parent != nil && z.parent.c == red {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			u := gp.right
+			if u != nil && u.c == red {
+				z.parent.c = black
+				u.c = black
+				gp.c = red
+				z = gp
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.rotateLeft(z)
+				}
+				z.parent.c = black
+				gp.c = red
+				t.rotateRight(gp)
+			}
+		} else {
+			u := gp.left
+			if u != nil && u.c == red {
+				z.parent.c = black
+				u.c = black
+				gp.c = red
+				z = gp
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rotateRight(z)
+				}
+				z.parent.c = black
+				gp.c = red
+				t.rotateLeft(gp)
+			}
+		}
+	}
+	t.root.c = black
+}
+
+func (t *RBTree) rotateLeft(x *rbNode) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *RBTree) rotateRight(x *rbNode) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+// Delete removes key, returning its value if present.
+func (t *RBTree) Delete(key uint64) (int64, bool) {
+	z := t.root
+	for z != nil && z.key != key {
+		if key < z.key {
+			z = z.left
+		} else {
+			z = z.right
+		}
+	}
+	if z == nil {
+		return 0, false
+	}
+	val := z.val
+	t.deleteNode(z)
+	t.size--
+	return val, true
+}
+
+func (t *RBTree) deleteNode(z *rbNode) {
+	y := z
+	yOrig := y.c
+	var x *rbNode
+	var xParent *rbNode
+	switch {
+	case z.left == nil:
+		x = z.right
+		xParent = z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x = z.left
+		xParent = z.parent
+		t.transplant(z, z.left)
+	default:
+		y = minNode(z.right)
+		yOrig = y.c
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.c = z.c
+	}
+	if yOrig == black {
+		t.deleteFixup(x, xParent)
+	}
+}
+
+func (t *RBTree) transplant(u, v *rbNode) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func (t *RBTree) deleteFixup(x *rbNode, parent *rbNode) {
+	for x != t.root && isBlack(x) {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if !isBlack(w) {
+				w.c = black
+				parent.c = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if w == nil {
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if isBlack(w.left) && isBlack(w.right) {
+				w.c = red
+				x = parent
+				parent = x.parent
+			} else {
+				if isBlack(w.right) {
+					if w.left != nil {
+						w.left.c = black
+					}
+					w.c = red
+					t.rotateRight(w)
+					w = parent.right
+				}
+				w.c = parent.c
+				parent.c = black
+				if w.right != nil {
+					w.right.c = black
+				}
+				t.rotateLeft(parent)
+				x = t.root
+				parent = nil
+			}
+		} else {
+			w := parent.left
+			if !isBlack(w) {
+				w.c = black
+				parent.c = red
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if w == nil {
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if isBlack(w.right) && isBlack(w.left) {
+				w.c = red
+				x = parent
+				parent = x.parent
+			} else {
+				if isBlack(w.left) {
+					if w.right != nil {
+						w.right.c = black
+					}
+					w.c = red
+					t.rotateLeft(w)
+					w = parent.left
+				}
+				w.c = parent.c
+				parent.c = black
+				if w.left != nil {
+					w.left.c = black
+				}
+				t.rotateRight(parent)
+				x = t.root
+				parent = nil
+			}
+		}
+	}
+	if x != nil {
+		x.c = black
+	}
+}
+
+func isBlack(n *rbNode) bool { return n == nil || n.c == black }
+
+func minNode(n *rbNode) *rbNode {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+// Range calls fn for every key in [lo, hi] in ascending order, stopping if
+// fn returns false. It backs the KV store's SCAN operation.
+func (t *RBTree) Range(lo, hi uint64, fn func(key uint64, val int64) bool) {
+	rangeNode(t.root, lo, hi, fn)
+}
+
+func rangeNode(n *rbNode, lo, hi uint64, fn func(uint64, int64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.key > lo {
+		if !rangeNode(n.left, lo, hi, fn) {
+			return false
+		}
+	}
+	if n.key >= lo && n.key <= hi {
+		if !fn(n.key, n.val) {
+			return false
+		}
+	}
+	if n.key < hi {
+		return rangeNode(n.right, lo, hi, fn)
+	}
+	return true
+}
+
+// Validate checks the red-black invariants (root black, no red-red edge,
+// equal black height) and the BST ordering; it returns an error describing
+// the first violation. Intended for tests.
+func (t *RBTree) Validate() error {
+	if t.root != nil && t.root.c != black {
+		return fmt.Errorf("rbtree: root is red")
+	}
+	_, err := validateNode(t.root, nil, nil)
+	return err
+}
+
+// validateNode checks subtree n against open bounds (nil = unbounded) and
+// returns its black height.
+func validateNode(n *rbNode, lo, hi *uint64) (int, error) {
+	if n == nil {
+		return 1, nil
+	}
+	if lo != nil && n.key <= *lo {
+		return 0, fmt.Errorf("rbtree: key %d violates lower bound %d", n.key, *lo)
+	}
+	if hi != nil && n.key >= *hi {
+		return 0, fmt.Errorf("rbtree: key %d violates upper bound %d", n.key, *hi)
+	}
+	if n.c == red && (!isBlack(n.left) || !isBlack(n.right)) {
+		return 0, fmt.Errorf("rbtree: red node %d has red child", n.key)
+	}
+	lh, err := validateNode(n.left, lo, &n.key)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := validateNode(n.right, &n.key, hi)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("rbtree: black-height mismatch at key %d (%d vs %d)", n.key, lh, rh)
+	}
+	h := lh
+	if n.c == black {
+		h++
+	}
+	return h, nil
+}

@@ -1,0 +1,209 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRBTreeEmpty(t *testing.T) {
+	var tr RBTree
+	if tr.Len() != 0 {
+		t.Fatal("empty tree Len != 0")
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("Get on empty tree succeeded")
+	}
+	if _, ok := tr.Delete(5); ok {
+		t.Fatal("Delete on empty tree succeeded")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreePutGet(t *testing.T) {
+	var tr RBTree
+	for i := uint64(0); i < 100; i++ {
+		if _, existed := tr.Put(i, int64(i*10)); existed {
+			t.Fatalf("key %d reported as existing", i)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := tr.Get(i)
+		if !ok || v != int64(i*10) {
+			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeUpdate(t *testing.T) {
+	var tr RBTree
+	tr.Put(7, 1)
+	old, existed := tr.Put(7, 2)
+	if !existed || old != 1 {
+		t.Fatalf("update returned (%d,%v)", old, existed)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after update", tr.Len())
+	}
+	if v, _ := tr.Get(7); v != 2 {
+		t.Fatalf("Get = %d, want 2", v)
+	}
+}
+
+func TestRBTreeDelete(t *testing.T) {
+	var tr RBTree
+	for i := uint64(0); i < 50; i++ {
+		tr.Put(i, int64(i))
+	}
+	for i := uint64(0); i < 50; i += 2 {
+		v, ok := tr.Delete(i)
+		if !ok || v != int64(i) {
+			t.Fatalf("Delete(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	if tr.Len() != 25 {
+		t.Fatalf("Len = %d, want 25", tr.Len())
+	}
+	for i := uint64(0); i < 50; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeRange(t *testing.T) {
+	var tr RBTree
+	for _, k := range []uint64{5, 1, 9, 3, 7} {
+		tr.Put(k, int64(k))
+	}
+	var got []uint64
+	tr.Range(3, 7, func(k uint64, v int64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Range(0, 100, func(uint64, int64) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d, want 2", count)
+	}
+}
+
+// Property: after any interleaving of puts and deletes, the tree matches a
+// reference map and satisfies the red-black invariants.
+func TestRBTreeMatchesReferenceModel(t *testing.T) {
+	f := func(seed int64, opCount uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tr RBTree
+		ref := map[uint64]int64{}
+		n := int(opCount) + 50
+		for i := 0; i < n; i++ {
+			k := uint64(r.Intn(40)) // small key space forces collisions
+			switch r.Intn(3) {
+			case 0, 1:
+				v := int64(r.Intn(1000))
+				tr.Put(k, v)
+				ref[k] = v
+			case 2:
+				_, okT := tr.Delete(k)
+				_, okR := ref[k]
+				if okT != okR {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Range enumerates keys in strictly ascending order over the
+// full key space.
+func TestRBTreeRangeOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tr RBTree
+		for i := 0; i < 100; i++ {
+			tr.Put(uint64(r.Intn(1000)), 0)
+		}
+		prev := int64(-1)
+		ok := true
+		tr.Range(0, ^uint64(0), func(k uint64, _ int64) bool {
+			if int64(k) <= prev {
+				ok = false
+				return false
+			}
+			prev = int64(k)
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeListFIFO(t *testing.T) {
+	f := NewFreeList([]int{1, 2, 3})
+	if f.FreeCount() != 3 {
+		t.Fatalf("FreeCount = %d", f.FreeCount())
+	}
+	a, err := f.Place(nil)
+	if err != nil || a != 1 {
+		t.Fatalf("Place = (%d,%v)", a, err)
+	}
+	f.Release(9, nil)
+	for _, want := range []int{2, 3, 9} {
+		a, err = f.Place(nil)
+		if err != nil || a != want {
+			t.Fatalf("Place = (%d,%v), want %d", a, err, want)
+		}
+	}
+	if _, err := f.Place(nil); err != ErrNoSpace {
+		t.Fatalf("empty Place err = %v, want ErrNoSpace", err)
+	}
+}
+
+func BenchmarkRBTreePut(b *testing.B) {
+	var tr RBTree
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Put(uint64(i*2654435761), int64(i))
+	}
+}

@@ -1,0 +1,96 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"e2nvm/internal/nvm"
+)
+
+// Store is the common interface of the five persistent KV designs compared
+// in Figure 12. Implementations are not safe for concurrent use; callers
+// serialize (as the experiments do).
+type Store interface {
+	// Name returns the design's display name as used in the paper.
+	Name() string
+	Put(key uint64, value []byte) error
+	Get(key uint64) ([]byte, bool, error)
+	Delete(key uint64) (bool, error)
+	// DataBitsWritten returns the cumulative payload bits presented by
+	// Put calls, the denominator of Figure 12's "bit updates per data
+	// bit" metric.
+	DataBitsWritten() uint64
+}
+
+// baseStats implements the DataBitsWritten accounting shared by stores.
+type baseStats struct{ dataBits uint64 }
+
+func (b *baseStats) DataBitsWritten() uint64 { return b.dataBits }
+func (b *baseStats) countValue(value []byte) { b.dataBits += uint64(len(value)) * 8 }
+
+// valueZone stores one value per NVM segment, placed through an Allocator.
+// Segment layout: uint16 length followed by the value bytes (zero padded).
+type valueZone struct {
+	dev   *nvm.Device
+	alloc Allocator
+}
+
+func (z *valueZone) maxValue() int { return z.dev.SegmentSize() - 2 }
+
+// writeValue places and persists a value, returning its segment address.
+func (z *valueZone) writeValue(value []byte) (int, error) {
+	if len(value) > z.maxValue() {
+		return 0, fmt.Errorf("index: value of %d bytes exceeds segment payload %d", len(value), z.maxValue())
+	}
+	buf := make([]byte, z.dev.SegmentSize())
+	binary.LittleEndian.PutUint16(buf, uint16(len(value)))
+	copy(buf[2:], value)
+	addr, err := z.alloc.Place(buf)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := z.dev.Write(addr, buf); err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+// readValue fetches the value stored at addr.
+func (z *valueZone) readValue(addr int) ([]byte, error) {
+	seg, err := z.dev.Read(addr)
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint16(seg))
+	if n > len(seg)-2 {
+		return nil, fmt.Errorf("index: corrupt value length %d at segment %d", n, addr)
+	}
+	return seg[2 : 2+n], nil
+}
+
+// freeValue recycles addr, handing its current content back to the
+// allocator (E2-NVM re-predicts the cluster of the freed content,
+// Algorithm 2 steps 3–4).
+func (z *valueZone) freeValue(addr int) error {
+	content, err := z.dev.Peek(addr)
+	if err != nil {
+		return err
+	}
+	z.alloc.Release(addr, content)
+	return nil
+}
+
+// pageWriter persists serialized metadata pages (leaves, buckets, runs).
+type pageWriter struct {
+	dev *nvm.Device
+}
+
+func (p *pageWriter) writePage(addr int, image []byte) error {
+	if len(image) > p.dev.SegmentSize() {
+		return fmt.Errorf("index: page image %d bytes exceeds segment %d", len(image), p.dev.SegmentSize())
+	}
+	buf := make([]byte, p.dev.SegmentSize())
+	copy(buf, image)
+	_, err := p.dev.Write(addr, buf)
+	return err
+}

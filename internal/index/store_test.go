@@ -1,0 +1,271 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"e2nvm/internal/nvm"
+)
+
+// testRig builds a device plus disjoint meta/value address ranges.
+type testRig struct {
+	dev    *nvm.Device
+	meta   *FreeList
+	values *FreeList
+}
+
+func newRig(t *testing.T, segSize, metaSegs, valueSegs int) *testRig {
+	t.Helper()
+	dev, err := nvm.NewDevice(nvm.DefaultConfig(segSize, metaSegs+valueSegs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaAddrs := make([]int, metaSegs)
+	for i := range metaAddrs {
+		metaAddrs[i] = i
+	}
+	valAddrs := make([]int, valueSegs)
+	for i := range valAddrs {
+		valAddrs[i] = metaSegs + i
+	}
+	return &testRig{dev: dev, meta: NewFreeList(metaAddrs), values: NewFreeList(valAddrs)}
+}
+
+func value(r *rand.Rand, n int) []byte {
+	v := make([]byte, n)
+	r.Read(v)
+	return v
+}
+
+// exerciseStore runs a randomized workload against a store and a reference
+// map, checking agreement throughout.
+func exerciseStore(t *testing.T, s Store, seed int64, ops, keySpace, valBytes int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	ref := map[uint64][]byte{}
+	for i := 0; i < ops; i++ {
+		k := uint64(r.Intn(keySpace))
+		switch r.Intn(4) {
+		case 0, 1: // put
+			v := value(r, valBytes)
+			if err := s.Put(k, v); err != nil {
+				t.Fatalf("%s Put(%d): %v", s.Name(), k, err)
+			}
+			ref[k] = v
+		case 2: // get
+			got, ok, err := s.Get(k)
+			if err != nil {
+				t.Fatalf("%s Get(%d): %v", s.Name(), k, err)
+			}
+			want, wantOK := ref[k]
+			if ok != wantOK || (ok && !bytes.Equal(got, want)) {
+				t.Fatalf("%s Get(%d) = (%x,%v), want (%x,%v)", s.Name(), k, got, ok, want, wantOK)
+			}
+		case 3: // delete
+			ok, err := s.Delete(k)
+			if err != nil {
+				t.Fatalf("%s Delete(%d): %v", s.Name(), k, err)
+			}
+			_, wantOK := ref[k]
+			if ok != wantOK {
+				t.Fatalf("%s Delete(%d) = %v, want %v", s.Name(), k, ok, wantOK)
+			}
+			delete(ref, k)
+		}
+	}
+	// Full final verification.
+	for k, want := range ref {
+		got, ok, err := s.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("%s final Get(%d) = (%x,%v,%v), want %x", s.Name(), k, got, ok, err, want)
+		}
+	}
+	if s.DataBitsWritten() == 0 {
+		t.Fatalf("%s DataBitsWritten is zero", s.Name())
+	}
+}
+
+func TestBPTreeInline(t *testing.T) {
+	rig := newRig(t, 256, 400, 0)
+	s, err := NewBPTree(rig.dev, rig.meta, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exerciseStore(t, s, 1, 600, 80, 24)
+}
+
+func TestBPTreeOutOfLine(t *testing.T) {
+	rig := newRig(t, 256, 200, 400)
+	s, err := NewBPTree(rig.dev, rig.meta, rig.values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exerciseStore(t, s, 2, 600, 80, 64)
+}
+
+func TestFPTreeInline(t *testing.T) {
+	rig := newRig(t, 256, 400, 0)
+	s, err := NewFPTree(rig.dev, rig.meta, nil, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exerciseStore(t, s, 3, 600, 80, 24)
+}
+
+func TestFPTreeOutOfLine(t *testing.T) {
+	rig := newRig(t, 256, 200, 400)
+	s, err := NewFPTree(rig.dev, rig.meta, rig.values, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exerciseStore(t, s, 4, 600, 80, 64)
+}
+
+func TestPathHashInline(t *testing.T) {
+	rig := newRig(t, 256, 400, 0)
+	s, err := NewPathHash(rig.dev, rig.meta, nil, 64, 3, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exerciseStore(t, s, 5, 600, 80, 24)
+}
+
+func TestPathHashOutOfLine(t *testing.T) {
+	rig := newRig(t, 256, 400, 400)
+	s, err := NewPathHash(rig.dev, rig.meta, rig.values, 64, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exerciseStore(t, s, 6, 600, 80, 64)
+}
+
+func TestPathHashFullError(t *testing.T) {
+	rig := newRig(t, 64, 10, 0)
+	s, err := NewPathHash(rig.dev, rig.meta, nil, 2, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	var sawFull bool
+	for i := uint64(0); i < 100; i++ {
+		if err := s.Put(i, value(r, 4)); err != nil {
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("tiny path hash never reported full")
+	}
+}
+
+func TestWiscKey(t *testing.T) {
+	rig := newRig(t, 256, 400, 600)
+	s, err := NewWiscKey(rig.dev, rig.meta, rig.values, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exerciseStore(t, s, 8, 800, 80, 64)
+}
+
+func TestWiscKeyRequiresAllocator(t *testing.T) {
+	rig := newRig(t, 256, 10, 0)
+	if _, err := NewWiscKey(rig.dev, rig.meta, nil, 4, 2); err == nil {
+		t.Fatal("expected error without value allocator")
+	}
+}
+
+func TestNoveLSM(t *testing.T) {
+	rig := newRig(t, 256, 400, 600)
+	s, err := NewNoveLSM(rig.dev, rig.meta, rig.values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exerciseStore(t, s, 9, 800, 80, 64)
+}
+
+func TestNoveLSMRequiresAllocator(t *testing.T) {
+	rig := newRig(t, 256, 10, 0)
+	if _, err := NewNoveLSM(rig.dev, rig.meta, nil, 2); err == nil {
+		t.Fatal("expected error without value allocator")
+	}
+}
+
+// TestBPTreeSortedShiftCostsMoreThanFPTree verifies the structural claim
+// behind Figure 12: on an identical insert workload, the sorted B+-Tree
+// leaves flip more bits than FP-Tree's slot-grained leaves.
+func TestBPTreeSortedShiftCostsMoreThanFPTree(t *testing.T) {
+	run := func(mk func(rig *testRig) Store) uint64 {
+		rig := newRig(t, 256, 600, 0)
+		s := mk(rig)
+		r := rand.New(rand.NewSource(10))
+		for i := 0; i < 500; i++ {
+			if err := s.Put(uint64(r.Intn(1<<30)), value(r, 16)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rig.dev.Stats().BitsFlipped
+	}
+	bp := run(func(rig *testRig) Store {
+		s, err := NewBPTree(rig.dev, rig.meta, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+	fp := run(func(rig *testRig) Store {
+		s, err := NewFPTree(rig.dev, rig.meta, nil, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+	if fp >= bp {
+		t.Fatalf("FP-Tree flips %d not below B+-Tree flips %d", fp, bp)
+	}
+}
+
+// TestValueZoneRoundTrip checks the value segment layout directly.
+func TestValueZoneRoundTrip(t *testing.T) {
+	rig := newRig(t, 128, 0, 4)
+	z := &valueZone{dev: rig.dev, alloc: rig.values}
+	v := []byte("hello, pcm")
+	addr, err := z.writeValue(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := z.readValue(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v) {
+		t.Fatalf("round trip = %q", got)
+	}
+	if _, err := z.writeValue(make([]byte, 127)); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+	if rig.values.FreeCount() != 3 {
+		t.Fatalf("FreeCount = %d after write, want 3", rig.values.FreeCount())
+	}
+	if err := z.freeValue(addr); err != nil {
+		t.Fatal(err)
+	}
+	if rig.values.FreeCount() != 4 {
+		t.Fatalf("FreeCount = %d after free, want 4", rig.values.FreeCount())
+	}
+}
+
+func TestStoreNames(t *testing.T) {
+	rig := newRig(t, 256, 200, 200)
+	bp, _ := NewBPTree(rig.dev, rig.meta, nil)
+	fp, _ := NewFPTree(rig.dev, rig.meta, nil, 16)
+	ph, _ := NewPathHash(rig.dev, rig.meta, nil, 8, 2, 16)
+	wk, _ := NewWiscKey(rig.dev, rig.meta, rig.values, 8, 2)
+	nl, _ := NewNoveLSM(rig.dev, rig.meta, rig.values, 2)
+	want := []string{"B+-Tree", "FP-Tree", "Path Hashing", "WiscKey", "NoveLSM"}
+	for i, s := range []Store{bp, fp, ph, wk, nl} {
+		if s.Name() != want[i] {
+			t.Fatalf("store %d Name = %q, want %q", i, s.Name(), want[i])
+		}
+	}
+}

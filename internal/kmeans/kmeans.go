@@ -1,0 +1,247 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding, the
+// SSE ("elbow") diagnostics the paper uses to choose K (§4.1.4, Figure 8),
+// and incremental assignment for streaming prediction. It clusters either
+// raw bit vectors (the PNW baseline) or VAE latent vectors (E2-NVM).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"e2nvm/internal/mat"
+)
+
+// Model is a trained K-means clustering.
+type Model struct {
+	K         int
+	Centroids [][]float64
+	// Iterations is the number of Lloyd iterations performed in Fit.
+	Iterations int
+	// SSE is the final sum of squared errors over the training set.
+	SSE float64
+}
+
+// Config controls training.
+type Config struct {
+	K        int
+	MaxIter  int     // default 50
+	Tol      float64 // centroid-shift convergence threshold, default 1e-4
+	Seed     int64
+	PlusPlus bool // use k-means++ seeding (default true via NewConfig)
+}
+
+// NewConfig returns a Config with defaults for the given K.
+func NewConfig(k int) Config {
+	return Config{K: k, MaxIter: 50, Tol: 1e-4, PlusPlus: true}
+}
+
+func (c *Config) validate(n int) error {
+	if c.K <= 0 {
+		return fmt.Errorf("kmeans: K %d must be positive", c.K)
+	}
+	if n == 0 {
+		return fmt.Errorf("kmeans: empty training set")
+	}
+	if c.K > n {
+		return fmt.Errorf("kmeans: K %d exceeds sample count %d", c.K, n)
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 50
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-4
+	}
+	return nil
+}
+
+// Fit trains K-means on data (each row one sample).
+func Fit(data [][]float64, cfg Config) (*Model, error) {
+	if err := cfg.validate(len(data)); err != nil {
+		return nil, err
+	}
+	dim := len(data[0])
+	for i, row := range data {
+		if len(row) != dim {
+			return nil, fmt.Errorf("kmeans: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	m := &Model{K: cfg.K}
+	if cfg.PlusPlus {
+		m.Centroids = seedPlusPlus(data, cfg.K, rng)
+	} else {
+		m.Centroids = seedRandom(data, cfg.K, rng)
+	}
+
+	assign := make([]int, len(data))
+	counts := make([]int, cfg.K)
+	sums := make([][]float64, cfg.K)
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		m.Iterations = iter + 1
+		// Assignment step.
+		for i, x := range data {
+			assign[i] = m.Predict(x)
+		}
+		// Update step.
+		for c := range sums {
+			mat.Fill(sums[c], 0)
+			counts[c] = 0
+		}
+		for i, x := range data {
+			c := assign[i]
+			counts[c]++
+			mat.AddScaled(sums[c], 1, x)
+		}
+		shift := 0.0
+		for c := range sums {
+			if counts[c] == 0 {
+				// Empty cluster: reseed at the farthest point.
+				far := farthestPoint(data, m)
+				copy(sums[c], data[far])
+				counts[c] = 1
+			}
+			inv := 1.0 / float64(counts[c])
+			for j := range sums[c] {
+				sums[c][j] *= inv
+			}
+			shift += mat.SqDist(m.Centroids[c], sums[c])
+			copy(m.Centroids[c], sums[c])
+		}
+		if math.Sqrt(shift) < cfg.Tol {
+			break
+		}
+	}
+	m.SSE = SSE(data, m)
+	return m, nil
+}
+
+func seedRandom(data [][]float64, k int, rng *rand.Rand) [][]float64 {
+	perm := rng.Perm(len(data))
+	cents := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		cents[i] = append([]float64(nil), data[perm[i]]...)
+	}
+	return cents
+}
+
+// seedPlusPlus implements k-means++ (Arthur & Vassilvitskii): pick each new
+// seed with probability proportional to its squared distance from the
+// nearest existing seed.
+func seedPlusPlus(data [][]float64, k int, rng *rand.Rand) [][]float64 {
+	cents := make([][]float64, 0, k)
+	cents = append(cents, append([]float64(nil), data[rng.Intn(len(data))]...))
+	d2 := make([]float64, len(data))
+	for len(cents) < k {
+		total := 0.0
+		last := cents[len(cents)-1]
+		for i, x := range data {
+			d := mat.SqDist(x, last)
+			if len(cents) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// Degenerate data: fall back to any point.
+			cents = append(cents, append([]float64(nil), data[rng.Intn(len(data))]...))
+			continue
+		}
+		target := rng.Float64() * total
+		acc := 0.0
+		pick := len(data) - 1
+		for i := range data {
+			acc += d2[i]
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		cents = append(cents, append([]float64(nil), data[pick]...))
+	}
+	return cents
+}
+
+func farthestPoint(data [][]float64, m *Model) int {
+	best, bestD := 0, -1.0
+	for i, x := range data {
+		d := mat.SqDist(x, m.Centroids[m.Predict(x)])
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Predict returns the index of the nearest centroid to x.
+func (m *Model) Predict(x []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range m.Centroids {
+		d := mat.SqDist(x, cent)
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Distance returns the squared distance from x to its nearest centroid.
+func (m *Model) Distance(x []float64) float64 {
+	return mat.SqDist(x, m.Centroids[m.Predict(x)])
+}
+
+// SSE computes the sum of squared errors of data under model m (equation 1
+// in the paper).
+func SSE(data [][]float64, m *Model) float64 {
+	s := 0.0
+	for _, x := range data {
+		s += m.Distance(x)
+	}
+	return s
+}
+
+// ElbowPoint scans SSE values fitted for increasing K and returns the index
+// of the "elbow": the point after which the marginal SSE reduction collapses.
+// It maximizes the scale-invariant ratio between the improvement achieved by
+// step i and the improvement achieved by step i+1, which locates the knee
+// even when early steps also produce large absolute drops. sses must be
+// ordered by increasing K.
+func ElbowPoint(sses []float64) int {
+	if len(sses) < 3 {
+		return len(sses) - 1
+	}
+	const eps = 1e-12
+	best, bestRatio := 1, math.Inf(-1)
+	for i := 1; i < len(sses)-1; i++ {
+		gain := sses[i-1] - sses[i]
+		next := sses[i] - sses[i+1]
+		if next < eps {
+			next = eps
+		}
+		if ratio := gain / next; ratio > bestRatio {
+			best, bestRatio = i, ratio
+		}
+	}
+	return best
+}
+
+// SSECurve fits a model for each K in ks and returns the corresponding SSE
+// values (the elbow-method input).
+func SSECurve(data [][]float64, ks []int, seed int64) ([]float64, error) {
+	out := make([]float64, len(ks))
+	for i, k := range ks {
+		cfg := NewConfig(k)
+		cfg.Seed = seed
+		m, err := Fit(data, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m.SSE
+	}
+	return out, nil
+}

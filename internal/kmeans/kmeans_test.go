@@ -1,0 +1,209 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// clusteredData generates n points around k well-separated centers.
+func clusteredData(r *rand.Rand, n, k, dim int, spread float64) ([][]float64, []int) {
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = float64(c*10) + r.Float64()
+		}
+	}
+	data := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range data {
+		c := r.Intn(k)
+		labels[i] = c
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = centers[c][j] + r.NormFloat64()*spread
+		}
+		data[i] = row
+	}
+	return data, labels
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, NewConfig(2)); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	data := [][]float64{{1, 2}}
+	if _, err := Fit(data, NewConfig(2)); err == nil {
+		t.Fatal("expected error when K > n")
+	}
+	if _, err := Fit(data, NewConfig(0)); err == nil {
+		t.Fatal("expected error when K = 0")
+	}
+	bad := [][]float64{{1, 2}, {1}}
+	if _, err := Fit(bad, NewConfig(1)); err == nil {
+		t.Fatal("expected error on ragged rows")
+	}
+}
+
+func TestRecoverPlantedClusters(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	data, labels := clusteredData(r, 300, 3, 4, 0.2)
+	cfg := NewConfig(3)
+	cfg.Seed = 1
+	m, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points with the same planted label must land in the same
+	// predicted cluster (clusters are far apart relative to spread).
+	rep := map[int]int{}
+	for i, x := range data {
+		c := m.Predict(x)
+		if want, ok := rep[labels[i]]; ok {
+			if c != want {
+				t.Fatalf("planted cluster %d split between %d and %d", labels[i], want, c)
+			}
+		} else {
+			rep[labels[i]] = c
+		}
+	}
+	if len(rep) != 3 {
+		t.Fatalf("expected 3 distinct predicted clusters, got %d", len(rep))
+	}
+}
+
+func TestSSEDecreasesWithK(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	data, _ := clusteredData(r, 200, 4, 3, 0.5)
+	sses, err := SSECurve(data, []int{1, 2, 4, 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sses); i++ {
+		if sses[i] > sses[i-1]*1.05 {
+			t.Fatalf("SSE not (roughly) decreasing: %v", sses)
+		}
+	}
+}
+
+func TestElbowFindsPlantedK(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	data, _ := clusteredData(r, 400, 4, 3, 0.3)
+	ks := []int{1, 2, 3, 4, 5, 6, 7}
+	sses, err := SSECurve(data, ks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elbow := ks[ElbowPoint(sses)]
+	if elbow < 3 || elbow > 5 {
+		t.Fatalf("elbow K = %d, want near planted 4 (SSEs %v)", elbow, sses)
+	}
+}
+
+func TestElbowPointShortInput(t *testing.T) {
+	if ElbowPoint([]float64{5}) != 0 {
+		t.Fatal("single-entry elbow should be 0")
+	}
+	if ElbowPoint([]float64{5, 3}) != 1 {
+		t.Fatal("two-entry elbow should be last")
+	}
+}
+
+func TestPredictNearestCentroid(t *testing.T) {
+	m := &Model{K: 2, Centroids: [][]float64{{0, 0}, {10, 10}}}
+	if m.Predict([]float64{1, 1}) != 0 {
+		t.Fatal("predicted wrong centroid")
+	}
+	if m.Predict([]float64{9, 9}) != 1 {
+		t.Fatal("predicted wrong centroid")
+	}
+	if d := m.Distance([]float64{0, 3}); d != 9 {
+		t.Fatalf("Distance = %v, want 9", d)
+	}
+}
+
+func TestKEqualsNPerfectFit(t *testing.T) {
+	data := [][]float64{{0, 0}, {5, 5}, {9, 0}}
+	cfg := NewConfig(3)
+	m, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SSE > 1e-9 {
+		t.Fatalf("K=n SSE = %v, want 0", m.SSE)
+	}
+}
+
+func TestDegenerateIdenticalPoints(t *testing.T) {
+	data := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	m, err := Fit(data, NewConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SSE != 0 {
+		t.Fatalf("identical-point SSE = %v, want 0", m.SSE)
+	}
+}
+
+func TestRandomSeedingAlsoWorks(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	data, _ := clusteredData(r, 150, 3, 2, 0.2)
+	cfg := NewConfig(3)
+	cfg.PlusPlus = false
+	m, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 3 || len(m.Centroids) != 3 {
+		t.Fatalf("bad model shape")
+	}
+}
+
+// Property: every point's distance to its predicted centroid is minimal
+// over all centroids, and SSE equals the sum of those minimal distances.
+func TestPredictIsArgmin(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		data, _ := clusteredData(r, 50, 3, 3, 1.0)
+		cfg := NewConfig(3)
+		cfg.Seed = seed
+		m, err := Fit(data, cfg)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for _, x := range data {
+			pd := m.Distance(x)
+			for _, c := range m.Centroids {
+				d := 0.0
+				for j := range x {
+					dd := x[j] - c[j]
+					d += dd * dd
+				}
+				if d < pd-1e-12 {
+					return false
+				}
+			}
+			total += pd
+		}
+		return math.Abs(total-SSE(data, m)) < 1e-6*(1+total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFitK8Dim32(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	data, _ := clusteredData(r, 500, 8, 32, 0.5)
+	cfg := NewConfig(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,675 @@
+// Package kvstore implements the persistent key/value store the paper
+// builds on E2-NVM (§3.3, Figure 3): an RB-tree index in DRAM maps keys to
+// NVM segments; incoming writes are steered by the E2-NVM model through the
+// cluster-to-memory dynamic address pool; deletes reset a flag bit and
+// recycle the address back to the pool under its (re-predicted) cluster.
+//
+// The store also exports ClusteredAllocator, which adapts the same
+// model+pool machinery to the index.Allocator interface so that existing
+// NVM data structures (B+-Tree, FP-Tree, Path Hashing, WiscKey, NoveLSM)
+// can be "plugged into" E2-NVM exactly as in the paper's Figure 12.
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"e2nvm/internal/core"
+	"e2nvm/internal/dap"
+	"e2nvm/internal/index"
+	"e2nvm/internal/nvm"
+	"e2nvm/internal/padding"
+	"e2nvm/internal/txn"
+)
+
+// Placement selects the write-placement policy.
+type Placement int
+
+// Placement policies.
+const (
+	// PlaceE2NVM steers writes to content-similar free segments via the
+	// model (the paper's scheme).
+	PlaceE2NVM Placement = iota
+	// PlaceArbitrary takes any free segment for new keys and overwrites
+	// in place on update — what the paper calls "prior methods pick the
+	// memory location arbitrarily".
+	PlaceArbitrary
+)
+
+// String returns the policy name.
+func (p Placement) String() string {
+	if p == PlaceArbitrary {
+		return "arbitrary"
+	}
+	return "e2nvm"
+}
+
+// segment value layout: [flags 1B][len 2B][key 8B][value ...]; flag bit 0 =
+// valid. Records are self-describing — the key lives in the segment — so a
+// store can be rebuilt from NVM alone after a crash (see Recover).
+const valueHeader = 11
+
+// ErrValueTooLarge is returned when a value exceeds the segment payload.
+var ErrValueTooLarge = errors.New("kvstore: value exceeds segment payload")
+
+// ErrNoSpace is returned when no free segment remains.
+var ErrNoSpace = errors.New("kvstore: no free segments")
+
+// Options configures Open.
+type Options struct {
+	// Placement selects the placement policy (default PlaceE2NVM).
+	Placement Placement
+	// LowWater is the per-cluster free-list threshold that marks the
+	// model as due for retraining (default: NumSegments/(K*10), min 2).
+	LowWater int
+	// AutoRetrain triggers background retraining automatically when a
+	// cluster runs low (default false: callers drive retraining, as the
+	// experiments do).
+	AutoRetrain bool
+	// IndexFraction bounds the portion of the device indexed into the
+	// address pool at open (0 < f ≤ 1; 0 means 1). The paper's §4.1.4
+	// incremental approach: start small, call IndexMore as demand grows.
+	IndexFraction float64
+	// CrashSafe routes every segment write through a redo-log transaction
+	// (the role PMDK transactions play in the paper), making each write
+	// atomic even across torn cache lines. Costs log space at the top of
+	// the device plus the logging write amplification.
+	CrashSafe bool
+}
+
+// Stats reports store activity.
+type Stats struct {
+	Puts, Gets, Deletes, Scans uint64
+	// Fallbacks counts placements served by a different cluster than
+	// predicted because the predicted cluster's free list was empty.
+	Fallbacks uint64
+	// Retrains counts completed model retrains.
+	Retrains int
+}
+
+// Store is the E2-NVM key/value store.
+type Store struct {
+	dev  *nvm.Device
+	mgr  *core.Manager
+	pool *dap.Pool
+	opts Options
+
+	mu      sync.Mutex
+	tree    *index.RBTree // key → segment address
+	stats   Stats
+	indexed int // segments [0, indexed) are under DAP management
+
+	txnMgr   *txn.Manager // non-nil in crash-safe mode
+	dataSegs int          // segments usable for data (device minus txn log)
+}
+
+// Open trains an E2-NVM model on the device's current segment contents
+// (the "old data" in the paper's experiments) and builds the dynamic
+// address pool over all segments not referenced by any key.
+func Open(dev *nvm.Device, modelCfg core.Config, opts Options) (*Store, error) {
+	segBits := dev.SegmentSize() * 8
+	if modelCfg.InputBits == 0 {
+		modelCfg.InputBits = segBits
+	}
+	if modelCfg.InputBits != segBits {
+		return nil, fmt.Errorf("kvstore: model InputBits %d != segment bits %d", modelCfg.InputBits, segBits)
+	}
+	data, err := segmentImages(dev)
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.Train(data, modelCfg)
+	if err != nil {
+		return nil, err
+	}
+	return OpenWith(dev, model, opts)
+}
+
+// OpenWith builds a store around an already-trained model (e.g. one shared
+// across several experiment runs over identically seeded devices). In
+// crash-safe mode the redo log is formatted: use RecoverWith to preserve
+// and replay a previous incarnation's pending transactions.
+func OpenWith(dev *nvm.Device, model *core.Model, opts Options) (*Store, error) {
+	return openWith(dev, model, opts, false)
+}
+
+func openWith(dev *nvm.Device, model *core.Model, opts Options, recovering bool) (*Store, error) {
+	if model.InputBits() != dev.SegmentSize()*8 {
+		return nil, fmt.Errorf("kvstore: model InputBits %d != segment bits %d", model.InputBits(), dev.SegmentSize()*8)
+	}
+	if opts.LowWater <= 0 {
+		opts.LowWater = dev.NumSegments() / (model.K() * 10)
+		if opts.LowWater < 2 {
+			opts.LowWater = 2
+		}
+	}
+	pool, err := dap.New(model.K(), dap.WithLowWater(opts.LowWater))
+	if err != nil {
+		return nil, err
+	}
+	if opts.IndexFraction < 0 || opts.IndexFraction > 1 {
+		return nil, fmt.Errorf("kvstore: IndexFraction %v out of (0,1]", opts.IndexFraction)
+	}
+	s := &Store{
+		dev:      dev,
+		mgr:      core.NewManager(model),
+		pool:     pool,
+		opts:     opts,
+		tree:     &index.RBTree{},
+		dataSegs: dev.NumSegments(),
+	}
+	if opts.CrashSafe {
+		mgr, dataSegs, err := txn.NewManager(dev, 2, 1)
+		if err != nil {
+			return nil, err
+		}
+		if recovering {
+			if _, _, err := mgr.Recover(); err != nil {
+				return nil, err
+			}
+		} else if err := mgr.Format(); err != nil {
+			return nil, err
+		}
+		s.txnMgr = mgr
+		s.dataSegs = dataSegs
+	}
+	// Populate the pool: free segments are assigned to the cluster their
+	// current content predicts (the initialization phase of §3.3.1),
+	// covering IndexFraction of the device; the rest joins via IndexMore.
+	limit := s.dataSegs
+	if opts.IndexFraction > 0 {
+		limit = int(opts.IndexFraction * float64(limit))
+		if limit < 1 {
+			limit = 1
+		}
+	}
+	if _, err := s.indexRange(0, limit); err != nil {
+		return nil, err
+	}
+	// Memory-based padding draws its bit density from the memory locations
+	// incoming items will replace; sample the device for it.
+	if p := model.Padder(); p != nil && p.Kind == padding.MemoryBased {
+		p.SetMemoryDensity(s.sampledDensity)
+	}
+	return s, nil
+}
+
+// sampledDensity estimates the 1-density of the data zone from a fixed
+// sample of segments (the MB padding source).
+func (s *Store) sampledDensity() float64 {
+	const samples = 16
+	ones, bits := 0, 0
+	step := s.dataSegs/samples + 1
+	for addr := 0; addr < s.dataSegs; addr += step {
+		img, err := s.dev.Peek(addr)
+		if err != nil {
+			continue
+		}
+		for _, b := range img {
+			bits += 8
+			ones += popcount8(b)
+		}
+	}
+	if bits == 0 {
+		return 0.5
+	}
+	return float64(ones) / float64(bits)
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// indexRange predicts segments [lo, hi) into the pool and advances the
+// indexed watermark.
+func (s *Store) indexRange(lo, hi int) (int, error) {
+	model := s.mgr.Current()
+	if hi > s.dataSegs {
+		hi = s.dataSegs
+	}
+	var imgs [][]byte
+	for addr := lo; addr < hi; addr++ {
+		img, err := s.dev.Peek(addr)
+		if err != nil {
+			return 0, err
+		}
+		imgs = append(imgs, img)
+	}
+	// Predict in parallel, then insert in address order so the pool's
+	// FIFO contents stay deterministic.
+	clusters := model.PredictBytesBatch(imgs)
+	added := 0
+	for i, c := range clusters {
+		s.pool.Add(c, lo+i)
+		added++
+	}
+	s.mu.Lock()
+	if hi > s.indexed {
+		s.indexed = hi
+		if s.indexed > s.dataSegs {
+			s.indexed = s.dataSegs
+		}
+	}
+	s.mu.Unlock()
+	return added, nil
+}
+
+// Indexed returns the number of device segments currently under DAP
+// management.
+func (s *Store) Indexed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.indexed
+}
+
+// IndexMore incrementally indexes up to n further segments into the pool
+// (the paper's dynamic incremental approach), returning how many were
+// added.
+func (s *Store) IndexMore(n int) (int, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	lo := s.indexed
+	s.mu.Unlock()
+	return s.indexRange(lo, lo+n)
+}
+
+func segmentImages(dev *nvm.Device) ([][]float64, error) {
+	data := make([][]float64, dev.NumSegments())
+	for addr := 0; addr < dev.NumSegments(); addr++ {
+		img, err := dev.Peek(addr)
+		if err != nil {
+			return nil, err
+		}
+		data[addr] = core.BytesToBits(img)
+	}
+	return data, nil
+}
+
+// Device returns the underlying NVM device (for experiment accounting).
+func (s *Store) Device() *nvm.Device { return s.dev }
+
+// TxnManager returns the redo-log manager in crash-safe mode (nil
+// otherwise). Exposed for crash-injection tests and experiments.
+func (s *Store) TxnManager() *txn.Manager { return s.txnMgr }
+
+// Model returns the live E2-NVM model.
+func (s *Store) Model() *core.Model { return s.mgr.Current() }
+
+// Pool returns the dynamic address pool.
+func (s *Store) Pool() *dap.Pool { return s.pool }
+
+// MaxValue returns the largest storable value in bytes.
+func (s *Store) MaxValue() int { return s.dev.SegmentSize() - valueHeader }
+
+// encode serializes a record: header (flags, length, key) plus the value.
+func (s *Store) encode(key uint64, value []byte) []byte {
+	buf := make([]byte, valueHeader+len(value))
+	buf[0] = 1 // valid
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(value)))
+	binary.LittleEndian.PutUint64(buf[3:], key)
+	copy(buf[valueHeader:], value)
+	return buf
+}
+
+// Put implements the paper's Algorithm 1: predict the cluster of the
+// incoming value — padded with the configured strategy when it is narrower
+// than a segment (§4) — take the first free address of that cluster, write
+// only the record's bits (padded bits are never stored; the rest of the
+// segment keeps its old content), and update the index. Updates free the
+// key's previous segment back into the pool.
+func (s *Store) Put(key uint64, value []byte) error {
+	if len(value) > s.MaxValue() {
+		return fmt.Errorf("%w: %d > %d", ErrValueTooLarge, len(value), s.MaxValue())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	record := s.encode(key, value)
+	model := s.mgr.Current()
+
+	var addr int
+	switch s.opts.Placement {
+	case PlaceArbitrary:
+		if old, ok := s.tree.Get(key); ok {
+			addr = int(old) // in-place update
+		} else {
+			a, _, ok := s.pool.Get(0) // any cluster; pool falls back across all
+			if !ok {
+				return ErrNoSpace
+			}
+			addr = a
+		}
+	default: // PlaceE2NVM
+		cluster := model.PredictPadded(core.BytesToBits(record))
+		a, servedBy, ok := s.pool.Get(cluster)
+		if !ok {
+			return ErrNoSpace
+		}
+		if servedBy != cluster {
+			s.stats.Fallbacks++
+		}
+		addr = a
+		if old, ok := s.tree.Get(key); ok {
+			// Invalidate the superseded record's flag bit so NVM never
+			// holds two valid records for one key (keeps Recover
+			// unambiguous), then recycle the address.
+			if err := s.invalidateLocked(int(old)); err != nil {
+				return err
+			}
+			s.recycleLocked(int(old))
+		}
+	}
+	// Read the old content (Algorithm 1 line 3) and overwrite only the
+	// record region: the segment's tail keeps its previous bits, so the
+	// differential write touches record bits only.
+	img, err := s.dev.Peek(addr)
+	if err != nil {
+		return err
+	}
+	copy(img[:len(record)], record)
+	if err := s.writeSegmentLocked(addr, img); err != nil {
+		return err
+	}
+	s.tree.Put(key, int64(addr))
+	s.stats.Puts++
+	if s.opts.AutoRetrain && len(s.pool.LowClusters()) > 0 {
+		s.retrainAsyncLocked()
+	}
+	return nil
+}
+
+// invalidateLocked resets a record's valid flag (a one-bit differential
+// write). Callers hold s.mu.
+func (s *Store) invalidateLocked(addr int) error {
+	img, err := s.dev.Peek(addr)
+	if err != nil {
+		return err
+	}
+	if img[0]&1 == 0 {
+		return nil
+	}
+	img[0] &^= 1
+	return s.writeSegmentLocked(addr, img)
+}
+
+// writeSegmentLocked persists one segment image, through a redo-log
+// transaction in crash-safe mode. Callers hold s.mu.
+func (s *Store) writeSegmentLocked(addr int, img []byte) error {
+	if s.txnMgr == nil {
+		_, err := s.dev.Write(addr, img)
+		return err
+	}
+	tx := s.txnMgr.Begin()
+	if err := tx.Write(addr, img); err != nil {
+		return err
+	}
+	return tx.Commit()
+}
+
+// recycleLocked returns segment addr to the pool under the cluster of its
+// current content (Algorithm 2 steps 3–4). Callers hold s.mu.
+func (s *Store) recycleLocked(addr int) {
+	img, err := s.dev.Peek(addr)
+	if err != nil {
+		return
+	}
+	s.pool.Add(s.mgr.Current().PredictBytes(img), addr)
+}
+
+// Get returns the value stored for key.
+func (s *Store) Get(key uint64) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addrV, ok := s.tree.Get(key)
+	if !ok {
+		return nil, false, nil
+	}
+	v, err := s.readValueLocked(int(addrV))
+	if err != nil {
+		return nil, false, err
+	}
+	s.stats.Gets++
+	return v, true, nil
+}
+
+func (s *Store) readValueLocked(addr int) ([]byte, error) {
+	seg, err := s.dev.Read(addr)
+	if err != nil {
+		return nil, err
+	}
+	if seg[0]&1 == 0 {
+		return nil, fmt.Errorf("kvstore: segment %d flagged invalid", addr)
+	}
+	n := int(binary.LittleEndian.Uint16(seg[1:]))
+	if n > len(seg)-valueHeader {
+		return nil, fmt.Errorf("kvstore: corrupt length %d at segment %d", n, addr)
+	}
+	return seg[valueHeader : valueHeader+n], nil
+}
+
+// Delete implements the paper's Algorithm 2: find the address via the
+// index, reset the valid flag bit (a one-bit differential write), and
+// recycle the address into the pool under its content's cluster.
+func (s *Store) Delete(key uint64) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addrV, ok := s.tree.Delete(key)
+	if !ok {
+		return false, nil
+	}
+	addr := int(addrV)
+	if err := s.invalidateLocked(addr); err != nil {
+		return false, err
+	}
+	s.recycleLocked(addr)
+	s.stats.Deletes++
+	return true, nil
+}
+
+// Scan calls fn for each key in [lo, hi] in ascending key order with its
+// value, stopping early if fn returns false (the paper's SCAN).
+func (s *Store) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var scanErr error
+	s.tree.Range(lo, hi, func(k uint64, addrV int64) bool {
+		v, err := s.readValueLocked(int(addrV))
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return fn(k, v)
+	})
+	if scanErr == nil {
+		s.stats.Scans++
+	}
+	return scanErr
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Len()
+}
+
+// Stats returns a snapshot of store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Retrains = s.mgr.Retrains()
+	return st
+}
+
+// NeedsRetrain reports whether any cluster's free list is at or below the
+// low-water mark.
+func (s *Store) NeedsRetrain() bool {
+	return len(s.pool.LowClusters()) > 0
+}
+
+// Retrain synchronously retrains the model on the device's current
+// contents and rebuilds the pool from the currently free segments. It is
+// the paper's retraining step with writes paused (Figure 16 step 3).
+func (s *Store) Retrain() error {
+	data, err := segmentImages(s.dev)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	cfg := s.mgr.Current().Config()
+	s.mu.Unlock()
+	model, err := s.mgr.RetrainSync(data, cfg)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebuildPoolLocked(model)
+}
+
+// retrainAsyncLocked launches a background retrain; the pool is rebuilt
+// under the new model once it is ready. Callers hold s.mu.
+func (s *Store) retrainAsyncLocked() {
+	data, err := segmentImages(s.dev)
+	if err != nil {
+		return
+	}
+	cfg := s.mgr.Current().Config()
+	s.mgr.RetrainAsync(data, cfg, func(m *core.Model, err error) {
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		_ = s.rebuildPoolLocked(m)
+	})
+}
+
+// rebuildPoolLocked re-predicts every currently free *indexed* segment
+// under the new model. Callers hold s.mu.
+func (s *Store) rebuildPoolLocked(model *core.Model) error {
+	used := map[int]bool{}
+	s.tree.Range(0, ^uint64(0), func(_ uint64, addrV int64) bool {
+		used[int(addrV)] = true
+		return true
+	})
+	if err := s.pool.Reset(model.K()); err != nil {
+		return err
+	}
+	for addr := 0; addr < s.indexed; addr++ {
+		if used[addr] {
+			continue
+		}
+		img, err := s.dev.Peek(addr)
+		if err != nil {
+			return err
+		}
+		s.pool.Add(model.PredictBytes(img), addr)
+	}
+	return nil
+}
+
+// Recover rebuilds a store from a device's persistent contents alone: it
+// scans every segment, re-indexes the valid self-describing records
+// (flag + length + key headers), trains a model on the contents (or reuse
+// one via RecoverWith), and pools the remaining segments. This is the
+// crash-recovery path: the RB-tree index and the address pool live in
+// DRAM and are reconstructible, exactly as the paper's Figure 3 layout
+// implies.
+func Recover(dev *nvm.Device, modelCfg core.Config, opts Options) (*Store, error) {
+	segBits := dev.SegmentSize() * 8
+	if modelCfg.InputBits == 0 {
+		modelCfg.InputBits = segBits
+	}
+	data, err := segmentImages(dev)
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.Train(data, modelCfg)
+	if err != nil {
+		return nil, err
+	}
+	return RecoverWith(dev, model, opts)
+}
+
+// RecoverWith is Recover with a pre-trained (e.g. persisted) model. In
+// crash-safe mode, committed-but-unapplied redo-log transactions are
+// replayed (and torn ones discarded) before the record scan.
+func RecoverWith(dev *nvm.Device, model *core.Model, opts Options) (*Store, error) {
+	s, err := openWith(dev, model, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	// openWith pooled every segment; re-scan and claim the live records.
+	if err := s.pool.Reset(model.K()); err != nil {
+		return nil, err
+	}
+	s.indexed = s.dataSegs
+	for addr := 0; addr < s.dataSegs; addr++ {
+		img, err := dev.Peek(addr)
+		if err != nil {
+			return nil, err
+		}
+		// A record is recognized by a set valid flag AND a parsable
+		// length. Segments holding pre-use garbage that happens to have
+		// the flag bit set but an out-of-range length are treated as
+		// free (formatting the data zone before first use avoids even
+		// the residual ambiguity).
+		if n := int(binary.LittleEndian.Uint16(img[1:])); img[0]&1 == 1 && n <= len(img)-valueHeader {
+			key := binary.LittleEndian.Uint64(img[3:])
+			if _, dup := s.tree.Get(key); dup {
+				return nil, fmt.Errorf("kvstore: duplicate valid record for key %d at segment %d", key, addr)
+			}
+			s.tree.Put(key, int64(addr))
+			continue
+		}
+		s.pool.Add(model.PredictBytes(img), addr)
+	}
+	return s, nil
+}
+
+// --------------------------------------------------- clustered allocator --
+
+// ClusteredAllocator adapts the E2-NVM model and pool to index.Allocator,
+// so existing NVM data structures place their values content-aware — the
+// "after plugging to E2-NVM" configuration of Figure 12.
+type ClusteredAllocator struct {
+	mgr  *core.Manager
+	pool *dap.Pool
+}
+
+// NewClusteredAllocator builds an allocator over a trained model manager
+// and a pool already populated with free segments.
+func NewClusteredAllocator(mgr *core.Manager, pool *dap.Pool) *ClusteredAllocator {
+	return &ClusteredAllocator{mgr: mgr, pool: pool}
+}
+
+// Place implements index.Allocator.
+func (a *ClusteredAllocator) Place(value []byte) (int, error) {
+	cluster := a.mgr.Current().PredictBytes(value)
+	addr, _, ok := a.pool.Get(cluster)
+	if !ok {
+		return 0, index.ErrNoSpace
+	}
+	return addr, nil
+}
+
+// Release implements index.Allocator.
+func (a *ClusteredAllocator) Release(addr int, content []byte) {
+	cluster := 0
+	if content != nil {
+		cluster = a.mgr.Current().PredictBytes(content)
+	}
+	a.pool.Add(cluster, addr)
+}
+
+// FreeCount implements index.Allocator.
+func (a *ClusteredAllocator) FreeCount() int { return a.pool.Free() }

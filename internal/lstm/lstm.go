@@ -1,0 +1,288 @@
+// Package lstm implements the Long Short-Term Memory network E2-NVM uses
+// for its learned padding strategy (§4.1.3, Figure 6): a single LSTM layer
+// followed by a linear head, trained with MSE and Adam, applied with a
+// sliding window that consumes WindowBits of context and predicts
+// PredictBits padding bits per step.
+//
+// The cell is the standard Hochreiter–Schmidhuber formulation with forget,
+// input, and output gates; training uses full backpropagation through time.
+package lstm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"e2nvm/internal/mat"
+	"e2nvm/internal/nn"
+)
+
+// gate indices.
+const (
+	gi  = iota // input gate
+	gf         // forget gate
+	gg         // candidate
+	go_        // output gate
+	ngates
+)
+
+// Network is an LSTM layer plus a linear output head.
+type Network struct {
+	InSize, Hidden, OutSize int
+
+	wx [ngates]*mat.Matrix // Hidden×InSize
+	wh [ngates]*mat.Matrix // Hidden×Hidden
+	b  [ngates][]float64
+
+	gwx [ngates]*mat.Matrix
+	gwh [ngates]*mat.Matrix
+	gb  [ngates][]float64
+
+	head *nn.Dense // Hidden → OutSize, identity
+
+	opt *nn.Adam
+	rng *rand.Rand
+}
+
+// New constructs a network with the given sizes. hidden defaults to 10 (the
+// paper's configuration) when ≤ 0.
+func New(inSize, hidden, outSize int, seed int64) (*Network, error) {
+	if inSize <= 0 || outSize <= 0 {
+		return nil, fmt.Errorf("lstm: invalid sizes in=%d out=%d", inSize, outSize)
+	}
+	if hidden <= 0 {
+		hidden = 10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{InSize: inSize, Hidden: hidden, OutSize: outSize, rng: rng}
+	for g := 0; g < ngates; g++ {
+		n.wx[g] = mat.NewRandom(hidden, inSize, rng)
+		n.wh[g] = mat.NewRandom(hidden, hidden, rng)
+		n.b[g] = make([]float64, hidden)
+		n.gwx[g] = mat.NewMatrix(hidden, inSize)
+		n.gwh[g] = mat.NewMatrix(hidden, hidden)
+		n.gb[g] = make([]float64, hidden)
+	}
+	// Forget-gate bias initialized positive, the standard trick for
+	// stable early training.
+	mat.Fill(n.b[gf], 1)
+	n.head = nn.NewDense(hidden, outSize, nn.Identity, rng)
+	n.opt = nn.NewAdam(1e-2)
+	for g := 0; g < ngates; g++ {
+		n.opt.Register(
+			nn.Param{W: n.wx[g].Data, G: n.gwx[g].Data},
+			nn.Param{W: n.wh[g].Data, G: n.gwh[g].Data},
+			nn.Param{W: n.b[g], G: n.gb[g]},
+		)
+	}
+	n.opt.Register(n.head.Params()...)
+	return n, nil
+}
+
+// SetLearningRate overrides the default Adam learning rate (1e-2).
+func (n *Network) SetLearningRate(lr float64) { n.opt.LR = lr }
+
+// ParamCount returns the number of trainable scalars.
+func (n *Network) ParamCount() int {
+	c := n.head.ParamCount()
+	for g := 0; g < ngates; g++ {
+		c += len(n.wx[g].Data) + len(n.wh[g].Data) + len(n.b[g])
+	}
+	return c
+}
+
+// stepCache stores one timestep's activations for BPTT.
+type stepCache struct {
+	x          []float64
+	hPrev      []float64
+	cPrev      []float64
+	gates      [ngates][]float64 // post-activation gate values
+	c, h, tanc []float64
+}
+
+// forward runs the sequence and returns the per-step hidden states along
+// with the caches needed for BPTT.
+func (n *Network) forward(seq [][]float64) []stepCache {
+	h := make([]float64, n.Hidden)
+	c := make([]float64, n.Hidden)
+	caches := make([]stepCache, len(seq))
+	tmp := make([]float64, n.Hidden)
+	for t, x := range seq {
+		if len(x) != n.InSize {
+			panic(fmt.Sprintf("lstm: step %d input %d, want %d", t, len(x), n.InSize))
+		}
+		sc := stepCache{
+			x:     append([]float64(nil), x...),
+			hPrev: append([]float64(nil), h...),
+			cPrev: append([]float64(nil), c...),
+		}
+		for g := 0; g < ngates; g++ {
+			act := make([]float64, n.Hidden)
+			n.wx[g].MulVec(x, act)
+			n.wh[g].MulVec(sc.hPrev, tmp)
+			for i := range act {
+				act[i] += tmp[i] + n.b[g][i]
+			}
+			if g == gg {
+				for i := range act {
+					act[i] = math.Tanh(act[i])
+				}
+			} else {
+				for i := range act {
+					act[i] = sigmoid(act[i])
+				}
+			}
+			sc.gates[g] = act
+		}
+		newC := make([]float64, n.Hidden)
+		newH := make([]float64, n.Hidden)
+		tanc := make([]float64, n.Hidden)
+		for i := 0; i < n.Hidden; i++ {
+			newC[i] = sc.gates[gf][i]*sc.cPrev[i] + sc.gates[gi][i]*sc.gates[gg][i]
+			tanc[i] = math.Tanh(newC[i])
+			newH[i] = sc.gates[go_][i] * tanc[i]
+		}
+		sc.c, sc.h, sc.tanc = newC, newH, tanc
+		caches[t] = sc
+		h, c = newH, newC
+	}
+	return caches
+}
+
+// Predict runs seq through the network and returns the head output at the
+// final timestep.
+func (n *Network) Predict(seq [][]float64) []float64 {
+	caches := n.forward(seq)
+	last := caches[len(caches)-1].h
+	out := n.head.Forward(last)
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// PredictStep is the single-window form used by learned padding (the
+// paper's LSTM consumes one window per step).
+func (n *Network) PredictStep(window []float64) []float64 {
+	return n.Predict([][]float64{window})
+}
+
+func (n *Network) zeroGrad() {
+	for g := 0; g < ngates; g++ {
+		n.gwx[g].Zero()
+		n.gwh[g].Zero()
+		mat.Fill(n.gb[g], 0)
+	}
+	n.head.ZeroGrad()
+}
+
+// TrainBatch performs one Adam step on a batch of (sequence, target) pairs
+// with MSE loss on the final-step output, returning the batch-average loss.
+func (n *Network) TrainBatch(seqs [][][]float64, targets [][]float64) float64 {
+	if len(seqs) == 0 {
+		return 0
+	}
+	if len(seqs) != len(targets) {
+		panic("lstm: sequence/target count mismatch")
+	}
+	n.zeroGrad()
+	scale := 1.0 / float64(len(seqs))
+	total := 0.0
+	for s := range seqs {
+		total += n.backprop(seqs[s], targets[s], scale)
+	}
+	n.opt.Step()
+	return total * scale
+}
+
+// backprop accumulates gradients for one sequence and returns its loss.
+func (n *Network) backprop(seq [][]float64, target []float64, gradScale float64) float64 {
+	if len(target) != n.OutSize {
+		panic(fmt.Sprintf("lstm: target %d, want %d", len(target), n.OutSize))
+	}
+	caches := n.forward(seq)
+	last := caches[len(caches)-1]
+
+	out := n.head.Forward(last.h)
+	loss := 0.0
+	gradOut := make([]float64, n.OutSize)
+	for i := range out {
+		d := out[i] - target[i]
+		loss += d * d
+		gradOut[i] = 2 * d * gradScale
+	}
+	dh := n.head.Backward(gradOut)
+	dc := make([]float64, n.Hidden)
+
+	for t := len(caches) - 1; t >= 0; t-- {
+		sc := caches[t]
+		dhPrev := make([]float64, n.Hidden)
+		dcPrev := make([]float64, n.Hidden)
+		var dGate [ngates][]float64
+		for g := 0; g < ngates; g++ {
+			dGate[g] = make([]float64, n.Hidden)
+		}
+		for i := 0; i < n.Hidden; i++ {
+			do := dh[i] * sc.tanc[i]
+			dci := dh[i]*sc.gates[go_][i]*(1-sc.tanc[i]*sc.tanc[i]) + dc[i]
+			dGate[go_][i] = do * sc.gates[go_][i] * (1 - sc.gates[go_][i])
+			dGate[gf][i] = dci * sc.cPrev[i] * sc.gates[gf][i] * (1 - sc.gates[gf][i])
+			dGate[gi][i] = dci * sc.gates[gg][i] * sc.gates[gi][i] * (1 - sc.gates[gi][i])
+			dGate[gg][i] = dci * sc.gates[gi][i] * (1 - sc.gates[gg][i]*sc.gates[gg][i])
+			dcPrev[i] = dci * sc.gates[gf][i]
+		}
+		tmp := make([]float64, n.Hidden)
+		for g := 0; g < ngates; g++ {
+			n.gwx[g].AddOuter(1, dGate[g], sc.x)
+			n.gwh[g].AddOuter(1, dGate[g], sc.hPrev)
+			mat.AddScaled(n.gb[g], 1, dGate[g])
+			n.wh[g].MulVecT(dGate[g], tmp)
+			mat.AddScaled(dhPrev, 1, tmp)
+		}
+		dh, dc = dhPrev, dcPrev
+	}
+	return loss
+}
+
+// Fit trains on the sample set for the given number of epochs, shuffling
+// each epoch, and returns per-epoch average losses.
+func (n *Network) Fit(seqs [][][]float64, targets [][]float64, epochs, batchSize int) ([]float64, error) {
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("lstm: empty training set")
+	}
+	if len(seqs) != len(targets) {
+		return nil, fmt.Errorf("lstm: %d sequences but %d targets", len(seqs), len(targets))
+	}
+	if epochs <= 0 {
+		epochs = 20
+	}
+	if batchSize <= 0 {
+		batchSize = 16
+	}
+	idx := make([]int, len(seqs))
+	for i := range idx {
+		idx[i] = i
+	}
+	losses := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		n.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		total, batches := 0.0, 0
+		for lo := 0; lo < len(idx); lo += batchSize {
+			hi := lo + batchSize
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			bs := make([][][]float64, 0, hi-lo)
+			bt := make([][]float64, 0, hi-lo)
+			for _, i := range idx[lo:hi] {
+				bs = append(bs, seqs[i])
+				bt = append(bt, targets[i])
+			}
+			total += n.TrainBatch(bs, bt)
+			batches++
+		}
+		losses = append(losses, total/float64(batches))
+	}
+	return losses, nil
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

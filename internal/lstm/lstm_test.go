@@ -1,0 +1,226 @@
+package lstm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10, 1, 0); err == nil {
+		t.Fatal("expected error for inSize 0")
+	}
+	if _, err := New(4, 10, 0, 0); err == nil {
+		t.Fatal("expected error for outSize 0")
+	}
+	n, err := New(4, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Hidden != 10 {
+		t.Fatalf("default hidden = %d, want 10 (the paper's)", n.Hidden)
+	}
+}
+
+func TestPredictShapes(t *testing.T) {
+	n, err := New(3, 5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := n.Predict([][]float64{{1, 0, 1}, {0, 1, 0}})
+	if len(out) != 2 {
+		t.Fatalf("output len = %d, want 2", len(out))
+	}
+	step := n.PredictStep([]float64{1, 1, 0})
+	if len(step) != 2 {
+		t.Fatalf("PredictStep len = %d, want 2", len(step))
+	}
+}
+
+func TestPredictWrongSizePanics(t *testing.T) {
+	n, _ := New(3, 4, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Predict([][]float64{{1, 0}})
+}
+
+func TestParamCount(t *testing.T) {
+	n, _ := New(3, 4, 2, 0)
+	// 4 gates × (4×3 Wx + 4×4 Wh + 4 b) + head (4×2 + 2)
+	want := 4*(12+16+4) + 10
+	if got := n.ParamCount(); got != want {
+		t.Fatalf("ParamCount = %d, want %d", got, want)
+	}
+}
+
+// TestGradientCheck verifies BPTT against numerical gradients on a 3-step
+// sequence.
+func TestGradientCheck(t *testing.T) {
+	n, err := New(2, 3, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	seq := [][]float64{{r.NormFloat64(), r.NormFloat64()}, {r.NormFloat64(), r.NormFloat64()}, {r.NormFloat64(), r.NormFloat64()}}
+	target := []float64{0.7}
+
+	loss := func() float64 {
+		out := n.Predict(seq)
+		d := out[0] - target[0]
+		return d * d
+	}
+
+	n.zeroGrad()
+	n.backprop(seq, target, 1)
+
+	check := func(name string, w, g []float64) {
+		t.Helper()
+		const h = 1e-6
+		for i := 0; i < len(w); i += 2 {
+			orig := w[i]
+			w[i] = orig + h
+			lp := loss()
+			w[i] = orig - h
+			lm := loss()
+			w[i] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-g[i]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", name, i, g[i], num)
+			}
+		}
+	}
+	for g := 0; g < ngates; g++ {
+		check("wx", n.wx[g].Data, n.gwx[g].Data)
+		check("wh", n.wh[g].Data, n.gwh[g].Data)
+		check("b", n.b[g], n.gb[g])
+	}
+	check("headW", n.head.W.Data, n.head.GW.Data)
+	check("headB", n.head.B, n.head.GB)
+}
+
+func TestTrainBatchMismatchPanics(t *testing.T) {
+	n, _ := New(2, 3, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.TrainBatch([][][]float64{{{1, 0}}}, nil)
+}
+
+func TestFitValidation(t *testing.T) {
+	n, _ := New(2, 3, 1, 0)
+	if _, err := n.Fit(nil, nil, 5, 4); err == nil {
+		t.Fatal("expected error for empty fit")
+	}
+	if _, err := n.Fit([][][]float64{{{1, 0}}}, nil, 5, 4); err == nil {
+		t.Fatal("expected error for count mismatch")
+	}
+}
+
+// TestLearnsNextBitRule reproduces the paper's §4.1.3 example: the LSTM
+// sees a 7-bit window and must predict the 8th bit. The rule planted here:
+// the next bit equals the first bit of the window.
+func TestLearnsNextBitRule(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	var seqs [][][]float64
+	var targets [][]float64
+	for i := 0; i < 300; i++ {
+		w := make([]float64, 7)
+		for j := range w {
+			w[j] = float64(r.Intn(2))
+		}
+		seqs = append(seqs, [][]float64{w})
+		targets = append(targets, []float64{w[0]})
+	}
+	n, err := New(7, 10, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses, err := n.Fit(seqs, targets, 40, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0]*0.2 {
+		t.Fatalf("loss did not drop enough: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		w := make([]float64, 7)
+		for j := range w {
+			w[j] = float64(r.Intn(2))
+		}
+		p := n.PredictStep(w)[0]
+		if (p >= 0.5) == (w[0] >= 0.5) {
+			correct++
+		}
+	}
+	if correct < 90 {
+		t.Fatalf("rule accuracy %d/100, want ≥90", correct)
+	}
+}
+
+// TestLearnsSequenceDependence checks the recurrent state matters: the
+// target is the first step's bit, observable only through memory.
+func TestLearnsSequenceDependence(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	var seqs [][][]float64
+	var targets [][]float64
+	for i := 0; i < 400; i++ {
+		b := float64(r.Intn(2))
+		seq := [][]float64{{b}, {float64(r.Intn(2))}, {float64(r.Intn(2))}}
+		seqs = append(seqs, seq)
+		targets = append(targets, []float64{b})
+	}
+	n, err := New(1, 8, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Fit(seqs, targets, 60, 32); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		b := float64(r.Intn(2))
+		seq := [][]float64{{b}, {float64(r.Intn(2))}, {float64(r.Intn(2))}}
+		if (n.Predict(seq)[0] >= 0.5) == (b >= 0.5) {
+			correct++
+		}
+	}
+	if correct < 85 {
+		t.Fatalf("memory accuracy %d/100, want ≥85", correct)
+	}
+}
+
+func TestSetLearningRate(t *testing.T) {
+	n, _ := New(2, 3, 1, 0)
+	n.SetLearningRate(0.5)
+	if n.opt.LR != 0.5 {
+		t.Fatal("SetLearningRate did not apply")
+	}
+}
+
+func TestEmptyTrainBatch(t *testing.T) {
+	n, _ := New(2, 3, 1, 0)
+	if l := n.TrainBatch(nil, nil); l != 0 {
+		t.Fatalf("empty batch loss = %v, want 0", l)
+	}
+}
+
+func BenchmarkPredictWindow64(b *testing.B) {
+	n, err := New(64, 10, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := make([]float64, 64)
+	for i := range w {
+		w[i] = float64(i % 2)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.PredictStep(w)
+	}
+}

@@ -1,0 +1,50 @@
+package lstm
+
+import "fmt"
+
+// Snapshot is a serializable copy of a trained network's parameters.
+type Snapshot struct {
+	InSize, Hidden, OutSize int
+	Wx, Wh                  [][]float64 // one slice per gate
+	B                       [][]float64
+	HeadW                   []float64
+	HeadB                   []float64
+}
+
+// Snapshot exports the network parameters.
+func (n *Network) Snapshot() *Snapshot {
+	s := &Snapshot{InSize: n.InSize, Hidden: n.Hidden, OutSize: n.OutSize}
+	for g := 0; g < ngates; g++ {
+		s.Wx = append(s.Wx, append([]float64(nil), n.wx[g].Data...))
+		s.Wh = append(s.Wh, append([]float64(nil), n.wh[g].Data...))
+		s.B = append(s.B, append([]float64(nil), n.b[g]...))
+	}
+	s.HeadW = append([]float64(nil), n.head.W.Data...)
+	s.HeadB = append([]float64(nil), n.head.B...)
+	return s
+}
+
+// FromSnapshot reconstructs a network from exported parameters.
+func FromSnapshot(s *Snapshot) (*Network, error) {
+	n, err := New(s.InSize, s.Hidden, s.OutSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Wx) != ngates || len(s.Wh) != ngates || len(s.B) != ngates {
+		return nil, fmt.Errorf("lstm: snapshot has %d/%d/%d gates, want %d", len(s.Wx), len(s.Wh), len(s.B), ngates)
+	}
+	for g := 0; g < ngates; g++ {
+		if len(s.Wx[g]) != len(n.wx[g].Data) || len(s.Wh[g]) != len(n.wh[g].Data) || len(s.B[g]) != len(n.b[g]) {
+			return nil, fmt.Errorf("lstm: snapshot gate %d parameter sizes mismatch", g)
+		}
+		copy(n.wx[g].Data, s.Wx[g])
+		copy(n.wh[g].Data, s.Wh[g])
+		copy(n.b[g], s.B[g])
+	}
+	if len(s.HeadW) != len(n.head.W.Data) || len(s.HeadB) != len(n.head.B) {
+		return nil, fmt.Errorf("lstm: snapshot head parameter sizes mismatch")
+	}
+	copy(n.head.W.Data, s.HeadW)
+	copy(n.head.B, s.HeadB)
+	return n, nil
+}

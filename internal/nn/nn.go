@@ -1,0 +1,228 @@
+// Package nn provides the feed-forward building blocks shared by the VAE
+// and the learned-padding models: dense layers with activations, manual
+// backpropagation, and the Adam optimizer. Layers process one sample at a
+// time and accumulate gradients; minibatch training averages by scaling the
+// loss gradient.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"e2nvm/internal/mat"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	ReLU
+	Sigmoid
+	Tanh
+)
+
+// String returns the activation's name.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		return x
+	}
+}
+
+// derivFromOutput returns dσ/dx expressed in terms of the activated output
+// y (possible for all supported activations).
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// Dense is a fully connected layer: y = σ(W·x + b).
+type Dense struct {
+	In, Out int
+	Act     Activation
+
+	W *mat.Matrix // Out×In
+	B []float64
+
+	GW *mat.Matrix // gradient accumulators
+	GB []float64
+
+	// forward caches for the most recent sample
+	x []float64
+	y []float64
+}
+
+// NewDense returns a Glorot-initialized dense layer.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	return &Dense{
+		In:  in,
+		Out: out,
+		Act: act,
+		W:   mat.NewRandom(out, in, rng),
+		B:   make([]float64, out),
+		GW:  mat.NewMatrix(out, in),
+		GB:  make([]float64, out),
+		x:   make([]float64, in),
+		y:   make([]float64, out),
+	}
+}
+
+// Forward computes the layer output for one sample, caching the
+// activations needed by Backward. The returned slice is reused across
+// calls; copy it if it must survive the next Forward.
+func (d *Dense) Forward(x []float64) []float64 {
+	copy(d.x, x)
+	d.W.MulVec(x, d.y)
+	for i := range d.y {
+		d.y[i] = d.Act.apply(d.y[i] + d.B[i])
+	}
+	return d.y
+}
+
+// Apply computes σ(W·x + b) into out without touching the training caches,
+// so it is safe for concurrent use on a frozen layer (inference path).
+func (d *Dense) Apply(x, out []float64) {
+	if len(out) != d.Out {
+		panic(fmt.Sprintf("nn: Apply output size %d, want %d", len(out), d.Out))
+	}
+	d.W.MulVec(x, out)
+	for i := range out {
+		out[i] = d.Act.apply(out[i] + d.B[i])
+	}
+}
+
+// Backward consumes ∂L/∂y for the cached sample, accumulates parameter
+// gradients into GW/GB, and returns ∂L/∂x. The returned slice is freshly
+// allocated.
+func (d *Dense) Backward(gradY []float64) []float64 {
+	if len(gradY) != d.Out {
+		panic(fmt.Sprintf("nn: Backward grad size %d, want %d", len(gradY), d.Out))
+	}
+	// δ = gradY ⊙ σ'(preact), with σ' recovered from the cached output.
+	delta := make([]float64, d.Out)
+	for i := range delta {
+		delta[i] = gradY[i] * d.Act.derivFromOutput(d.y[i])
+	}
+	d.GW.AddOuter(1, delta, d.x)
+	mat.AddScaled(d.GB, 1, delta)
+	gradX := make([]float64, d.In)
+	d.W.MulVecT(delta, gradX)
+	return gradX
+}
+
+// ZeroGrad clears the accumulated gradients.
+func (d *Dense) ZeroGrad() {
+	d.GW.Zero()
+	mat.Fill(d.GB, 0)
+}
+
+// Params returns the layer's parameter/gradient pairs for optimizer
+// registration.
+func (d *Dense) Params() []Param {
+	return []Param{{W: d.W.Data, G: d.GW.Data}, {W: d.B, G: d.GB}}
+}
+
+// ParamCount returns the number of trainable scalars.
+func (d *Dense) ParamCount() int { return len(d.W.Data) + len(d.B) }
+
+// Param pairs a parameter tensor with its gradient accumulator.
+type Param struct {
+	W []float64
+	G []float64
+}
+
+// Adam implements the Adam optimizer with bias correction.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t      int
+	params []Param
+	m, v   [][]float64
+}
+
+// NewAdam returns an Adam optimizer with the canonical hyperparameters
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Register adds parameter tensors to be updated by Step.
+func (a *Adam) Register(params ...Param) {
+	for _, p := range params {
+		if len(p.W) != len(p.G) {
+			panic("nn: Adam parameter/gradient length mismatch")
+		}
+		a.params = append(a.params, p)
+		a.m = append(a.m, make([]float64, len(p.W)))
+		a.v = append(a.v, make([]float64, len(p.W)))
+	}
+}
+
+// Step applies one Adam update using the gradients currently accumulated
+// in the registered tensors, then leaves the gradients untouched (callers
+// zero them between batches).
+func (a *Adam) Step() {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for pi, p := range a.params {
+		m, v := a.m[pi], a.v[pi]
+		for i := range p.W {
+			g := p.G[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / c1
+			vh := v[i] / c2
+			p.W[i] -= a.LR * mh / (math.Sqrt(vh) + a.Epsilon)
+		}
+	}
+}
+
+// StepCount returns the number of optimizer steps taken.
+func (a *Adam) StepCount() int { return a.t }
+
+// FLOPsDense returns an estimate of the multiply-accumulate operations for
+// one forward pass through a dense layer, used by the energy profiler to
+// charge model-compute energy.
+func FLOPsDense(in, out int) float64 { return 2 * float64(in) * float64(out) }

@@ -1,0 +1,445 @@
+package nvm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"e2nvm/internal/bitvec"
+)
+
+func mustDevice(t *testing.T, cfg Config) *Device {
+	t.Helper()
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	if _, err := NewDevice(Config{SegmentSize: 0, NumSegments: 4}); err == nil {
+		t.Fatal("expected error for zero segment size")
+	}
+	if _, err := NewDevice(Config{SegmentSize: 64, NumSegments: 0}); err == nil {
+		t.Fatal("expected error for zero segments")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := mustDevice(t, DefaultConfig(64, 8))
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := d.Write(3, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestWriteBadAddress(t *testing.T) {
+	d := mustDevice(t, DefaultConfig(64, 4))
+	if _, err := d.Write(4, make([]byte, 64)); err == nil {
+		t.Fatal("expected ErrBadAddress for addr 4")
+	}
+	if _, err := d.Write(-1, make([]byte, 64)); err == nil {
+		t.Fatal("expected ErrBadAddress for addr -1")
+	}
+	if _, err := d.Read(99); err == nil {
+		t.Fatal("expected ErrBadAddress on read")
+	}
+}
+
+func TestWriteWrongSize(t *testing.T) {
+	d := mustDevice(t, DefaultConfig(64, 4))
+	if _, err := d.Write(0, make([]byte, 63)); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestDifferentialWriteCountsFlips(t *testing.T) {
+	d := mustDevice(t, DefaultConfig(8, 2))
+	first := []byte{0xff, 0, 0, 0, 0, 0, 0, 0}
+	res, err := d.Write(0, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsFlipped != 8 {
+		t.Fatalf("first write flipped %d bits, want 8", res.BitsFlipped)
+	}
+	// Overwrite with one bit different.
+	second := []byte{0xfe, 0, 0, 0, 0, 0, 0, 0}
+	res, err = d.Write(0, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsFlipped != 1 {
+		t.Fatalf("second write flipped %d bits, want 1", res.BitsFlipped)
+	}
+	if res.BitsWritten != 64 {
+		t.Fatalf("BitsWritten = %d, want 64", res.BitsWritten)
+	}
+}
+
+func TestIdenticalWriteSkipsLines(t *testing.T) {
+	cfg := DefaultConfig(128, 2) // two 64 B cache lines per segment
+	d := mustDevice(t, cfg)
+	data := make([]byte, 128)
+	for i := range data {
+		data[i] = 0xab
+	}
+	if _, err := d.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Write(0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsFlipped != 0 || res.LinesWritten != 0 || res.LinesSkipped != 2 {
+		t.Fatalf("identical rewrite: %+v, want 0 flips, 0 written, 2 skipped", res)
+	}
+	// Latency for a fully-skipped write is just the base.
+	if res.LatencyNs != cfg.WriteBaseLatencyNs {
+		t.Fatalf("latency = %v, want base %v", res.LatencyNs, cfg.WriteBaseLatencyNs)
+	}
+}
+
+func TestPartialLineDirtiness(t *testing.T) {
+	d := mustDevice(t, DefaultConfig(128, 1)) // lines [0,64) and [64,128)
+	data := make([]byte, 128)
+	if _, err := d.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	data[70] = 1 // dirty only the second line
+	res, err := d.Write(0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LinesWritten != 1 || res.LinesSkipped != 1 {
+		t.Fatalf("lines written/skipped = %d/%d, want 1/1", res.LinesWritten, res.LinesSkipped)
+	}
+	if res.BitsFlipped != 1 {
+		t.Fatalf("flips = %d, want 1", res.BitsFlipped)
+	}
+}
+
+func TestWriteRawChargesAllBits(t *testing.T) {
+	d := mustDevice(t, DefaultConfig(64, 1))
+	data := make([]byte, 64)
+	res, err := d.WriteRaw(0, data) // writing zeros over zeros still programs all cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsFlipped != 64*8 {
+		t.Fatalf("raw write flips = %d, want %d", res.BitsFlipped, 64*8)
+	}
+	if res.LinesWritten != 1 {
+		t.Fatalf("raw write lines = %d, want 1", res.LinesWritten)
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	cfg := DefaultConfig(8, 1)
+	d := mustDevice(t, cfg)
+	data := []byte{0x0f, 0, 0, 0, 0, 0, 0, 0} // 4 flips from zeroed state
+	res, err := d.Write(0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4*cfg.WriteEnergyPerBitPJ + cfg.AccessOverheadPJ
+	if res.EnergyPJ != want {
+		t.Fatalf("energy = %v, want %v", res.EnergyPJ, want)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := mustDevice(t, DefaultConfig(64, 4))
+	data := make([]byte, 64)
+	data[0] = 0xff
+	for i := 0; i < 3; i++ {
+		if _, err := d.Write(i, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Writes != 3 || s.Reads != 1 {
+		t.Fatalf("writes/reads = %d/%d, want 3/1", s.Writes, s.Reads)
+	}
+	if s.BitsFlipped != 24 {
+		t.Fatalf("BitsFlipped = %d, want 24", s.BitsFlipped)
+	}
+	if s.MaxSegmentWrites != 1 {
+		t.Fatalf("MaxSegmentWrites = %d, want 1", s.MaxSegmentWrites)
+	}
+	d.ResetStats()
+	if d.Stats().Writes != 0 {
+		t.Fatal("ResetStats did not clear counters")
+	}
+}
+
+func TestPeekIsFree(t *testing.T) {
+	d := mustDevice(t, DefaultConfig(64, 2))
+	before := d.Stats()
+	if _, err := d.Peek(1); err != nil {
+		t.Fatal(err)
+	}
+	after := d.Stats()
+	if after != before {
+		t.Fatalf("Peek changed stats: %+v vs %+v", after, before)
+	}
+}
+
+func TestFillSegmentIsFree(t *testing.T) {
+	d := mustDevice(t, DefaultConfig(8, 2))
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := d.FillSegment(1, data); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.Peek(1)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatal("FillSegment content mismatch")
+		}
+	}
+	if d.Stats().Writes != 0 || d.Stats().BitsFlipped != 0 {
+		t.Fatal("FillSegment charged costs")
+	}
+}
+
+func TestFillRandomizes(t *testing.T) {
+	d := mustDevice(t, DefaultConfig(256, 4))
+	d.Fill(rand.New(rand.NewSource(7)))
+	ones := 0
+	for s := 0; s < 4; s++ {
+		b, _ := d.Peek(s)
+		ones += bitvec.FromBytes(b).OnesCount()
+	}
+	total := 4 * 256 * 8
+	if ones < total/3 || ones > 2*total/3 {
+		t.Fatalf("random fill density looks wrong: %d/%d ones", ones, total)
+	}
+	if d.Stats().BitsFlipped != 0 {
+		t.Fatal("Fill charged flips")
+	}
+}
+
+func TestWearLevelingMovesSegments(t *testing.T) {
+	cfg := DefaultConfig(8, 4)
+	cfg.WearLevelPeriod = 2
+	d := mustDevice(t, cfg)
+	// Each logical segment gets distinctive content.
+	for s := 0; s < 4; s++ {
+		data := make([]byte, 8)
+		for i := range data {
+			data[i] = byte(s + 1)
+		}
+		if err := d.FillSegment(s, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := make([]byte, 8)
+	for w := 0; w < 10; w++ {
+		data[0] = byte(w)
+		if _, err := d.Write(w%4, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.WearLevelMoves != 5 {
+		t.Fatalf("WearLevelMoves = %d, want 5 (10 writes / ψ=2)", s.WearLevelMoves)
+	}
+	// Logical address mapping must survive moves: read back what we wrote.
+	got, err := d.Read(1) // last write to logical 1 had data[0]=9
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Fatalf("after wear leveling, logical 1 byte0 = %d, want 9", got[0])
+	}
+}
+
+func TestWearLevelingChargesFlips(t *testing.T) {
+	cfg := DefaultConfig(8, 2)
+	cfg.WearLevelPeriod = 1
+	d := mustDevice(t, cfg)
+	one := make([]byte, 8)
+	for i := range one {
+		one[i] = 0xff
+	}
+	// With ψ=1 the first write triggers a move of the segment adjacent to
+	// the gap (physical slot 1 = logical 1 initially) into the all-zero gap
+	// slot, so seeding logical 1 with ones guarantees copy flips.
+	if err := d.FillSegment(1, one); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Write(0, make([]byte, 8)) // zero write, 0 data flips, triggers a move
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WearLevelOps != 1 {
+		t.Fatalf("WearLevelOps = %d, want 1", res.WearLevelOps)
+	}
+	if d.Stats().WearLevelFlips == 0 {
+		t.Fatal("expected wear-leveling copy to incur flips")
+	}
+}
+
+// Property: under arbitrary interleavings of writes and wear-leveling
+// moves, reading a logical address always returns the last value written
+// to it.
+func TestAddressMappingConsistency(t *testing.T) {
+	f := func(seed int64, period uint8) bool {
+		cfg := DefaultConfig(16, 6)
+		cfg.WearLevelPeriod = int(period%5) + 1
+		d, err := NewDevice(cfg)
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		shadow := make([][]byte, 6)
+		for i := range shadow {
+			shadow[i] = make([]byte, 16)
+		}
+		for op := 0; op < 200; op++ {
+			addr := r.Intn(6)
+			data := make([]byte, 16)
+			r.Read(data)
+			if _, err := d.Write(addr, data); err != nil {
+				return false
+			}
+			copy(shadow[addr], data)
+			chk := r.Intn(6)
+			got, err := d.Peek(chk)
+			if err != nil {
+				return false
+			}
+			for i := range got {
+				if got[i] != shadow[chk][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitWearTracking(t *testing.T) {
+	cfg := DefaultConfig(8, 2)
+	cfg.TrackBitWear = true
+	d := mustDevice(t, cfg)
+	data := make([]byte, 8)
+	data[0] = 0x01
+	if _, err := d.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 0x00
+	if _, err := d.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	wear := d.BitWear()
+	if wear == nil {
+		t.Fatal("BitWear nil with tracking enabled")
+	}
+	if wear[0] != 2 {
+		t.Fatalf("bit 0 wear = %d, want 2", wear[0])
+	}
+	if wear[1] != 0 {
+		t.Fatalf("bit 1 wear = %d, want 0", wear[1])
+	}
+	if lf := d.LifetimeFraction(); lf != 2/cfg.EnduranceWrites {
+		t.Fatalf("LifetimeFraction = %v", lf)
+	}
+}
+
+func TestBitWearDisabled(t *testing.T) {
+	d := mustDevice(t, DefaultConfig(8, 1))
+	if d.BitWear() != nil {
+		t.Fatal("BitWear should be nil when disabled")
+	}
+	if d.LifetimeFraction() != 0 {
+		t.Fatal("LifetimeFraction should be 0 when untracked")
+	}
+}
+
+// Property: differential write flips exactly Hamming(old, new) cells.
+func TestFlipsEqualHamming(t *testing.T) {
+	f := func(seed int64) bool {
+		d, err := NewDevice(DefaultConfig(32, 2))
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		old := make([]byte, 32)
+		r.Read(old)
+		if err := d.FillSegment(0, old); err != nil {
+			return false
+		}
+		nw := make([]byte, 32)
+		r.Read(nw)
+		res, err := d.Write(0, nw)
+		if err != nil {
+			return false
+		}
+		return res.BitsFlipped == bitvec.HammingBytes(old, nw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	d := mustDevice(t, DefaultConfig(64, 16))
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			data := make([]byte, 64)
+			for i := 0; i < 100; i++ {
+				data[0] = byte(i)
+				if _, err := d.Write((g*2+i)%16, data); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := d.Stats().Writes; got != 800 {
+		t.Fatalf("Writes = %d, want 800", got)
+	}
+}
+
+func BenchmarkWrite256B(b *testing.B) {
+	d, err := NewDevice(DefaultConfig(256, 1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	d.Fill(r)
+	data := make([]byte, 256)
+	r.Read(data)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Write(i%1024, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

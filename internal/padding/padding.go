@@ -1,0 +1,339 @@
+// Package padding implements E2-NVM's strategies for fitting data items
+// smaller than the model's input width w (§4): the padded bits exist only
+// so the item can be pushed through the fixed-width VAE — they are never
+// written to NVM.
+//
+// Two orthogonal choices define a strategy:
+//
+//   - Location: where the padded bits sit relative to the data. Begin
+//     ([pad|data]), End ([data|pad]), Middle (pad inserted into the middle
+//     of the data, as in the paper's Figure 5), and Edges (pad split
+//     half-before/half-after the data, the third position of the paper's
+//     Figure 14 evaluation).
+//
+//   - Type: what the padded bits contain. Universal data-agnostic: Zero,
+//     One, Random. Universal data-aware: InputBased (IB — Bernoulli with
+//     the input item's 1-density), DatasetBased (DB — 1-density of all
+//     items observed so far), MemoryBased (MB — 1-density of the candidate
+//     replacement segments in NVM). Learned (LB) — an LSTM slides a window
+//     over the item and generates the padding bits (§4.1.3).
+package padding
+
+import (
+	"fmt"
+	"math/rand"
+
+	"e2nvm/internal/lstm"
+)
+
+// Location selects where padding bits are placed.
+type Location int
+
+// Padding locations.
+const (
+	Begin Location = iota
+	Middle
+	End
+	Edges
+)
+
+// String returns the location's name as used in the paper's figures.
+func (l Location) String() string {
+	switch l {
+	case Begin:
+		return "begin"
+	case Middle:
+		return "middle"
+	case End:
+		return "end"
+	case Edges:
+		return "edges"
+	default:
+		return fmt.Sprintf("Location(%d)", int(l))
+	}
+}
+
+// Locations lists every supported padding location.
+func Locations() []Location { return []Location{Begin, Middle, End, Edges} }
+
+// Type selects the padding-bit generation rule.
+type Type int
+
+// Padding types, in the order the paper's Figure 14 plots them.
+const (
+	Zero Type = iota
+	One
+	Random
+	InputBased
+	DatasetBased
+	MemoryBased
+	Learned
+)
+
+// String returns the type's short name from the paper.
+func (t Type) String() string {
+	switch t {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case Random:
+		return "rand"
+	case InputBased:
+		return "IB"
+	case DatasetBased:
+		return "DB"
+	case MemoryBased:
+		return "MB"
+	case Learned:
+		return "LB"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Types lists every supported padding type.
+func Types() []Type {
+	return []Type{Zero, One, Random, InputBased, DatasetBased, MemoryBased, Learned}
+}
+
+// Padder generates padded model inputs for undersized items.
+type Padder struct {
+	Loc  Location
+	Kind Type
+
+	rng *rand.Rand
+
+	// dataset statistics for DatasetBased padding
+	dsOnes, dsBits uint64
+
+	// memoryDensity supplies the 1-density of the memory locations that
+	// incoming items will replace (MemoryBased padding). Defaults to 0.5
+	// when unset.
+	memoryDensity func() float64
+
+	// learned-padding model state
+	model       *lstm.Network
+	windowBits  int
+	predictBits int
+}
+
+// New returns a Padder for the given location and type. Learned padders
+// must also be given a model via SetModel before use.
+func New(loc Location, kind Type, seed int64) *Padder {
+	return &Padder{Loc: loc, Kind: kind, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetMemoryDensity installs the callback MemoryBased padding samples from.
+func (p *Padder) SetMemoryDensity(f func() float64) { p.memoryDensity = f }
+
+// SetModel installs a trained sliding-window LSTM for Learned padding.
+// windowBits is the context consumed per step and predictBits the number of
+// bits generated per step (the paper uses 64 and 8).
+func (p *Padder) SetModel(m *lstm.Network, windowBits, predictBits int) {
+	p.model = m
+	p.windowBits = windowBits
+	p.predictBits = predictBits
+}
+
+// DatasetStats exports the running 1s/total-bit counters behind
+// DatasetBased padding (for model serialization).
+func (p *Padder) DatasetStats() (ones, bits uint64) { return p.dsOnes, p.dsBits }
+
+// SetDatasetStats restores previously exported dataset statistics.
+func (p *Padder) SetDatasetStats(ones, bits uint64) {
+	p.dsOnes, p.dsBits = ones, bits
+}
+
+// Model returns the learned-padding LSTM and its window/predict widths, or
+// nil when no model is installed.
+func (p *Padder) Model() (m *lstm.Network, windowBits, predictBits int) {
+	return p.model, p.windowBits, p.predictBits
+}
+
+// Observe folds an item into the dataset statistics used by DatasetBased
+// padding.
+func (p *Padder) Observe(data []float64) {
+	for _, b := range data {
+		if b >= 0.5 {
+			p.dsOnes++
+		}
+		p.dsBits++
+	}
+}
+
+// Pad expands data to width w. The result is freshly allocated; data is
+// not modified. Pad panics if len(data) > w, or if a Learned padder has no
+// model.
+func (p *Padder) Pad(data []float64, w int) []float64 {
+	q := w - len(data)
+	if q < 0 {
+		panic(fmt.Sprintf("padding: item of %d bits exceeds width %d", len(data), w))
+	}
+	if q == 0 {
+		out := make([]float64, w)
+		copy(out, data)
+		return out
+	}
+	pad := p.padBits(data, q)
+	out := make([]float64, 0, w)
+	switch p.Loc {
+	case Begin:
+		out = append(out, pad...)
+		out = append(out, data...)
+	case End:
+		out = append(out, data...)
+		out = append(out, pad...)
+	case Middle:
+		half := len(data) / 2
+		out = append(out, data[:half]...)
+		out = append(out, pad...)
+		out = append(out, data[half:]...)
+	case Edges:
+		half := q / 2
+		out = append(out, pad[:half]...)
+		out = append(out, data...)
+		out = append(out, pad[half:]...)
+	default:
+		panic(fmt.Sprintf("padding: unknown location %d", int(p.Loc)))
+	}
+	return out
+}
+
+func (p *Padder) padBits(data []float64, q int) []float64 {
+	pad := make([]float64, q)
+	switch p.Kind {
+	case Zero:
+		// already zero
+	case One:
+		for i := range pad {
+			pad[i] = 1
+		}
+	case Random:
+		for i := range pad {
+			pad[i] = float64(p.rng.Intn(2))
+		}
+	case InputBased:
+		p.bernoulli(pad, density(data))
+	case DatasetBased:
+		d := 0.5
+		if p.dsBits > 0 {
+			d = float64(p.dsOnes) / float64(p.dsBits)
+		}
+		p.bernoulli(pad, d)
+	case MemoryBased:
+		d := 0.5
+		if p.memoryDensity != nil {
+			d = p.memoryDensity()
+		}
+		p.bernoulli(pad, d)
+	case Learned:
+		if p.model == nil {
+			panic("padding: Learned padder has no model (call SetModel)")
+		}
+		p.generateLearned(data, pad)
+	default:
+		panic(fmt.Sprintf("padding: unknown type %d", int(p.Kind)))
+	}
+	return pad
+}
+
+func (p *Padder) bernoulli(pad []float64, d float64) {
+	for i := range pad {
+		if p.rng.Float64() < d {
+			pad[i] = 1
+		}
+	}
+}
+
+// generateLearned slides the LSTM window over data followed by the bits
+// generated so far, emitting predictBits per step (§4.1.3).
+func (p *Padder) generateLearned(data []float64, pad []float64) {
+	buf := append([]float64(nil), data...)
+	for generated := 0; generated < len(pad); {
+		window := lastWindow(buf, p.windowBits)
+		out := p.model.PredictStep(window)
+		for i := 0; i < p.predictBits && generated < len(pad); i++ {
+			bit := 0.0
+			if i < len(out) && out[i] >= 0.5 {
+				bit = 1
+			}
+			pad[generated] = bit
+			buf = append(buf, bit)
+			generated++
+		}
+	}
+}
+
+// lastWindow returns the trailing w entries of buf, left-padded with zeros
+// when buf is shorter than w.
+func lastWindow(buf []float64, w int) []float64 {
+	out := make([]float64, w)
+	n := len(buf)
+	if n >= w {
+		copy(out, buf[n-w:])
+		return out
+	}
+	copy(out[w-n:], buf)
+	return out
+}
+
+func density(data []float64) float64 {
+	if len(data) == 0 {
+		return 0.5
+	}
+	ones := 0
+	for _, b := range data {
+		if b >= 0.5 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(len(data))
+}
+
+// maxLearnedWindows caps the number of sliding-window samples used to fit
+// the learned-padding LSTM; beyond this, additional windows add training
+// cost without measurably improving the generated padding.
+const maxLearnedWindows = 5000
+
+// TrainLearnedModel fits the sliding-window LSTM on full-width items:
+// every (windowBits → next predictBits) pair at stride predictBits becomes
+// a training sample, exactly the regime the trained model is used in. When
+// the items yield more than maxLearnedWindows samples, windows are taken
+// at a coarser stride to stay within the cap.
+func TrainLearnedModel(items [][]float64, windowBits, predictBits, hidden, epochs int, seed int64) (*lstm.Network, error) {
+	if windowBits <= 0 || predictBits <= 0 {
+		return nil, fmt.Errorf("padding: invalid window %d / predict %d", windowBits, predictBits)
+	}
+	total := 0
+	for _, item := range items {
+		if n := (len(item) - windowBits) / predictBits; n > 0 {
+			total += n
+		}
+	}
+	stride := predictBits
+	if total > maxLearnedWindows {
+		stride = predictBits * (total/maxLearnedWindows + 1)
+	}
+	var seqs [][][]float64
+	var targets [][]float64
+	for _, item := range items {
+		for off := 0; off+windowBits+predictBits <= len(item); off += stride {
+			win := append([]float64(nil), item[off:off+windowBits]...)
+			tgt := append([]float64(nil), item[off+windowBits:off+windowBits+predictBits]...)
+			seqs = append(seqs, [][]float64{win})
+			targets = append(targets, tgt)
+		}
+	}
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("padding: no training windows (items shorter than window+predict = %d bits)", windowBits+predictBits)
+	}
+	net, err := lstm.New(windowBits, hidden, predictBits, seed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := net.Fit(seqs, targets, epochs, 32); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

@@ -1,0 +1,305 @@
+package padding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// d1 is the paper's running example input (Figure 5 / Table 1).
+var d1 = []float64{0, 0, 0, 1}
+
+func bitsOf(v []float64) []int {
+	out := make([]int, len(v))
+	for i, b := range v {
+		if b >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func eq(a []int, b ...int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPaperFigure5ZeroAndOne reproduces the deterministic rows of the
+// paper's Figure 5 for the input d1 = [0,0,0,1] padded to 8 bits.
+func TestPaperFigure5ZeroAndOne(t *testing.T) {
+	cases := []struct {
+		loc  Location
+		kind Type
+		want []int
+	}{
+		{Begin, Zero, []int{0, 0, 0, 0, 0, 0, 0, 1}},
+		{Begin, One, []int{1, 1, 1, 1, 0, 0, 0, 1}},
+		{Middle, Zero, []int{0, 0, 0, 0, 0, 0, 0, 1}},
+		{Middle, One, []int{0, 0, 1, 1, 1, 1, 0, 1}},
+		{End, Zero, []int{0, 0, 0, 1, 0, 0, 0, 0}},
+		{End, One, []int{0, 0, 0, 1, 1, 1, 1, 1}},
+	}
+	for _, c := range cases {
+		p := New(c.loc, c.kind, 1)
+		got := bitsOf(p.Pad(d1, 8))
+		if !eq(got, c.want...) {
+			t.Errorf("%v/%v: got %v, want %v", c.loc, c.kind, got, c.want)
+		}
+	}
+}
+
+func TestLocationStrings(t *testing.T) {
+	names := map[Location]string{Begin: "begin", Middle: "middle", End: "end", Edges: "edges"}
+	for l, want := range names {
+		if l.String() != want {
+			t.Fatalf("Location %d String = %q", int(l), l.String())
+		}
+	}
+	if len(Locations()) != 4 {
+		t.Fatal("Locations() wrong length")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	names := map[Type]string{Zero: "0", One: "1", Random: "rand", InputBased: "IB", DatasetBased: "DB", MemoryBased: "MB", Learned: "LB"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("Type %d String = %q", int(k), k.String())
+		}
+	}
+	if len(Types()) != 7 {
+		t.Fatal("Types() wrong length")
+	}
+}
+
+func TestPadExactWidthIsCopy(t *testing.T) {
+	p := New(Begin, One, 1)
+	out := p.Pad(d1, 4)
+	if !eq(bitsOf(out), 0, 0, 0, 1) {
+		t.Fatalf("exact width pad = %v", out)
+	}
+	out[0] = 1
+	if d1[0] != 0 {
+		t.Fatal("Pad aliases input")
+	}
+}
+
+func TestPadOversizedPanics(t *testing.T) {
+	p := New(Begin, Zero, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Pad(make([]float64, 10), 8)
+}
+
+func TestEdgesLocation(t *testing.T) {
+	p := New(Edges, One, 1)
+	got := bitsOf(p.Pad(d1, 8))
+	// q=4, half=2 → [1,1, data, 1,1]
+	if !eq(got, 1, 1, 0, 0, 0, 1, 1, 1) {
+		t.Fatalf("edges pad = %v", got)
+	}
+}
+
+func TestEdgesOddSplit(t *testing.T) {
+	p := New(Edges, One, 1)
+	got := bitsOf(p.Pad([]float64{0, 0, 0}, 8))
+	// q=5, half=2 → 2 ones before, 3 after
+	if !eq(got, 1, 1, 0, 0, 0, 1, 1, 1) {
+		t.Fatalf("edges odd pad = %v", got)
+	}
+}
+
+func TestInputBasedDensity(t *testing.T) {
+	p := New(End, InputBased, 7)
+	// Input of all ones → IB padding must be all ones.
+	ones := []float64{1, 1, 1, 1}
+	got := bitsOf(p.Pad(ones, 12))
+	for _, b := range got {
+		if b != 1 {
+			t.Fatalf("IB with density 1 produced a zero: %v", got)
+		}
+	}
+	// Input of all zeros → all-zero padding.
+	got = bitsOf(p.Pad([]float64{0, 0, 0, 0}, 12))
+	for _, b := range got {
+		if b != 0 {
+			t.Fatalf("IB with density 0 produced a one: %v", got)
+		}
+	}
+}
+
+func TestDatasetBasedUsesObservedDensity(t *testing.T) {
+	p := New(End, DatasetBased, 3)
+	for i := 0; i < 50; i++ {
+		p.Observe([]float64{1, 1, 1, 1}) // dataset is all ones
+	}
+	got := bitsOf(p.Pad([]float64{0, 0}, 10))
+	for i := 2; i < 10; i++ {
+		if got[i] != 1 {
+			t.Fatalf("DB with all-ones dataset emitted a zero: %v", got)
+		}
+	}
+}
+
+func TestDatasetBasedDefaultsHalf(t *testing.T) {
+	p := New(End, DatasetBased, 5)
+	// No observations: density 0.5; over many bits both values appear.
+	got := bitsOf(p.Pad([]float64{0}, 201))
+	ones := 0
+	for _, b := range got[1:] {
+		ones += b
+	}
+	if ones == 0 || ones == 200 {
+		t.Fatalf("unobserved DB padding not ~Bernoulli(0.5): %d ones", ones)
+	}
+}
+
+func TestMemoryBasedUsesCallback(t *testing.T) {
+	p := New(Begin, MemoryBased, 5)
+	p.SetMemoryDensity(func() float64 { return 1 })
+	got := bitsOf(p.Pad([]float64{0, 0}, 8))
+	for i := 0; i < 6; i++ {
+		if got[i] != 1 {
+			t.Fatalf("MB with density 1 emitted zero: %v", got)
+		}
+	}
+}
+
+func TestMemoryBasedDefault(t *testing.T) {
+	p := New(Begin, MemoryBased, 5)
+	got := bitsOf(p.Pad([]float64{0}, 401))
+	ones := 0
+	for _, b := range got[:400] {
+		ones += b
+	}
+	if ones < 120 || ones > 280 {
+		t.Fatalf("default MB density not ≈0.5: %d/400 ones", ones)
+	}
+}
+
+func TestLearnedWithoutModelPanics(t *testing.T) {
+	p := New(End, Learned, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Pad(d1, 8)
+}
+
+// TestLearnedPaddingReproducesPattern trains the sliding-window LSTM on
+// items whose bits alternate 1,0,1,0,… and checks the generated padding
+// continues the pattern.
+func TestLearnedPaddingReproducesPattern(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	_ = r
+	items := make([][]float64, 40)
+	for i := range items {
+		item := make([]float64, 64)
+		for j := range item {
+			item[j] = float64((j + i%2) % 2)
+		}
+		items[i] = item
+	}
+	net, err := TrainLearnedModel(items, 16, 4, 12, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(End, Learned, 1)
+	p.SetModel(net, 16, 4)
+	// Item ends ...0,1 → padding should continue 0,1,0,1.
+	data := make([]float64, 32)
+	for j := range data {
+		data[j] = float64(j % 2) // 0,1,0,1,...,0,1
+	}
+	out := bitsOf(p.Pad(data, 44))
+	for i := 32; i < 44; i++ {
+		want := i % 2
+		if out[i] != want {
+			t.Fatalf("learned pad bit %d = %d, want %d (pattern continuation): %v", i, out[i], want, out[32:])
+		}
+	}
+}
+
+func TestTrainLearnedModelValidation(t *testing.T) {
+	if _, err := TrainLearnedModel(nil, 0, 8, 10, 5, 1); err == nil {
+		t.Fatal("expected error for invalid window")
+	}
+	short := [][]float64{make([]float64, 4)}
+	if _, err := TrainLearnedModel(short, 64, 8, 10, 5, 1); err == nil {
+		t.Fatal("expected error when items are too short")
+	}
+}
+
+// Property: padded output always has width w, contains the original data
+// bits in order at the location's offsets, and Pad never mutates its input.
+func TestPadPreservesData(t *testing.T) {
+	f := func(seed int64, locByte, kindByte, sizeByte uint8) bool {
+		loc := Locations()[int(locByte)%4]
+		kinds := []Type{Zero, One, Random, InputBased, DatasetBased, MemoryBased}
+		kind := kinds[int(kindByte)%len(kinds)]
+		w := 32
+		n := int(sizeByte)%w + 1
+		r := rand.New(rand.NewSource(seed))
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(r.Intn(2))
+		}
+		orig := append([]float64(nil), data...)
+		p := New(loc, kind, seed)
+		out := p.Pad(data, w)
+		if len(out) != w {
+			return false
+		}
+		for i := range data {
+			if data[i] != orig[i] {
+				return false
+			}
+		}
+		// Recover the data bits from the padded layout.
+		q := w - n
+		var recovered []float64
+		switch loc {
+		case Begin:
+			recovered = out[q:]
+		case End:
+			recovered = out[:n]
+		case Middle:
+			half := n / 2
+			recovered = append(append([]float64(nil), out[:half]...), out[half+q:]...)
+		case Edges:
+			recovered = out[q/2 : q/2+n]
+		}
+		for i := range data {
+			if recovered[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPadIB(b *testing.B) {
+	p := New(End, InputBased, 1)
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = float64(i % 2)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Pad(data, 256)
+	}
+}

@@ -1,0 +1,289 @@
+// Package pca implements principal component analysis via the covariance
+// matrix and a cyclic Jacobi eigensolver. It exists to reproduce the PNW
+// baseline (Kargar, Litz & Nawab, ICDE 2021), which reduces bit-vector
+// dimensionality with PCA before K-means — the configuration E2-NVM's VAE
+// is compared against in Figures 4 and 10.
+package pca
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Model is a fitted PCA projection.
+type Model struct {
+	Mean       []float64
+	Components [][]float64 // Dims rows, each of length len(Mean)
+	// Explained holds the eigenvalue (variance) of each kept component.
+	Explained []float64
+}
+
+// Fit computes the top dims principal components of data (rows = samples).
+// For inputs wider than maxJacobiDim features it falls back to orthogonal
+// power iteration, since Jacobi is O(d^3) per sweep.
+func Fit(data [][]float64, dims int) (*Model, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("pca: empty training set")
+	}
+	d := len(data[0])
+	if dims <= 0 || dims > d {
+		return nil, fmt.Errorf("pca: dims %d out of range (1..%d)", dims, d)
+	}
+	for i, row := range data {
+		if len(row) != d {
+			return nil, fmt.Errorf("pca: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+
+	mean := make([]float64, d)
+	for _, row := range data {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+
+	const maxJacobiDim = 96
+	if d <= maxJacobiDim {
+		return fitJacobi(data, mean, dims)
+	}
+	return fitPower(data, mean, dims)
+}
+
+func covariance(data [][]float64, mean []float64) [][]float64 {
+	n, d := len(data), len(mean)
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	centered := make([]float64, d)
+	for _, row := range data {
+		for j := range row {
+			centered[j] = row[j] - mean[j]
+		}
+		for i := 0; i < d; i++ {
+			ci := centered[i]
+			if ci == 0 {
+				continue
+			}
+			for j := i; j < d; j++ {
+				cov[i][j] += ci * centered[j]
+			}
+		}
+	}
+	inv := 1.0 / float64(maxInt(n-1, 1))
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			cov[i][j] *= inv
+			cov[j][i] = cov[i][j]
+		}
+	}
+	return cov
+}
+
+func fitJacobi(data [][]float64, mean []float64, dims int) (*Model, error) {
+	d := len(mean)
+	a := covariance(data, mean)
+	// Eigenvectors accumulate in v (columns).
+	v := make([][]float64, d)
+	for i := range v {
+		v[i] = make([]float64, d)
+		v[i][i] = 1
+	}
+	const sweeps = 30
+	for s := 0; s < sweeps; s++ {
+		off := 0.0
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < d; p++ {
+			for q := p + 1; q < d; q++ {
+				if math.Abs(a[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := sign(theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				sn := t * c
+				rotate(a, v, p, q, c, sn)
+			}
+		}
+	}
+	type eig struct {
+		val float64
+		idx int
+	}
+	eigs := make([]eig, d)
+	for i := 0; i < d; i++ {
+		eigs[i] = eig{a[i][i], i}
+	}
+	sort.Slice(eigs, func(i, j int) bool { return eigs[i].val > eigs[j].val })
+
+	m := &Model{Mean: mean}
+	for k := 0; k < dims; k++ {
+		comp := make([]float64, d)
+		for i := 0; i < d; i++ {
+			comp[i] = v[i][eigs[k].idx]
+		}
+		m.Components = append(m.Components, comp)
+		m.Explained = append(m.Explained, eigs[k].val)
+	}
+	return m, nil
+}
+
+func rotate(a, v [][]float64, p, q int, c, s float64) {
+	d := len(a)
+	app, aqq, apq := a[p][p], a[q][q], a[p][q]
+	a[p][p] = c*c*app - 2*s*c*apq + s*s*aqq
+	a[q][q] = s*s*app + 2*s*c*apq + c*c*aqq
+	a[p][q] = 0
+	a[q][p] = 0
+	for i := 0; i < d; i++ {
+		if i != p && i != q {
+			aip, aiq := a[i][p], a[i][q]
+			a[i][p] = c*aip - s*aiq
+			a[p][i] = a[i][p]
+			a[i][q] = s*aip + c*aiq
+			a[q][i] = a[i][q]
+		}
+		vip, viq := v[i][p], v[i][q]
+		v[i][p] = c*vip - s*viq
+		v[i][q] = s*vip + c*viq
+	}
+}
+
+// fitPower extracts the leading components by orthogonal (deflated) power
+// iteration applied implicitly to XᵀX without materializing the covariance.
+func fitPower(data [][]float64, mean []float64, dims int) (*Model, error) {
+	d := len(mean)
+	n := len(data)
+	centered := make([][]float64, n)
+	for i, row := range data {
+		c := make([]float64, d)
+		for j := range row {
+			c[j] = row[j] - mean[j]
+		}
+		centered[i] = c
+	}
+	m := &Model{Mean: mean}
+	for k := 0; k < dims; k++ {
+		vec := make([]float64, d)
+		// Deterministic pseudo-random start varies by component.
+		for j := range vec {
+			vec[j] = math.Sin(float64(j*31+k*17) + 1)
+		}
+		orthonormalize(vec, m.Components)
+		var lambda float64
+		for iter := 0; iter < 100; iter++ {
+			next := make([]float64, d)
+			// next = Cov·vec computed as Σ_i x_i (x_i·vec) / (n-1)
+			for _, x := range centered {
+				dot := 0.0
+				for j := range x {
+					dot += x[j] * vec[j]
+				}
+				for j := range x {
+					next[j] += x[j] * dot
+				}
+			}
+			inv := 1.0 / float64(maxInt(n-1, 1))
+			for j := range next {
+				next[j] *= inv
+			}
+			orthonormalize(next, m.Components)
+			nrm := norm(next)
+			if nrm == 0 {
+				break
+			}
+			for j := range next {
+				next[j] /= nrm
+			}
+			diff := 0.0
+			for j := range next {
+				dd := next[j] - vec[j]
+				diff += dd * dd
+			}
+			vec = next
+			lambda = nrm
+			if diff < 1e-12 {
+				break
+			}
+		}
+		m.Components = append(m.Components, vec)
+		m.Explained = append(m.Explained, lambda)
+	}
+	return m, nil
+}
+
+func orthonormalize(v []float64, basis [][]float64) {
+	for _, b := range basis {
+		dot := 0.0
+		for j := range v {
+			dot += v[j] * b[j]
+		}
+		for j := range v {
+			v[j] -= dot * b[j]
+		}
+	}
+	if nrm := norm(v); nrm > 0 {
+		for j := range v {
+			v[j] /= nrm
+		}
+	}
+}
+
+func norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Transform projects x onto the fitted components.
+func (m *Model) Transform(x []float64) []float64 {
+	if len(x) != len(m.Mean) {
+		panic(fmt.Sprintf("pca: Transform input %d, want %d", len(x), len(m.Mean)))
+	}
+	out := make([]float64, len(m.Components))
+	for k, comp := range m.Components {
+		s := 0.0
+		for j := range x {
+			s += (x[j] - m.Mean[j]) * comp[j]
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// TransformAll projects every row of data.
+func (m *Model) TransformAll(data [][]float64) [][]float64 {
+	out := make([][]float64, len(data))
+	for i, row := range data {
+		out[i] = m.Transform(row)
+	}
+	return out
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,200 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, 1); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	data := [][]float64{{1, 2}, {3, 4}}
+	if _, err := Fit(data, 0); err == nil {
+		t.Fatal("expected error for dims=0")
+	}
+	if _, err := Fit(data, 3); err == nil {
+		t.Fatal("expected error for dims>d")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {1}}, 1); err == nil {
+		t.Fatal("expected error on ragged rows")
+	}
+}
+
+// TestRecoversDominantDirection plants variance along a known axis and
+// checks PCA finds it.
+func TestRecoversDominantDirection(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	// Points spread along direction (1,1,0)/√2 with tiny noise elsewhere.
+	dir := []float64{1 / math.Sqrt2, 1 / math.Sqrt2, 0}
+	data := make([][]float64, 300)
+	for i := range data {
+		tval := r.NormFloat64() * 5
+		data[i] = []float64{
+			tval*dir[0] + r.NormFloat64()*0.01,
+			tval*dir[1] + r.NormFloat64()*0.01,
+			r.NormFloat64() * 0.01,
+		}
+	}
+	m, err := Fit(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Components[0]
+	// Component may be negated; compare |cos| to 1.
+	cos := math.Abs(c[0]*dir[0] + c[1]*dir[1] + c[2]*dir[2])
+	if cos < 0.999 {
+		t.Fatalf("component %v not aligned with planted direction (|cos|=%v)", c, cos)
+	}
+	if m.Explained[0] < 10 {
+		t.Fatalf("explained variance %v too small", m.Explained[0])
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	data := make([][]float64, 200)
+	for i := range data {
+		row := make([]float64, 6)
+		for j := range row {
+			row[j] = r.NormFloat64() * float64(j+1)
+		}
+		data[i] = row
+	}
+	m, err := Fit(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			dot := 0.0
+			for k := range m.Components[i] {
+				dot += m.Components[i][k] * m.Components[j][k]
+			}
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				t.Fatalf("components %d,%d dot = %v, want %v", i, j, dot, want)
+			}
+		}
+	}
+	// Eigenvalues sorted descending.
+	for i := 1; i < len(m.Explained); i++ {
+		if m.Explained[i] > m.Explained[i-1]+1e-9 {
+			t.Fatalf("explained variance not sorted: %v", m.Explained)
+		}
+	}
+}
+
+func TestTransformCentersData(t *testing.T) {
+	data := [][]float64{{1, 0}, {3, 0}, {5, 0}}
+	m, err := Fit(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mean point must project to ~0.
+	if z := m.Transform([]float64{3, 0}); math.Abs(z[0]) > 1e-9 {
+		t.Fatalf("mean projects to %v, want 0", z[0])
+	}
+	all := m.TransformAll(data)
+	if len(all) != 3 || len(all[0]) != 1 {
+		t.Fatalf("TransformAll shape wrong")
+	}
+	// Projections of extremes are symmetric around 0.
+	if math.Abs(all[0][0]+all[2][0]) > 1e-9 {
+		t.Fatalf("projections not symmetric: %v", all)
+	}
+}
+
+func TestTransformWrongSizePanics(t *testing.T) {
+	m, err := Fit([][]float64{{1, 2}, {2, 1}, {0, 0}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Transform([]float64{1})
+}
+
+// TestPowerIterationPath exercises the wide-input fallback (d > 96) and
+// checks it agrees with the planted structure.
+func TestPowerIterationPath(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	d := 120
+	data := make([][]float64, 150)
+	for i := range data {
+		row := make([]float64, d)
+		tval := r.NormFloat64() * 4
+		for j := range row {
+			if j < 2 {
+				row[j] = tval + r.NormFloat64()*0.05
+			} else {
+				row[j] = r.NormFloat64() * 0.05
+			}
+		}
+		data[i] = row
+	}
+	m, err := Fit(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Components[0]
+	// Dominant direction concentrates on the first two coordinates.
+	mass := c[0]*c[0] + c[1]*c[1]
+	if mass < 0.95 {
+		t.Fatalf("leading component mass on planted coords = %v, want ≈1", mass)
+	}
+}
+
+// TestReconstructionQuality: projecting onto all components and expanding
+// back should reproduce the (centered) data for full-rank PCA.
+func TestReconstructionQuality(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	data := make([][]float64, 50)
+	for i := range data {
+		data[i] = []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+	}
+	m, err := Fit(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range data {
+		z := m.Transform(x)
+		recon := append([]float64(nil), m.Mean...)
+		for k, comp := range m.Components {
+			for j := range recon {
+				recon[j] += z[k] * comp[j]
+			}
+		}
+		for j := range x {
+			if math.Abs(recon[j]-x[j]) > 1e-6 {
+				t.Fatalf("full-rank reconstruction error %v at dim %d", recon[j]-x[j], j)
+			}
+		}
+	}
+}
+
+func BenchmarkFitDim64(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	data := make([][]float64, 300)
+	for i := range data {
+		row := make([]float64, 64)
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+		data[i] = row
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(data, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package pnw reimplements the Predict-and-Write baseline (Kargar, Litz &
+// Nawab, ICDE 2021) that E2-NVM is evaluated against in Figures 2, 4 and
+// 10: a clustering-based memory-aware write scheme that uses plain K-means
+// over raw segment bits, optionally preceded by PCA dimensionality
+// reduction when the bit width makes raw K-means intractable.
+package pnw
+
+import (
+	"fmt"
+	"time"
+
+	"e2nvm/internal/kmeans"
+	"e2nvm/internal/pca"
+)
+
+// Mode selects the PNW configuration.
+type Mode int
+
+// PNW modes as plotted in the paper.
+const (
+	// KMeansOnly clusters raw bit vectors directly.
+	KMeansOnly Mode = iota
+	// PCAKMeans reduces dimensionality with PCA first — the only viable
+	// PNW mode for large items per the paper's Figure 4.
+	PCAKMeans
+)
+
+// String returns the mode's display name.
+func (m Mode) String() string {
+	switch m {
+	case KMeansOnly:
+		return "K-means"
+	case PCAKMeans:
+		return "PCA+K-means"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config controls PNW training.
+type Config struct {
+	K       int
+	Mode    Mode
+	PCADims int // latent width for PCAKMeans (default 10)
+	Seed    int64
+}
+
+// Model is a trained PNW predictor.
+type Model struct {
+	cfg Config
+	pca *pca.Model
+	km  *kmeans.Model
+
+	// TrainTime is the wall-clock cost of Train, the preprocessing
+	// latency compared in Figure 4.
+	TrainTime time.Duration
+}
+
+// Train fits PNW on segment bit images (rows of {0,1} values).
+func Train(data [][]float64, cfg Config) (*Model, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("pnw: K %d must be positive", cfg.K)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("pnw: empty training set")
+	}
+	if cfg.PCADims <= 0 {
+		cfg.PCADims = 10
+	}
+	start := time.Now()
+	m := &Model{cfg: cfg}
+	feats := data
+	if cfg.Mode == PCAKMeans {
+		dims := cfg.PCADims
+		if dims > len(data[0]) {
+			dims = len(data[0])
+		}
+		p, err := pca.Fit(data, dims)
+		if err != nil {
+			return nil, err
+		}
+		m.pca = p
+		feats = p.TransformAll(data)
+	}
+	kcfg := kmeans.NewConfig(cfg.K)
+	kcfg.Seed = cfg.Seed
+	km, err := kmeans.Fit(feats, kcfg)
+	if err != nil {
+		return nil, err
+	}
+	m.km = km
+	m.TrainTime = time.Since(start)
+	return m, nil
+}
+
+// K returns the cluster count.
+func (m *Model) K() int { return m.km.K }
+
+// Mode returns the trained configuration's mode.
+func (m *Model) Mode() Mode { return m.cfg.Mode }
+
+// Predict maps an item (same width as training rows) to its cluster.
+func (m *Model) Predict(item []float64) int {
+	if m.pca != nil {
+		return m.km.Predict(m.pca.Transform(item))
+	}
+	return m.km.Predict(item)
+}
+
+// FLOPsPerPredict estimates per-prediction compute: the PCA projection (if
+// any) plus the centroid scan, for the energy profiler.
+func (m *Model) FLOPsPerPredict() float64 {
+	var f float64
+	dim := 0
+	if m.pca != nil {
+		in := len(m.pca.Mean)
+		out := len(m.pca.Components)
+		f += 2 * float64(in) * float64(out)
+		dim = out
+	} else if len(m.km.Centroids) > 0 {
+		dim = len(m.km.Centroids[0])
+	}
+	f += 2 * float64(m.km.K) * float64(dim)
+	return f
+}

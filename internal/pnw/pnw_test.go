@@ -1,0 +1,133 @@
+package pnw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func bitClusters(r *rand.Rand, n, k, dim int, noise float64) ([][]float64, []int) {
+	protos := make([][]float64, k)
+	for c := range protos {
+		p := make([]float64, dim)
+		for j := range p {
+			if r.Intn(2) == 1 {
+				p[j] = 1
+			}
+		}
+		protos[c] = p
+	}
+	data := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range data {
+		c := r.Intn(k)
+		labels[i] = c
+		row := append([]float64(nil), protos[c]...)
+		for j := range row {
+			if r.Float64() < noise {
+				row[j] = 1 - row[j]
+			}
+		}
+		data[i] = row
+	}
+	return data, labels
+}
+
+func purity(m *Model, data [][]float64, labels []int, k int) float64 {
+	counts := make([]map[int]int, k)
+	for i := range counts {
+		counts[i] = map[int]int{}
+	}
+	for i, x := range data {
+		counts[m.Predict(x)][labels[i]]++
+	}
+	pure, total := 0, 0
+	for _, cm := range counts {
+		best := 0
+		for _, n := range cm {
+			total += n
+			if n > best {
+				best = n
+			}
+		}
+		pure += best
+	}
+	return float64(pure) / float64(total)
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, Config{K: 2}); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	if _, err := Train([][]float64{{1}}, Config{K: 0}); err == nil {
+		t.Fatal("expected error on K=0")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if KMeansOnly.String() != "K-means" || PCAKMeans.String() != "PCA+K-means" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestKMeansOnlyRecoversClusters(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	data, labels := bitClusters(r, 300, 3, 64, 0.03)
+	m, err := Train(data, Config{K: 3, Mode: KMeansOnly, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 3 || m.Mode() != KMeansOnly {
+		t.Fatal("model metadata wrong")
+	}
+	if p := purity(m, data, labels, 3); p < 0.95 {
+		t.Fatalf("raw K-means purity %.3f < 0.95", p)
+	}
+	if m.TrainTime <= 0 {
+		t.Fatal("TrainTime not recorded")
+	}
+}
+
+func TestPCAKMeansRecoversClusters(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	data, labels := bitClusters(r, 300, 3, 64, 0.03)
+	m, err := Train(data, Config{K: 3, Mode: PCAKMeans, PCADims: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := purity(m, data, labels, 3); p < 0.9 {
+		t.Fatalf("PCA+K-means purity %.3f < 0.9", p)
+	}
+}
+
+func TestPCADimsClampedToWidth(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	data, _ := bitClusters(r, 60, 2, 6, 0.05)
+	m, err := Train(data, Config{K: 2, Mode: PCAKMeans, PCADims: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := m.Predict(data[0]); c < 0 || c >= 2 {
+		t.Fatalf("prediction %d out of range", c)
+	}
+}
+
+func TestFLOPsPerPredict(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	data, _ := bitClusters(r, 80, 2, 32, 0.05)
+	raw, err := Train(data, Config{K: 2, Mode: KMeansOnly, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Train(data, Config{K: 2, Mode: PCAKMeans, PCADims: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.FLOPsPerPredict() <= 0 || red.FLOPsPerPredict() <= 0 {
+		t.Fatal("FLOPs must be positive")
+	}
+	// Raw K-means scans centroids in full 32-dim space; PCA mode pays the
+	// projection but scans in 4 dims.
+	if raw.FLOPsPerPredict() == red.FLOPsPerPredict() {
+		t.Fatal("modes should differ in predict cost")
+	}
+}

@@ -1,0 +1,239 @@
+package rbw
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"e2nvm/internal/bitvec"
+)
+
+func TestNaiveFlipsEverything(t *testing.T) {
+	old := []byte{0xaa, 0xbb}
+	data := []byte{0xaa, 0xbb} // identical content still costs all bits
+	res := Naive{}.Encode(old, nil, data)
+	if res.DataFlips != 16 {
+		t.Fatalf("Naive flips = %d, want 16", res.DataFlips)
+	}
+	if !bytes.Equal(res.Stored, data) {
+		t.Fatal("Naive must store data verbatim")
+	}
+}
+
+func TestDCWFlipsAreHamming(t *testing.T) {
+	old := []byte{0x0f, 0xf0}
+	data := []byte{0x0e, 0xf0}
+	res := DCW{}.Encode(old, nil, data)
+	if res.DataFlips != 1 {
+		t.Fatalf("DCW flips = %d, want 1", res.DataFlips)
+	}
+	if res.TagFlips != 0 {
+		t.Fatalf("DCW tag flips = %d, want 0", res.TagFlips)
+	}
+}
+
+func TestFNWInvertsWhenBetter(t *testing.T) {
+	// Old word is all ones; writing all zeros plainly costs 32 flips, but
+	// storing the complement (all ones) costs 0 data flips + 1 flag flip.
+	old := []byte{0xff, 0xff, 0xff, 0xff}
+	data := []byte{0, 0, 0, 0}
+	res := FNW{}.Encode(old, nil, data)
+	if res.DataFlips != 0 {
+		t.Fatalf("FNW data flips = %d, want 0", res.DataFlips)
+	}
+	if res.TagFlips != 1 {
+		t.Fatalf("FNW tag flips = %d, want 1", res.TagFlips)
+	}
+	if !bytes.Equal(res.Stored, old) {
+		t.Fatal("FNW should have stored the complement")
+	}
+	if got := (FNW{}).Decode(res.Stored, res.Tags); !bytes.Equal(got, data) {
+		t.Fatalf("FNW decode = %x, want %x", got, data)
+	}
+}
+
+func TestFNWKeepsPlainWhenBetter(t *testing.T) {
+	old := []byte{0, 0, 0, 0}
+	data := []byte{1, 0, 0, 0}
+	res := FNW{}.Encode(old, nil, data)
+	if res.DataFlips != 1 || res.TagFlips != 0 {
+		t.Fatalf("FNW flips = %d/%d, want 1/0", res.DataFlips, res.TagFlips)
+	}
+	if !bytes.Equal(res.Stored, data) {
+		t.Fatal("FNW should have stored plain data")
+	}
+}
+
+func TestFNWBoundHalfWordPlusFlag(t *testing.T) {
+	// FNW guarantees flips ≤ W/2 + 1 per W-bit word.
+	r := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 200; iter++ {
+		old := make([]byte, 4)
+		data := make([]byte, 4)
+		r.Read(old)
+		r.Read(data)
+		res := FNW{}.Encode(old, nil, data)
+		if res.DataFlips+res.TagFlips > 16+1 {
+			t.Fatalf("FNW exceeded W/2+1 bound: %d", res.DataFlips+res.TagFlips)
+		}
+	}
+}
+
+func TestMinShiftFindsRotation(t *testing.T) {
+	// Old stored content equals the data rotated right by one byte; plain
+	// write costs 16 flips, a 1-byte rotation costs only the tag flips.
+	data := []byte{0xff, 0x00, 0xff, 0x00, 0x00, 0x00, 0x00, 0x00}
+	old := rotateBytes(data, 1)
+	res := MinShift{}.Encode(old, nil, data)
+	if res.DataFlips != 0 {
+		t.Fatalf("MinShift data flips = %d, want 0", res.DataFlips)
+	}
+	if got := (MinShift{}).Decode(res.Stored, res.Tags); !bytes.Equal(got, data) {
+		t.Fatalf("MinShift decode = %x, want %x", got, data)
+	}
+}
+
+func TestCaptoprilAtLeastAsGoodAsFNWPerByte(t *testing.T) {
+	// With 1-byte chunks, Captopril can only do better than or equal to
+	// the same data under byte-granularity hamming on each chunk.
+	r := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 100; iter++ {
+		old := make([]byte, 16)
+		data := make([]byte, 16)
+		r.Read(old)
+		r.Read(data)
+		res := Captopril{}.Encode(old, nil, data)
+		plain := bitvec.HammingBytes(old, data)
+		if res.DataFlips > plain {
+			t.Fatalf("Captopril data flips %d > DCW %d", res.DataFlips, plain)
+		}
+		if got := (Captopril{}).Decode(res.Stored, res.Tags); !bytes.Equal(got, data) {
+			t.Fatal("Captopril decode mismatch")
+		}
+	}
+}
+
+func TestTagBits(t *testing.T) {
+	if got := (FNW{}).TagBits(256); got != 64 {
+		t.Fatalf("FNW TagBits(256) = %d, want 64", got)
+	}
+	if got := (Captopril{}).TagBits(256); got != 256 {
+		t.Fatalf("Captopril TagBits(256) = %d, want 256", got)
+	}
+	if got := (MinShift{}).TagBits(256); got != 64 {
+		t.Fatalf("MinShift TagBits(256) = %d, want 64 (32 words x 2 bits)", got)
+	}
+	if got := (DCW{}).TagBits(256); got != 0 {
+		t.Fatalf("DCW TagBits = %d, want 0", got)
+	}
+}
+
+// Property: every scheme round-trips — Decode(Encode(data)) == data — and
+// its claimed DataFlips equal the true Hamming distance between old and new
+// stored representations.
+func TestSchemesRoundTripAndHonestFlips(t *testing.T) {
+	schemes := append(All(), Naive{})
+	f := func(seed int64, szByte uint8) bool {
+		n := (int(szByte)%8 + 1) * 8 // 8..64 bytes
+		r := rand.New(rand.NewSource(seed))
+		oldStored := make([]byte, n)
+		r.Read(oldStored)
+		data := make([]byte, n)
+		r.Read(data)
+		for _, s := range schemes {
+			res := s.Encode(oldStored, nil, data)
+			if got := s.Decode(res.Stored, res.Tags); !bytes.Equal(got, data) {
+				return false
+			}
+			if _, isNaive := s.(Naive); isNaive {
+				continue // Naive deliberately over-reports flips
+			}
+			if res.DataFlips != bitvec.HammingBytes(oldStored, res.Stored) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: chained writes through a scheme stay decodable when the tag
+// state is threaded forward.
+func TestSchemesChainedWrites(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(11))
+			stored := make([]byte, 32)
+			var tags []byte
+			for step := 0; step < 50; step++ {
+				data := make([]byte, 32)
+				r.Read(data)
+				res := s.Encode(stored, tags, data)
+				stored, tags = res.Stored, res.Tags
+				if got := s.Decode(stored, tags); !bytes.Equal(got, data) {
+					t.Fatalf("step %d: decode mismatch", step)
+				}
+			}
+		})
+	}
+}
+
+// Property: optimized schemes never do worse than DCW plus their tag
+// overhead budget would allow; in particular FNW total cost ≤ DCW cost + #words.
+func TestFNWNeverMuchWorseThanDCW(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		old := make([]byte, 32)
+		data := make([]byte, 32)
+		r.Read(old)
+		r.Read(data)
+		dcw := DCW{}.Encode(old, nil, data).DataFlips
+		res := FNW{}.Encode(old, nil, data)
+		return res.DataFlips+res.TagFlips <= dcw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotateBytes(t *testing.T) {
+	b := []byte{1, 2, 3, 4}
+	if got := rotateBytes(b, 1); !bytes.Equal(got, []byte{4, 1, 2, 3}) {
+		t.Fatalf("rotate 1 = %v", got)
+	}
+	if got := rotateBytes(rotateBytes(b, 3), -3); !bytes.Equal(got, b) {
+		t.Fatalf("rotate inverse = %v", got)
+	}
+	if got := rotateBytes(nil, 5); len(got) != 0 {
+		t.Fatal("rotate of empty should be empty")
+	}
+}
+
+func TestAllNames(t *testing.T) {
+	want := map[string]bool{"DCW": true, "MinShift": true, "FNW": true, "Captopril": true}
+	for _, s := range All() {
+		if !want[s.Name()] {
+			t.Fatalf("unexpected scheme %q", s.Name())
+		}
+		delete(want, s.Name())
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing schemes: %v", want)
+	}
+}
+
+func BenchmarkFNWEncode256B(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	old := make([]byte, 256)
+	data := make([]byte, 256)
+	r.Read(old)
+	r.Read(data)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FNW{}.Encode(old, nil, data)
+	}
+}

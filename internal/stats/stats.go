@@ -1,0 +1,275 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness reports with: empirical CDFs (Figure 19), summary moments,
+// labeled series, and an aligned-text table printer that renders the rows
+// each paper figure reports.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from values (copied and sorted).
+func NewCDF(values []float64) *CDF {
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// NewCDFUint32 builds a CDF from integer counters (e.g. wear counts).
+func NewCDFUint32(values []uint32) *CDF {
+	s := make([]float64, len(values))
+	for i, v := range values {
+		s[i] = float64(v)
+	}
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// NewCDFUint64 builds a CDF from uint64 counters.
+func NewCDFUint64(values []uint64) *CDF {
+	s := make([]float64, len(values))
+	for i, v := range values {
+		s[i] = float64(v)
+	}
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// P returns P(X ≤ x).
+func (c *CDF) P(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest x with P(X ≤ x) ≥ q, for q in [0,1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// Points samples the CDF at n evenly spaced values over its support,
+// returning (x, P(X≤x)) pairs for plotting.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	out := make([][2]float64, 0, n)
+	if hi == lo {
+		return [][2]float64{{lo, 1}}
+	}
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		out = append(out, [2]float64{x, c.P(x)})
+	}
+	return out
+}
+
+// ----------------------------------------------------------------------- -
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Std returns the sample standard deviation (0 for n < 2).
+func Std(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)-1))
+}
+
+// Max returns the maximum (−Inf for empty input).
+func Max(v []float64) float64 {
+	out := math.Inf(-1)
+	for _, x := range v {
+		if x > out {
+			out = x
+		}
+	}
+	return out
+}
+
+// Min returns the minimum (+Inf for empty input).
+func Min(v []float64) float64 {
+	out := math.Inf(1)
+	for _, x := range v {
+		if x < out {
+			out = x
+		}
+	}
+	return out
+}
+
+// WindowedMean reduces v to ceil(len/window) points, each the mean of one
+// window — used to render the paper's noisy per-write traces (Figure 17).
+func WindowedMean(v []float64, window int) []float64 {
+	if window <= 1 {
+		return append([]float64(nil), v...)
+	}
+	var out []float64
+	for lo := 0; lo < len(v); lo += window {
+		hi := lo + window
+		if hi > len(v) {
+			hi = len(v)
+		}
+		out = append(out, Mean(v[lo:hi]))
+	}
+	return out
+}
+
+// ----------------------------------------------------------------------- -
+
+// Series is a labeled sequence of (X, Y) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the point count.
+func (s *Series) Len() int { return len(s.X) }
+
+// ----------------------------------------------------------------------- -
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given headers.
+func NewTable(headers ...string) *Table { return &Table{Headers: headers} }
+
+// AddRow appends a row; cells are formatted with %v, floats with 4
+// significant digits.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns a copy of the formatted data rows (machine-readable
+// export).
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Write(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	cases := map[float64]float64{0: 0, 1: 0.25, 2: 0.75, 2.5: 0.75, 3: 1, 10: 1}
+	for x, want := range cases {
+		if got := c.P(x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	if q := c.Quantile(0.5); q != 20 {
+		t.Fatalf("Quantile(0.5) = %v", q)
+	}
+	if q := c.Quantile(0); q != 10 {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+	if q := c.Quantile(1); q != 40 {
+		t.Fatalf("Quantile(1) = %v", q)
+	}
+	if !math.IsNaN(NewCDF(nil).Quantile(0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestCDFFromCounters(t *testing.T) {
+	c32 := NewCDFUint32([]uint32{1, 2, 3})
+	c64 := NewCDFUint64([]uint64{1, 2, 3})
+	if c32.P(2) != c64.P(2) {
+		t.Fatal("uint32/uint64 CDFs disagree")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 10})
+	pts := c.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("Points len = %d", len(pts))
+	}
+	if pts[0][0] != 0 || pts[10][0] != 10 {
+		t.Fatalf("support endpoints wrong: %v %v", pts[0], pts[10])
+	}
+	if pts[10][1] != 1 {
+		t.Fatal("CDF must reach 1 at max")
+	}
+	if got := NewCDF([]float64{5, 5}).Points(3); len(got) != 1 || got[0][1] != 1 {
+		t.Fatalf("degenerate Points = %v", got)
+	}
+	if NewCDF(nil).Points(3) != nil {
+		t.Fatal("empty Points should be nil")
+	}
+}
+
+// Property: CDF is monotone and bounded in [0,1].
+func TestCDFMonotone(t *testing.T) {
+	f := func(vals []float64, probe []float64) bool {
+		c := NewCDF(vals)
+		prev := -1.0
+		for _, x := range probe {
+			p := c.P(x)
+			if p < 0 || p > 1 {
+				return false
+			}
+			_ = prev
+		}
+		// Check monotonicity on sorted probes.
+		for i := 0; i+1 < len(probe); i++ {
+			a, b := probe[i], probe[i+1]
+			if a > b {
+				a, b = b, a
+			}
+			if c.P(a) > c.P(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoments(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(v); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if s := Std(v); math.Abs(s-2.138) > 0.01 {
+		t.Fatalf("Std = %v", s)
+	}
+	if Mean(nil) != 0 || Std([]float64{1}) != 0 {
+		t.Fatal("degenerate moments wrong")
+	}
+	if Max(v) != 9 || Min(v) != 2 {
+		t.Fatal("Max/Min wrong")
+	}
+}
+
+func TestWindowedMean(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	got := WindowedMean(v, 2)
+	want := []float64{1.5, 3.5, 5}
+	if len(got) != 3 {
+		t.Fatalf("WindowedMean = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WindowedMean = %v, want %v", got, want)
+		}
+	}
+	if got := WindowedMean(v, 1); len(got) != 5 {
+		t.Fatal("window 1 should copy")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "x"
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if s.Len() != 2 || s.X[1] != 3 || s.Y[1] != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 3.14159)
+	tb.AddRow("b", 1e9)
+	tb.AddRow("zero", 0.0)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "3.142") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	if !strings.Contains(out, "1.000e+09") {
+		t.Fatalf("big float formatting missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + sep + 3 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 3 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}

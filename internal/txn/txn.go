@@ -1,0 +1,326 @@
+// Package txn provides crash-consistent transactional writes over the
+// simulated NVM device — the role PMDK's libpmemobj transactions play in
+// the paper's evaluation ("We use PMDK's transactions to persist writes").
+//
+// The design is a classic redo log: a transaction stages segment writes in
+// DRAM, persists them to a log region with a commit record, applies them
+// to their home segments, and finally invalidates the log. Recovery after
+// a crash replays committed-but-unapplied logs and discards torn ones, so
+// a segment write is always all-or-nothing even if the "power" fails
+// between cache-line writes.
+//
+// The log layout per transaction slot:
+//
+//	segment 0 of the slot: header
+//	  [0]     state byte (free / staged / committed)
+//	  [1:5]   magic (distinguishes log headers from pre-use garbage)
+//	  [5:7]   entry count (uint16 LE)
+//	  [7:15]  transaction id (uint64 LE)
+//	  [15:..] per-entry target addresses (uint32 LE each)
+//	segments 1..n: the staged images, one per entry
+//
+// Crash injection is built in (FailAfter), and the tests drive
+// write-crash-recover cycles against a reference model.
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"e2nvm/internal/nvm"
+)
+
+// Log states.
+const (
+	slotFree      = 0x00
+	slotStaged    = 0x5a
+	slotCommitted = 0xc3
+)
+
+// logMagic tags valid log headers so pre-use garbage in the reserved
+// region can never be mistaken for a transaction.
+var logMagic = [4]byte{'E', '2', 'T', 'X'}
+
+const hdrFixed = 15 // state + magic + count + id
+
+// ErrCrashed is returned when an injected crash point fires; the device is
+// left exactly as the crash left it and Recover must be run.
+var ErrCrashed = errors.New("txn: injected crash")
+
+// ErrTxTooLarge is returned when a transaction has more entries than one
+// log slot can describe.
+var ErrTxTooLarge = errors.New("txn: transaction exceeds log slot capacity")
+
+// Manager coordinates transactions over a device. The log occupies the
+// device's tail segments; callers must not write those directly.
+type Manager struct {
+	dev      *nvm.Device
+	logStart int // first log segment
+	slotSegs int // segments per slot (1 header + maxEntries)
+	maxEnt   int
+
+	mu     sync.Mutex
+	nextID uint64
+
+	// failAfter > 0 injects a crash after that many more device writes
+	// issued through this manager; -1 means disabled.
+	failAfter int
+	writes    int
+}
+
+// NewManager reserves logSlots transaction slots of maxEntries each at the
+// top of the device's address space and returns the manager plus the
+// number of data segments that remain usable [0, dataSegs).
+func NewManager(dev *nvm.Device, logSlots, maxEntries int) (*Manager, int, error) {
+	if logSlots <= 0 || maxEntries <= 0 {
+		return nil, 0, fmt.Errorf("txn: logSlots %d / maxEntries %d must be positive", logSlots, maxEntries)
+	}
+	headerNeeds := hdrFixed + 4*maxEntries
+	if headerNeeds > dev.SegmentSize() {
+		return nil, 0, fmt.Errorf("txn: %d entries need a %d-byte header, segment is %d",
+			maxEntries, headerNeeds, dev.SegmentSize())
+	}
+	slotSegs := 1 + maxEntries
+	logSegs := logSlots * slotSegs
+	if logSegs >= dev.NumSegments() {
+		return nil, 0, fmt.Errorf("txn: log (%d segments) does not fit device (%d)", logSegs, dev.NumSegments())
+	}
+	m := &Manager{
+		dev:       dev,
+		logStart:  dev.NumSegments() - logSegs,
+		slotSegs:  slotSegs,
+		maxEnt:    maxEntries,
+		failAfter: -1,
+	}
+	return m, m.logStart, nil
+}
+
+// Format clears every log slot, discarding any pending transactions. Call
+// it when creating a fresh store; use Recover instead to preserve and
+// replay committed work after a crash.
+func (m *Manager) Format() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	zero := make([]byte, m.dev.SegmentSize())
+	slots := (m.dev.NumSegments() - m.logStart) / m.slotSegs
+	for s := 0; s < slots; s++ {
+		if err := m.dev.FillSegment(m.logStart+s*m.slotSegs, zero); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hasMagic reports whether hdr carries a valid log header tag.
+func hasMagic(hdr []byte) bool {
+	return hdr[1] == logMagic[0] && hdr[2] == logMagic[1] && hdr[3] == logMagic[2] && hdr[4] == logMagic[3]
+}
+
+// FailAfter arms crash injection: the n-th subsequent device write issued
+// by this manager fails with ErrCrashed, leaving the device in the state a
+// real power failure would. Pass a negative n to disarm.
+func (m *Manager) FailAfter(n int) {
+	m.mu.Lock()
+	m.failAfter = n
+	m.writes = 0
+	m.mu.Unlock()
+}
+
+// write issues one device write, honoring crash injection. Callers hold
+// m.mu.
+func (m *Manager) write(addr int, data []byte) error {
+	if m.failAfter >= 0 {
+		m.writes++
+		if m.writes > m.failAfter {
+			return ErrCrashed
+		}
+	}
+	_, err := m.dev.Write(addr, data)
+	return err
+}
+
+// Tx is an open transaction.
+type Tx struct {
+	m       *Manager
+	id      uint64
+	addrs   []int
+	images  [][]byte
+	staged  map[int]int // addr → index in addrs
+	aborted bool
+}
+
+// Begin opens a transaction.
+func (m *Manager) Begin() *Tx {
+	m.mu.Lock()
+	m.nextID++
+	id := m.nextID
+	m.mu.Unlock()
+	return &Tx{m: m, id: id, staged: map[int]int{}}
+}
+
+// Write stages a full-segment image for addr. Staging the same address
+// twice keeps the latest image. The data is copied.
+func (t *Tx) Write(addr int, data []byte) error {
+	if t.aborted {
+		return fmt.Errorf("txn: write on aborted transaction")
+	}
+	if addr < 0 || addr >= t.m.logStart {
+		return fmt.Errorf("txn: address %d outside data region [0,%d)", addr, t.m.logStart)
+	}
+	if len(data) != t.m.dev.SegmentSize() {
+		return fmt.Errorf("txn: image of %d bytes, want %d", len(data), t.m.dev.SegmentSize())
+	}
+	img := append([]byte(nil), data...)
+	if i, ok := t.staged[addr]; ok {
+		t.images[i] = img
+		return nil
+	}
+	if len(t.addrs) >= t.m.maxEnt {
+		return ErrTxTooLarge
+	}
+	t.staged[addr] = len(t.addrs)
+	t.addrs = append(t.addrs, addr)
+	t.images = append(t.images, img)
+	return nil
+}
+
+// Read returns the transaction's view of addr: the staged image if one
+// exists, else the device content.
+func (t *Tx) Read(addr int) ([]byte, error) {
+	if i, ok := t.staged[addr]; ok {
+		out := append([]byte(nil), t.images[i]...)
+		return out, nil
+	}
+	return t.m.dev.Read(addr)
+}
+
+// Abort discards the transaction (nothing was persisted before Commit).
+func (t *Tx) Abort() { t.aborted = true }
+
+// Commit persists the transaction: stage → commit record → apply →
+// invalidate. If an injected crash interrupts it, the device state is
+// recoverable by Recover, which either completes the transaction (commit
+// record persisted) or discards it entirely.
+func (t *Tx) Commit() error {
+	if t.aborted {
+		return fmt.Errorf("txn: commit on aborted transaction")
+	}
+	if len(t.addrs) == 0 {
+		return nil
+	}
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	slot, err := m.findFreeSlotLocked()
+	if err != nil {
+		return err
+	}
+	base := m.logStart + slot*m.slotSegs
+
+	// 1. Stage the images into the slot's payload segments.
+	for i, img := range t.images {
+		if err := m.write(base+1+i, img); err != nil {
+			return err
+		}
+	}
+	// 2. Persist the header in the staged state (addresses + count), then
+	// flip the state byte to committed with a second small write — the
+	// state byte is the atomic commit point.
+	hdr := make([]byte, m.dev.SegmentSize())
+	hdr[0] = slotStaged
+	copy(hdr[1:5], logMagic[:])
+	binary.LittleEndian.PutUint16(hdr[5:], uint16(len(t.addrs)))
+	binary.LittleEndian.PutUint64(hdr[7:], t.id)
+	for i, a := range t.addrs {
+		binary.LittleEndian.PutUint32(hdr[hdrFixed+4*i:], uint32(a))
+	}
+	if err := m.write(base, hdr); err != nil {
+		return err
+	}
+	hdr[0] = slotCommitted
+	if err := m.write(base, hdr); err != nil {
+		return err
+	}
+	// 3. Apply to home locations.
+	for i, a := range t.addrs {
+		if err := m.write(a, t.images[i]); err != nil {
+			return err
+		}
+	}
+	// 4. Invalidate the slot.
+	hdr[0] = slotFree
+	if err := m.write(base, hdr); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (m *Manager) findFreeSlotLocked() (int, error) {
+	slots := (m.dev.NumSegments() - m.logStart) / m.slotSegs
+	for s := 0; s < slots; s++ {
+		hdr, err := m.dev.Peek(m.logStart + s*m.slotSegs)
+		if err != nil {
+			return 0, err
+		}
+		if hdr[0] == slotFree || !hasMagic(hdr) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("txn: no free log slot")
+}
+
+// Recover scans the log and finishes crash recovery: committed slots are
+// re-applied (idempotent) and freed; staged (torn) slots are discarded.
+// It returns the number of transactions replayed and discarded.
+func (m *Manager) Recover() (replayed, discarded int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failAfter = -1 // recovery itself is not crash-injected
+	slots := (m.dev.NumSegments() - m.logStart) / m.slotSegs
+	for s := 0; s < slots; s++ {
+		base := m.logStart + s*m.slotSegs
+		hdr, err := m.dev.Peek(base)
+		if err != nil {
+			return replayed, discarded, err
+		}
+		if !hasMagic(hdr) {
+			// Pre-use garbage in the reserved region: clear it.
+			if err := m.dev.FillSegment(base, make([]byte, m.dev.SegmentSize())); err != nil {
+				return replayed, discarded, err
+			}
+			continue
+		}
+		switch hdr[0] {
+		case slotFree:
+			continue
+		case slotCommitted:
+			n := int(binary.LittleEndian.Uint16(hdr[5:]))
+			if n > m.maxEnt {
+				return replayed, discarded, fmt.Errorf("txn: corrupt slot %d entry count %d", s, n)
+			}
+			for i := 0; i < n; i++ {
+				addr := int(binary.LittleEndian.Uint32(hdr[hdrFixed+4*i:]))
+				img, err := m.dev.Peek(base + 1 + i)
+				if err != nil {
+					return replayed, discarded, err
+				}
+				if _, err := m.dev.Write(addr, img); err != nil {
+					return replayed, discarded, err
+				}
+			}
+			replayed++
+		default: // staged or torn: discard
+			discarded++
+		}
+		clear := make([]byte, m.dev.SegmentSize())
+		copy(clear, hdr)
+		clear[0] = slotFree
+		if _, err := m.dev.Write(base, clear); err != nil {
+			return replayed, discarded, err
+		}
+	}
+	return replayed, discarded, nil
+}

@@ -1,0 +1,326 @@
+package txn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"e2nvm/internal/nvm"
+)
+
+func newRig(t *testing.T, segSize, numSegs, slots, maxEnt int) (*Manager, *nvm.Device, int) {
+	t.Helper()
+	dev, err := nvm.NewDevice(nvm.DefaultConfig(segSize, numSegs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, dataSegs, err := NewManager(dev, slots, maxEnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dev, dataSegs
+}
+
+func seg(segSize int, fill byte) []byte {
+	b := make([]byte, segSize)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	dev, err := nvm.NewDevice(nvm.DefaultConfig(64, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewManager(dev, 0, 2); err == nil {
+		t.Fatal("expected error for zero slots")
+	}
+	if _, _, err := NewManager(dev, 1, 100); err == nil {
+		t.Fatal("expected error for oversized header")
+	}
+	if _, _, err := NewManager(dev, 10, 4); err == nil {
+		t.Fatal("expected error when log exceeds device")
+	}
+}
+
+func TestCommitAppliesWrites(t *testing.T) {
+	m, dev, dataSegs := newRig(t, 64, 32, 2, 4)
+	if dataSegs >= 32 {
+		t.Fatal("log reserved nothing")
+	}
+	tx := m.Begin()
+	if err := tx.Write(0, seg(64, 0xaa)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(3, seg(64, 0xbb)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dev.Peek(0)
+	if got[0] != 0xaa {
+		t.Fatal("write to 0 not applied")
+	}
+	got, _ = dev.Peek(3)
+	if got[0] != 0xbb {
+		t.Fatal("write to 3 not applied")
+	}
+}
+
+func TestTxReadSeesStagedWrites(t *testing.T) {
+	m, _, _ := newRig(t, 64, 32, 2, 4)
+	tx := m.Begin()
+	if err := tx.Write(1, seg(64, 0x11)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tx.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 0x11 {
+		t.Fatal("Read did not see staged write")
+	}
+	// Unstaged address reads device content.
+	v, err = tx.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 0 {
+		t.Fatal("Read of unstaged address wrong")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	m, _, dataSegs := newRig(t, 64, 32, 2, 2)
+	tx := m.Begin()
+	if err := tx.Write(dataSegs, seg(64, 1)); err == nil {
+		t.Fatal("write into log region accepted")
+	}
+	if err := tx.Write(0, make([]byte, 63)); err == nil {
+		t.Fatal("short image accepted")
+	}
+	if err := tx.Write(0, seg(64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(1, seg(64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(2, seg(64, 1)); err != ErrTxTooLarge {
+		t.Fatalf("overflow err = %v, want ErrTxTooLarge", err)
+	}
+	// Restaging an existing address is free.
+	if err := tx.Write(0, seg(64, 2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbort(t *testing.T) {
+	m, dev, _ := newRig(t, 64, 32, 2, 4)
+	tx := m.Begin()
+	if err := tx.Write(0, seg(64, 0xff)); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit after abort succeeded")
+	}
+	got, _ := dev.Peek(0)
+	if got[0] != 0 {
+		t.Fatal("aborted transaction mutated device")
+	}
+}
+
+func TestEmptyCommit(t *testing.T) {
+	m, _, _ := newRig(t, 64, 32, 2, 4)
+	if err := m.Begin().Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashBeforeCommitPointDiscards injects a crash while staging; after
+// recovery the data segments must be untouched.
+func TestCrashBeforeCommitPointDiscards(t *testing.T) {
+	for failAt := 0; failAt < 3; failAt++ {
+		m, dev, _ := newRig(t, 64, 32, 2, 2)
+		if err := dev.FillSegment(0, seg(64, 0x77)); err != nil {
+			t.Fatal(err)
+		}
+		tx := m.Begin()
+		if err := tx.Write(0, seg(64, 0x99)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Write(1, seg(64, 0x88)); err != nil {
+			t.Fatal(err)
+		}
+		m.FailAfter(failAt) // crash during staging or header write
+		if err := tx.Commit(); err != ErrCrashed {
+			t.Fatalf("failAt=%d: err = %v, want ErrCrashed", failAt, err)
+		}
+		replayed, _, err := m.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replayed != 0 {
+			t.Fatalf("failAt=%d: replayed %d, want 0", failAt, replayed)
+		}
+		got, _ := dev.Peek(0)
+		if got[0] != 0x77 {
+			t.Fatalf("failAt=%d: old value lost", failAt)
+		}
+		got, _ = dev.Peek(1)
+		if got[0] != 0 {
+			t.Fatalf("failAt=%d: partial write leaked", failAt)
+		}
+	}
+}
+
+// TestCrashAfterCommitPointReplays injects crashes after the commit record
+// is durable; recovery must complete the transaction.
+func TestCrashAfterCommitPointReplays(t *testing.T) {
+	// Writes: 2 staged images, staged header, committed header = 4; the
+	// apply writes come after. Crashing at write 4, 5, or 6 leaves a
+	// committed record with 0, 1 or 2 of the applies done.
+	for failAt := 4; failAt <= 6; failAt++ {
+		m, dev, _ := newRig(t, 64, 32, 2, 2)
+		tx := m.Begin()
+		if err := tx.Write(0, seg(64, 0x99)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Write(1, seg(64, 0x88)); err != nil {
+			t.Fatal(err)
+		}
+		m.FailAfter(failAt)
+		if err := tx.Commit(); err != ErrCrashed {
+			t.Fatalf("failAt=%d: err = %v, want ErrCrashed", failAt, err)
+		}
+		replayed, discarded, err := m.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replayed != 1 || discarded != 0 {
+			t.Fatalf("failAt=%d: replayed/discarded = %d/%d, want 1/0", failAt, replayed, discarded)
+		}
+		got, _ := dev.Peek(0)
+		if got[0] != 0x99 {
+			t.Fatalf("failAt=%d: segment 0 not recovered", failAt)
+		}
+		got, _ = dev.Peek(1)
+		if got[0] != 0x88 {
+			t.Fatalf("failAt=%d: segment 1 not recovered", failAt)
+		}
+	}
+}
+
+// TestCrashRecoverRandomized runs random transactions with crashes at
+// random points, recovering each time, and checks atomicity against a
+// reference model: after recovery every segment matches either the
+// pre-transaction or the post-transaction state, never a mix.
+func TestCrashRecoverRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const segSize = 32
+	m, dev, dataSegs := newRig(t, segSize, 64, 2, 4)
+	shadow := make([][]byte, dataSegs)
+	for i := range shadow {
+		shadow[i] = make([]byte, segSize)
+	}
+	for iter := 0; iter < 200; iter++ {
+		tx := m.Begin()
+		n := 1 + r.Intn(4)
+		staged := map[int][]byte{}
+		for i := 0; i < n; i++ {
+			addr := r.Intn(dataSegs)
+			img := make([]byte, segSize)
+			r.Read(img)
+			if err := tx.Write(addr, img); err != nil {
+				t.Fatal(err)
+			}
+			staged[addr] = img
+		}
+		crash := r.Intn(3) == 0
+		if crash {
+			m.FailAfter(r.Intn(2*n + 4))
+		}
+		err := tx.Commit()
+		switch {
+		case err == nil:
+			for a, img := range staged {
+				copy(shadow[a], img)
+			}
+		case err == ErrCrashed:
+			replayed, _, rerr := m.Recover()
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if replayed > 0 {
+				// Transaction completed during recovery.
+				for a, img := range staged {
+					copy(shadow[a], img)
+				}
+			}
+		default:
+			t.Fatal(err)
+		}
+		m.FailAfter(-1)
+		// Atomicity check: every data segment matches the shadow.
+		for a := 0; a < dataSegs; a++ {
+			got, err := dev.Peek(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, shadow[a]) {
+				t.Fatalf("iter %d: segment %d diverged from reference", iter, a)
+			}
+		}
+	}
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	m, _, _ := newRig(t, 64, 32, 2, 2)
+	tx := m.Begin()
+	if err := tx.Write(0, seg(64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		replayed, discarded, err := m.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replayed != 0 || discarded != 0 {
+			t.Fatalf("recover %d: %d/%d, want 0/0", i, replayed, discarded)
+		}
+	}
+}
+
+func TestSlotExhaustion(t *testing.T) {
+	// One slot: a committed-but-crashed-before-invalidate transaction
+	// occupies it; the next commit must fail until recovery frees it.
+	m, _, _ := newRig(t, 64, 32, 1, 1)
+	tx := m.Begin()
+	if err := tx.Write(0, seg(64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	m.FailAfter(3) // crash right before the apply+invalidate
+	if err := tx.Commit(); err != ErrCrashed {
+		t.Fatalf("err = %v", err)
+	}
+	m.FailAfter(-1)
+	tx2 := m.Begin()
+	if err := tx2.Write(1, seg(64, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err == nil {
+		t.Fatal("commit succeeded with no free slot")
+	}
+	if _, _, err := m.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("commit after recovery: %v", err)
+	}
+}

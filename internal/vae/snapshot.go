@@ -1,0 +1,64 @@
+package vae
+
+import (
+	"fmt"
+
+	"e2nvm/internal/nn"
+)
+
+// Snapshot is a serializable copy of a trained model's parameters (gob- and
+// JSON-friendly: exported fields only).
+type Snapshot struct {
+	Cfg    Config
+	Layers []LayerSnapshot
+}
+
+// LayerSnapshot captures one dense layer.
+type LayerSnapshot struct {
+	In, Out int
+	Act     int
+	W       []float64
+	B       []float64
+}
+
+// Snapshot exports the model parameters.
+func (m *Model) Snapshot() *Snapshot {
+	s := &Snapshot{Cfg: m.cfg}
+	for _, l := range m.layers() {
+		s.Layers = append(s.Layers, LayerSnapshot{
+			In:  l.In,
+			Out: l.Out,
+			Act: int(l.Act),
+			W:   append([]float64(nil), l.W.Data...),
+			B:   append([]float64(nil), l.B...),
+		})
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a model from exported parameters. The restored
+// model predicts identically to the original; its optimizer state is fresh
+// (resuming training re-warms Adam).
+func FromSnapshot(s *Snapshot) (*Model, error) {
+	m, err := New(s.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	layers := m.layers()
+	if len(s.Layers) != len(layers) {
+		return nil, fmt.Errorf("vae: snapshot has %d layers, want %d", len(s.Layers), len(layers))
+	}
+	for i, ls := range s.Layers {
+		l := layers[i]
+		if ls.In != l.In || ls.Out != l.Out {
+			return nil, fmt.Errorf("vae: snapshot layer %d is %dx%d, want %dx%d", i, ls.Out, ls.In, l.Out, l.In)
+		}
+		if len(ls.W) != len(l.W.Data) || len(ls.B) != len(l.B) {
+			return nil, fmt.Errorf("vae: snapshot layer %d parameter sizes mismatch", i)
+		}
+		l.Act = nn.Activation(ls.Act)
+		copy(l.W.Data, ls.W)
+		copy(l.B, ls.B)
+	}
+	return m, nil
+}

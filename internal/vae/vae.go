@@ -1,0 +1,380 @@
+// Package vae implements the variational autoencoder at the heart of E2-NVM
+// (§3.1–3.2): an encoder q_θ(z|x) mapping an m-bit memory-segment image to a
+// low-dimensional Gaussian latent, a decoder p_φ(x|z) reconstructing the
+// bits, and the loss
+//
+//	l(θ,φ) = −E_{z∼q}[log p(x|z)] + β·KL(q(z|x) ‖ N(0,I)) + γ·‖μ − c‖²
+//
+// where the final term is the joint K-means clustering loss E2-NVM adds so
+// that latent features and cluster assignments are optimized together.
+// Training is plain SGD-style minibatch Adam with the reparameterization
+// trick; everything runs on the CPU with stdlib only.
+package vae
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"e2nvm/internal/mat"
+	"e2nvm/internal/nn"
+)
+
+// Config describes the model architecture and training hyperparameters.
+type Config struct {
+	InputDim  int // number of bits per memory segment (model width w)
+	HiddenDim int // encoder/decoder hidden width (default max(32, InputDim/4))
+	LatentDim int // latent space size (paper uses ≈10; default 10)
+
+	LR    float64 // Adam learning rate (default 1e-3)
+	Beta  float64 // KL weight (default 1)
+	Gamma float64 // joint clustering loss weight (default 0; enabled by core)
+	Seed  int64
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.InputDim <= 0 {
+		return out, fmt.Errorf("vae: InputDim %d must be positive", out.InputDim)
+	}
+	if out.HiddenDim <= 0 {
+		out.HiddenDim = out.InputDim / 4
+		if out.HiddenDim < 32 {
+			out.HiddenDim = 32
+		}
+	}
+	if out.LatentDim <= 0 {
+		out.LatentDim = 10
+	}
+	if out.LR <= 0 {
+		out.LR = 1e-3
+	}
+	if out.Beta <= 0 {
+		out.Beta = 1
+	}
+	return out, nil
+}
+
+// Loss reports the per-sample average loss components of a pass.
+type Loss struct {
+	Recon   float64 // binary cross-entropy reconstruction term
+	KL      float64 // Kullback–Leibler term (unweighted)
+	Cluster float64 // squared distance to assigned centroid (unweighted)
+}
+
+// Total returns the β/γ-weighted total loss under cfg.
+func (l Loss) Total(beta, gamma float64) float64 {
+	return l.Recon + beta*l.KL + gamma*l.Cluster
+}
+
+// EpochLoss pairs training and validation losses for one epoch.
+type EpochLoss struct {
+	Epoch      int
+	Train      Loss
+	Validation Loss // zero-valued when no validation set was supplied
+}
+
+// Model is a VAE.
+type Model struct {
+	cfg Config
+
+	encH  *nn.Dense // InputDim → HiddenDim, ReLU
+	encMu *nn.Dense // HiddenDim → LatentDim, identity
+	encLV *nn.Dense // HiddenDim → LatentDim, identity (log-variance head)
+	decH  *nn.Dense // LatentDim → HiddenDim, ReLU
+	decO  *nn.Dense // HiddenDim → InputDim, identity logits (sigmoid fused into loss)
+
+	opt *nn.Adam
+	rng *rand.Rand
+}
+
+// New constructs a model from cfg.
+func New(cfg Config) (*Model, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	m := &Model{
+		cfg:   c,
+		encH:  nn.NewDense(c.InputDim, c.HiddenDim, nn.ReLU, rng),
+		encMu: nn.NewDense(c.HiddenDim, c.LatentDim, nn.Identity, rng),
+		encLV: nn.NewDense(c.HiddenDim, c.LatentDim, nn.Identity, rng),
+		decH:  nn.NewDense(c.LatentDim, c.HiddenDim, nn.ReLU, rng),
+		decO:  nn.NewDense(c.HiddenDim, c.InputDim, nn.Identity, rng),
+		rng:   rng,
+	}
+	m.opt = nn.NewAdam(c.LR)
+	for _, l := range m.layers() {
+		m.opt.Register(l.Params()...)
+	}
+	return m, nil
+}
+
+func (m *Model) layers() []*nn.Dense {
+	return []*nn.Dense{m.encH, m.encMu, m.encLV, m.decH, m.decO}
+}
+
+// Config returns the (defaulted) configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// LatentDim returns the latent space width.
+func (m *Model) LatentDim() int { return m.cfg.LatentDim }
+
+// InputDim returns the model input width in bits.
+func (m *Model) InputDim() int { return m.cfg.InputDim }
+
+// ParamCount returns the number of trainable scalars.
+func (m *Model) ParamCount() int {
+	n := 0
+	for _, l := range m.layers() {
+		n += l.ParamCount()
+	}
+	return n
+}
+
+// FLOPsPerPredict estimates multiply-accumulates for one encoder pass,
+// consumed by the energy profiler.
+func (m *Model) FLOPsPerPredict() float64 {
+	return nn.FLOPsDense(m.cfg.InputDim, m.cfg.HiddenDim) + 2*nn.FLOPsDense(m.cfg.HiddenDim, m.cfg.LatentDim)
+}
+
+// Encode returns the latent mean μ for x — the deterministic embedding used
+// for prediction after training. x must have InputDim entries in [0,1].
+// Encode is safe for concurrent use on a trained model: it runs the
+// stateless inference path and never touches the training caches.
+func (m *Model) Encode(x []float64) []float64 {
+	if len(x) != m.cfg.InputDim {
+		panic(fmt.Sprintf("vae: Encode input %d, want %d", len(x), m.cfg.InputDim))
+	}
+	h := make([]float64, m.cfg.HiddenDim)
+	m.encH.Apply(x, h)
+	mu := make([]float64, m.cfg.LatentDim)
+	m.encMu.Apply(h, mu)
+	return mu
+}
+
+// EncodeAll embeds every row of data.
+func (m *Model) EncodeAll(data [][]float64) [][]float64 {
+	out := make([][]float64, len(data))
+	for i, x := range data {
+		out[i] = m.Encode(x)
+	}
+	return out
+}
+
+// Reconstruct runs a full deterministic pass (z = μ) and returns the
+// per-bit Bernoulli means.
+func (m *Model) Reconstruct(x []float64) []float64 {
+	mu := m.Encode(x)
+	h := m.decH.Forward(mu)
+	logits := m.decO.Forward(h)
+	out := make([]float64, len(logits))
+	for i, l := range logits {
+		out[i] = sigmoid(l)
+	}
+	return out
+}
+
+// TrainBatch performs one optimizer step on the given minibatch. centroids,
+// when non-nil, supplies the current K-means centroids for the joint
+// clustering term (each sample is pulled toward its nearest centroid with
+// weight Gamma). Returns the batch-average loss.
+func (m *Model) TrainBatch(batch [][]float64, centroids [][]float64) Loss {
+	if len(batch) == 0 {
+		return Loss{}
+	}
+	for _, l := range m.layers() {
+		l.ZeroGrad()
+	}
+	var agg Loss
+	scale := 1.0 / float64(len(batch))
+	for _, x := range batch {
+		agg = addLoss(agg, m.backprop(x, centroids, scale))
+	}
+	m.opt.Step()
+	return scaleLoss(agg, scale)
+}
+
+// backprop runs forward+backward for one sample, accumulating gradients
+// scaled by gradScale, and returns the sample's (unscaled) loss terms.
+func (m *Model) backprop(x []float64, centroids [][]float64, gradScale float64) Loss {
+	if len(x) != m.cfg.InputDim {
+		panic(fmt.Sprintf("vae: train input %d, want %d", len(x), m.cfg.InputDim))
+	}
+	// ---- forward ----
+	h1 := m.encH.Forward(x)
+	mu := append([]float64(nil), m.encMu.Forward(h1)...)
+	lv := append([]float64(nil), m.encLV.Forward(h1)...)
+	for i := range lv {
+		lv[i] = clamp(lv[i], -8, 8) // keep exp() sane early in training
+	}
+	eps := make([]float64, len(mu))
+	z := make([]float64, len(mu))
+	for i := range z {
+		eps[i] = m.rng.NormFloat64()
+		z[i] = mu[i] + eps[i]*math.Exp(0.5*lv[i])
+	}
+	h2 := m.decH.Forward(z)
+	logits := append([]float64(nil), m.decO.Forward(h2)...)
+
+	var loss Loss
+	// ---- reconstruction (sigmoid + BCE fused, numerically stable) ----
+	gradLogits := make([]float64, len(logits))
+	for i, l := range logits {
+		xi := x[i]
+		loss.Recon += bceWithLogit(l, xi)
+		gradLogits[i] = (sigmoid(l) - xi) * gradScale
+	}
+	// ---- KL(q ‖ N(0,I)) ----
+	gradMu := make([]float64, len(mu))
+	gradLV := make([]float64, len(lv))
+	for i := range mu {
+		loss.KL += 0.5 * (mu[i]*mu[i] + math.Exp(lv[i]) - 1 - lv[i])
+		gradMu[i] = m.cfg.Beta * mu[i] * gradScale
+		gradLV[i] = m.cfg.Beta * 0.5 * (math.Exp(lv[i]) - 1) * gradScale
+	}
+	// ---- joint clustering term ----
+	if centroids != nil && m.cfg.Gamma > 0 {
+		c := nearestCentroid(mu, centroids)
+		loss.Cluster = mat.SqDist(mu, centroids[c])
+		for i := range mu {
+			gradMu[i] += 2 * m.cfg.Gamma * (mu[i] - centroids[c][i]) * gradScale
+		}
+	}
+	// ---- backward through the decoder to z ----
+	gradZ := m.decH.Backward(m.decO.Backward(gradLogits))
+	// Reparameterization: ∂z/∂μ = 1, ∂z/∂logvar = ½·ε·exp(½·logvar).
+	for i := range gradZ {
+		gradMu[i] += gradZ[i]
+		gradLV[i] += gradZ[i] * 0.5 * eps[i] * math.Exp(0.5*lv[i])
+	}
+	// ---- backward through the two encoder heads into the trunk ----
+	gH1 := m.encMu.Backward(gradMu)
+	mat.AddScaled(gH1, 1, m.encLV.Backward(gradLV))
+	m.encH.Backward(gH1)
+	return loss
+}
+
+// Evaluate computes the average loss of data without updating parameters
+// (z = μ, no sampling noise), optionally with the cluster term.
+func (m *Model) Evaluate(data [][]float64, centroids [][]float64) Loss {
+	if len(data) == 0 {
+		return Loss{}
+	}
+	var agg Loss
+	for _, x := range data {
+		mu := m.Encode(x)
+		h := m.decH.Forward(mu)
+		logits := m.decO.Forward(h)
+		var l Loss
+		for i, lg := range logits {
+			l.Recon += bceWithLogit(lg, x[i])
+		}
+		hEnc := m.encH.Forward(x)
+		lv := m.encLV.Forward(hEnc)
+		for i := range mu {
+			l.KL += 0.5 * (mu[i]*mu[i] + math.Exp(clamp(lv[i], -8, 8)) - 1 - clamp(lv[i], -8, 8))
+		}
+		if centroids != nil {
+			l.Cluster = mat.SqDist(mu, centroids[nearestCentroid(mu, centroids)])
+		}
+		agg = addLoss(agg, l)
+	}
+	return scaleLoss(agg, 1/float64(len(data)))
+}
+
+// FitOptions controls Fit.
+type FitOptions struct {
+	Epochs     int
+	BatchSize  int
+	Validation [][]float64 // optional hold-out set evaluated per epoch
+	Centroids  [][]float64 // optional fixed centroids for the joint term
+	// OnEpoch, when non-nil, is invoked after each epoch (e.g. to update
+	// centroids for joint training or to record energy samples).
+	OnEpoch func(e EpochLoss)
+}
+
+// Fit trains the model and returns the per-epoch loss history.
+func (m *Model) Fit(data [][]float64, opts FitOptions) ([]EpochLoss, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("vae: empty training set")
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 20
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 32
+	}
+	history := make([]EpochLoss, 0, opts.Epochs)
+	idx := make([]int, len(data))
+	for i := range idx {
+		idx[i] = i
+	}
+	for e := 0; e < opts.Epochs; e++ {
+		m.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var agg Loss
+		batches := 0
+		for lo := 0; lo < len(idx); lo += opts.BatchSize {
+			hi := lo + opts.BatchSize
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			batch := make([][]float64, 0, hi-lo)
+			for _, i := range idx[lo:hi] {
+				batch = append(batch, data[i])
+			}
+			agg = addLoss(agg, m.TrainBatch(batch, opts.Centroids))
+			batches++
+		}
+		el := EpochLoss{Epoch: e, Train: scaleLoss(agg, 1/float64(batches))}
+		if len(opts.Validation) > 0 {
+			el.Validation = m.Evaluate(opts.Validation, opts.Centroids)
+		}
+		history = append(history, el)
+		if opts.OnEpoch != nil {
+			opts.OnEpoch(el)
+		}
+	}
+	return history, nil
+}
+
+func nearestCentroid(x []float64, centroids [][]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		if d := mat.SqDist(x, cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// bceWithLogit is the numerically stable binary cross-entropy
+// max(l,0) − l·x + log(1 + e^{−|l|}).
+func bceWithLogit(l, x float64) float64 {
+	v := l
+	if v < 0 {
+		v = 0
+	}
+	return v - l*x + math.Log1p(math.Exp(-math.Abs(l)))
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func addLoss(a, b Loss) Loss {
+	return Loss{Recon: a.Recon + b.Recon, KL: a.KL + b.KL, Cluster: a.Cluster + b.Cluster}
+}
+
+func scaleLoss(l Loss, s float64) Loss {
+	return Loss{Recon: l.Recon * s, KL: l.KL * s, Cluster: l.Cluster * s}
+}

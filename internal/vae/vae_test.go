@@ -1,0 +1,306 @@
+package vae
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"e2nvm/internal/kmeans"
+)
+
+// bitClusters generates n binary vectors around k prototype patterns with
+// per-bit flip noise — the same planted structure the workload generators
+// use.
+func bitClusters(r *rand.Rand, n, k, dim int, noise float64) ([][]float64, []int) {
+	protos := make([][]float64, k)
+	for c := range protos {
+		p := make([]float64, dim)
+		for j := range p {
+			if r.Intn(2) == 1 {
+				p[j] = 1
+			}
+		}
+		protos[c] = p
+	}
+	data := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range data {
+		c := r.Intn(k)
+		labels[i] = c
+		row := append([]float64(nil), protos[c]...)
+		for j := range row {
+			if r.Float64() < noise {
+				row[j] = 1 - row[j]
+			}
+		}
+		data[i] = row
+	}
+	return data, labels
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{InputDim: 0}); err == nil {
+		t.Fatal("expected error for InputDim 0")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	m, err := New(Config{InputDim: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.Config()
+	if cfg.LatentDim != 10 || cfg.HiddenDim != 32 || cfg.LR != 1e-3 || cfg.Beta != 1 {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+	if m.LatentDim() != 10 || m.InputDim() != 64 {
+		t.Fatal("accessor mismatch")
+	}
+	if m.ParamCount() == 0 {
+		t.Fatal("ParamCount zero")
+	}
+	if m.FLOPsPerPredict() <= 0 {
+		t.Fatal("FLOPsPerPredict not positive")
+	}
+}
+
+func TestEncodeShapeAndDeterminism(t *testing.T) {
+	m, err := New(Config{InputDim: 32, LatentDim: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 32)
+	x[3] = 1
+	z1 := m.Encode(x)
+	z2 := m.Encode(x)
+	if len(z1) != 4 {
+		t.Fatalf("latent len = %d, want 4", len(z1))
+	}
+	for i := range z1 {
+		if z1[i] != z2[i] {
+			t.Fatal("Encode not deterministic")
+		}
+	}
+}
+
+func TestEncodeWrongSizePanics(t *testing.T) {
+	m, _ := New(Config{InputDim: 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Encode(make([]float64, 7))
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	data, _ := bitClusters(r, 200, 4, 48, 0.05)
+	m, err := New(Config{InputDim: 48, HiddenDim: 32, LatentDim: 6, Seed: 3, Beta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := m.Fit(data, FitOptions{Epochs: 15, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := hist[0].Train.Total(0.1, 0)
+	last := hist[len(hist)-1].Train.Total(0.1, 0)
+	if last >= first*0.8 {
+		t.Fatalf("loss did not drop: %v -> %v", first, last)
+	}
+}
+
+func TestValidationLossTracked(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	data, _ := bitClusters(r, 150, 3, 32, 0.05)
+	train, val := data[:120], data[120:]
+	m, err := New(Config{InputDim: 32, LatentDim: 4, Seed: 5, Beta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := 0
+	hist, err := m.Fit(train, FitOptions{Epochs: 8, BatchSize: 16, Validation: val,
+		OnEpoch: func(e EpochLoss) { epochs++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs != 8 {
+		t.Fatalf("OnEpoch called %d times, want 8", epochs)
+	}
+	for _, h := range hist {
+		if h.Validation.Recon == 0 {
+			t.Fatal("validation loss not recorded")
+		}
+	}
+	// Validation loss must also come down on in-distribution data.
+	if hist[len(hist)-1].Validation.Recon >= hist[0].Validation.Recon {
+		t.Fatalf("validation loss rose: %v -> %v",
+			hist[0].Validation.Recon, hist[len(hist)-1].Validation.Recon)
+	}
+}
+
+func TestReconstructionQuality(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	data, _ := bitClusters(r, 300, 3, 32, 0.02)
+	m, err := New(Config{InputDim: 32, HiddenDim: 48, LatentDim: 8, Seed: 7, Beta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fit(data, FitOptions{Epochs: 30, BatchSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	// After training, reconstructions should match most input bits.
+	wrong, total := 0, 0
+	for _, x := range data[:50] {
+		rec := m.Reconstruct(x)
+		for i := range x {
+			total++
+			if (rec[i] >= 0.5) != (x[i] >= 0.5) {
+				wrong++
+			}
+		}
+	}
+	if frac := float64(wrong) / float64(total); frac > 0.15 {
+		t.Fatalf("reconstruction bit error rate %.3f too high", frac)
+	}
+}
+
+// TestLatentSeparatesClusters is the core property E2-NVM relies on: K-means
+// in latent space recovers the planted Hamming clusters.
+func TestLatentSeparatesClusters(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	data, labels := bitClusters(r, 400, 4, 64, 0.03)
+	m, err := New(Config{InputDim: 64, HiddenDim: 48, LatentDim: 8, Seed: 9, Beta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fit(data, FitOptions{Epochs: 25, BatchSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	latents := m.EncodeAll(data)
+	cfg := kmeans.NewConfig(4)
+	cfg.Seed = 1
+	km, err := kmeans.Fit(latents, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure purity: majority planted label per predicted cluster.
+	counts := make([]map[int]int, 4)
+	for i := range counts {
+		counts[i] = map[int]int{}
+	}
+	for i, z := range latents {
+		counts[km.Predict(z)][labels[i]]++
+	}
+	pure, total := 0, 0
+	for _, cm := range counts {
+		best := 0
+		for _, n := range cm {
+			total += n
+			if n > best {
+				best = n
+			}
+		}
+		pure += best
+	}
+	if purity := float64(pure) / float64(total); purity < 0.9 {
+		t.Fatalf("latent clustering purity %.3f < 0.9", purity)
+	}
+}
+
+func TestJointClusterLossPullsTowardCentroids(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	data, _ := bitClusters(r, 200, 3, 32, 0.05)
+	m, err := New(Config{InputDim: 32, LatentDim: 4, Seed: 11, Beta: 0.05, Gamma: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pretrain, then compute centroids and fine-tune jointly.
+	if _, err := m.Fit(data, FitOptions{Epochs: 10, BatchSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	latents := m.EncodeAll(data)
+	cfg := kmeans.NewConfig(3)
+	km, err := kmeans.Fit(latents, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Evaluate(data, km.Centroids).Cluster
+	if _, err := m.Fit(data, FitOptions{Epochs: 10, BatchSize: 16, Centroids: km.Centroids}); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Evaluate(data, km.Centroids).Cluster
+	if after >= before {
+		t.Fatalf("joint training did not tighten clusters: %v -> %v", before, after)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	m, _ := New(Config{InputDim: 8})
+	l := m.Evaluate(nil, nil)
+	if l.Recon != 0 || l.KL != 0 {
+		t.Fatal("empty Evaluate should be zero")
+	}
+	if tb := m.TrainBatch(nil, nil); tb.Recon != 0 {
+		t.Fatal("empty TrainBatch should be zero")
+	}
+}
+
+func TestFitEmptyErrors(t *testing.T) {
+	m, _ := New(Config{InputDim: 8})
+	if _, err := m.Fit(nil, FitOptions{}); err == nil {
+		t.Fatal("expected error for empty Fit")
+	}
+}
+
+func TestLossTotal(t *testing.T) {
+	l := Loss{Recon: 1, KL: 2, Cluster: 3}
+	if got := l.Total(0.5, 2); math.Abs(got-(1+1+6)) > 1e-12 {
+		t.Fatalf("Total = %v, want 8", got)
+	}
+}
+
+func TestBCEStability(t *testing.T) {
+	// Extreme logits must not produce NaN/Inf.
+	for _, l := range []float64{-1000, -30, 0, 30, 1000} {
+		for _, x := range []float64{0, 1} {
+			v := bceWithLogit(l, x)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("bceWithLogit(%v,%v) = %v", l, x, v)
+			}
+			if v < -1e-12 {
+				t.Fatalf("bceWithLogit(%v,%v) = %v negative", l, x, v)
+			}
+		}
+	}
+}
+
+func BenchmarkEncode256(b *testing.B) {
+	m, err := New(Config{InputDim: 256, HiddenDim: 64, LatentDim: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = float64(i % 2)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Encode(x)
+	}
+}
+
+func BenchmarkTrainBatch32(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	data, _ := bitClusters(r, 32, 4, 128, 0.05)
+	m, err := New(Config{InputDim: 128, HiddenDim: 64, LatentDim: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainBatch(data, nil)
+	}
+}

@@ -1,0 +1,273 @@
+// Package workload generates the evaluation inputs of the paper: synthetic
+// stand-ins for its real-world datasets (MNIST, Fashion-MNIST, CIFAR-10,
+// ImageNet, the CCTV/Sherbrooke traffic videos, PubMed, Amazon Access
+// Samples, the 3D Road Network), and the six YCSB core workloads.
+//
+// The datasets are deterministic given a seed and plant the property
+// E2-NVM exploits in the real data — clusterability in Hamming space —
+// with controllable cluster counts, per-class structure, and noise, so the
+// relative orderings the paper reports are reproduced by construction of
+// the same mechanism rather than by fiat.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dataset is a set of equally sized bit vectors.
+type Dataset struct {
+	Name  string
+	Bits  int
+	Items [][]float64 // each of length Bits, values in {0,1}
+	// Labels holds the planted class of each item, when meaningful.
+	Labels []int
+}
+
+// Bytes returns item i packed into bytes (LSB-first per byte).
+func (d *Dataset) Bytes(i int) []byte {
+	out := make([]byte, (d.Bits+7)/8)
+	for j, b := range d.Items[i] {
+		if b >= 0.5 {
+			out[j>>3] |= 1 << (uint(j) & 7)
+		}
+	}
+	return out
+}
+
+// Split returns the first n items as training set and the rest as test set
+// (shallow views).
+func (d *Dataset) Split(n int) (train, test [][]float64) {
+	if n > len(d.Items) {
+		n = len(d.Items)
+	}
+	return d.Items[:n], d.Items[n:]
+}
+
+// protoSet draws k prototype patterns of the given density.
+func protoSet(r *rand.Rand, k, bits int, density float64) [][]float64 {
+	protos := make([][]float64, k)
+	for c := range protos {
+		p := make([]float64, bits)
+		for j := range p {
+			if r.Float64() < density {
+				p[j] = 1
+			}
+		}
+		protos[c] = p
+	}
+	return protos
+}
+
+// sampleAround returns a noisy copy of proto.
+func sampleAround(r *rand.Rand, proto []float64, noise float64) []float64 {
+	row := append([]float64(nil), proto...)
+	for j := range row {
+		if r.Float64() < noise {
+			row[j] = 1 - row[j]
+		}
+	}
+	return row
+}
+
+// classDataset builds n items around k prototypes.
+func classDataset(name string, seed int64, n, k, bits int, density, noise float64) *Dataset {
+	r := rand.New(rand.NewSource(seed))
+	protos := protoSet(r, k, bits, density)
+	d := &Dataset{Name: name, Bits: bits}
+	for i := 0; i < n; i++ {
+		c := r.Intn(k)
+		d.Items = append(d.Items, sampleAround(r, protos[c], noise))
+		d.Labels = append(d.Labels, c)
+	}
+	return d
+}
+
+// MNISTLike models 10-class grayscale digit images: strong class
+// prototypes, sparse strokes (low 1-density), low intra-class noise.
+func MNISTLike(n, bits int, seed int64) *Dataset {
+	return classDataset("MNIST", seed, n, 10, bits, 0.2, 0.04)
+}
+
+// FashionMNISTLike models 10-class garment images: denser silhouettes and
+// higher intra-class variability than MNIST.
+func FashionMNISTLike(n, bits int, seed int64) *Dataset {
+	return classDataset("Fashion-MNIST", seed, n, 10, bits, 0.35, 0.08)
+}
+
+// CIFARLike models 10-class natural color images: high entropy within the
+// class structure (dense patterns, more noise).
+func CIFARLike(n, bits int, seed int64) *Dataset {
+	return classDataset("CIFAR-10", seed, n, 10, bits, 0.5, 0.12)
+}
+
+// ImageNetLike models a many-class natural image corpus (the paper uses
+// ImageNet items resized to 64 KB segments): 50 classes, dense, moderate
+// noise.
+func ImageNetLike(n, bits int, seed int64) *Dataset {
+	return classDataset("ImageNet", seed, n, 50, bits, 0.5, 0.08)
+}
+
+// VideoLike models CCTV-style frame sequences (the Sherbrooke and Danish
+// traffic datasets): a static background with temporally correlated
+// foreground churn — consecutive frames differ in only churn fraction of
+// bits, giving the stream very strong Hamming structure.
+func VideoLike(name string, frames, bits int, churn float64, seed int64) *Dataset {
+	r := rand.New(rand.NewSource(seed))
+	d := &Dataset{Name: name, Bits: bits}
+	cur := make([]float64, bits)
+	for j := range cur {
+		if r.Float64() < 0.4 {
+			cur[j] = 1
+		}
+	}
+	for f := 0; f < frames; f++ {
+		d.Items = append(d.Items, append([]float64(nil), cur...))
+		d.Labels = append(d.Labels, 0)
+		flips := int(churn * float64(bits))
+		for i := 0; i < flips; i++ {
+			j := r.Intn(bits)
+			cur[j] = 1 - cur[j]
+		}
+	}
+	return d
+}
+
+// CCTVLike is VideoLike with the paper's CCTV churn characteristics.
+func CCTVLike(frames, bits int, seed int64) *Dataset {
+	return VideoLike("CCTV", frames, bits, 0.03, seed)
+}
+
+// SherbrookeLike is VideoLike tuned for the busier Sherbrooke intersection
+// footage.
+func SherbrookeLike(frames, bits int, seed int64) *Dataset {
+	return VideoLike("Sherbrooke", frames, bits, 0.06, seed)
+}
+
+// PubMedLike models the DocWord "PubMed" bag-of-words vectors: very sparse
+// term-count patterns drawn from a handful of topic prototypes.
+func PubMedLike(n, bits int, seed int64) *Dataset {
+	return classDataset("PubMed", seed, n, 8, bits, 0.06, 0.02)
+}
+
+// AmazonAccessLike models the Amazon Access Samples log: fixed-width
+// records of low-cardinality categorical fields (user group, resource,
+// action...). Real access logs are dominated by a modest number of
+// recurring access *profiles* — a user group repeatedly touching the same
+// resources with the same permissions — so records are generated from
+// profile prototypes that fix most fields, with occasional per-field
+// substitutions.
+func AmazonAccessLike(n, bits int, seed int64) *Dataset {
+	r := rand.New(rand.NewSource(seed))
+	d := &Dataset{Name: "Amazon Access", Bits: bits}
+	const fields = 8
+	const profiles = 10
+	fieldBits := bits / fields
+	// Each field has a small vocabulary of bit patterns.
+	vocab := make([][][]float64, fields)
+	for f := range vocab {
+		vals := 3 + r.Intn(4)
+		vocab[f] = protoSet(r, vals, fieldBits, 0.4)
+	}
+	// Each profile pins one vocabulary entry per field.
+	profile := make([][]int, profiles)
+	for p := range profile {
+		choice := make([]int, fields)
+		for f := range choice {
+			choice[f] = r.Intn(len(vocab[f]))
+		}
+		profile[p] = choice
+	}
+	for i := 0; i < n; i++ {
+		p := r.Intn(profiles)
+		row := make([]float64, 0, bits)
+		for f := 0; f < fields; f++ {
+			v := profile[p][f]
+			if r.Float64() < 0.15 { // occasional deviation from the profile
+				v = r.Intn(len(vocab[f]))
+			}
+			row = append(row, vocab[f][v]...)
+		}
+		for len(row) < bits {
+			row = append(row, 0)
+		}
+		d.Items = append(d.Items, row)
+		d.Labels = append(d.Labels, p)
+	}
+	return d
+}
+
+// RoadNetworkLike models the 3D Road Network dataset: coordinate triples
+// whose high-order bytes are nearly constant across a region, so records
+// share long common prefixes.
+func RoadNetworkLike(n, bits int, seed int64) *Dataset {
+	r := rand.New(rand.NewSource(seed))
+	d := &Dataset{Name: "3D Road Network", Bits: bits}
+	const regions = 6
+	// Each region fixes the high half of the record; the low half varies.
+	regionHigh := protoSet(r, regions, bits/2, 0.5)
+	for i := 0; i < n; i++ {
+		reg := r.Intn(regions)
+		row := append([]float64(nil), regionHigh[reg]...)
+		low := make([]float64, bits-len(row))
+		for j := range low {
+			// Low-order bits vary smoothly: mostly small deltas.
+			if r.Float64() < 0.25 {
+				low[j] = 1
+			}
+		}
+		row = append(row, low...)
+		d.Items = append(d.Items, row)
+		d.Labels = append(d.Labels, reg)
+	}
+	return d
+}
+
+// TextualDatasets returns the paper's numerical/textual evaluation sets at
+// the given size.
+func TextualDatasets(n, bits int, seed int64) []*Dataset {
+	return []*Dataset{
+		AmazonAccessLike(n, bits, seed),
+		RoadNetworkLike(n, bits, seed+1),
+		PubMedLike(n, bits, seed+2),
+	}
+}
+
+// MultimediaDatasets returns the paper's image/video evaluation sets.
+func MultimediaDatasets(n, bits int, seed int64) []*Dataset {
+	return []*Dataset{
+		MNISTLike(n, bits, seed),
+		CIFARLike(n, bits, seed+1),
+		CCTVLike(n, bits, seed+2),
+	}
+}
+
+// Mixture concatenates datasets (shallow copies of items) into one, as the
+// paper's "mixture of all the real workloads".
+func Mixture(name string, sets ...*Dataset) (*Dataset, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("workload: empty mixture")
+	}
+	bits := sets[0].Bits
+	out := &Dataset{Name: name, Bits: bits}
+	for _, s := range sets {
+		if s.Bits != bits {
+			return nil, fmt.Errorf("workload: mixture width mismatch %d vs %d", s.Bits, bits)
+		}
+		out.Items = append(out.Items, s.Items...)
+		out.Labels = append(out.Labels, s.Labels...)
+	}
+	return out, nil
+}
+
+// Shuffled returns a copy of d with items permuted deterministically.
+func (d *Dataset) Shuffled(seed int64) *Dataset {
+	r := rand.New(rand.NewSource(seed))
+	out := &Dataset{Name: d.Name, Bits: d.Bits}
+	perm := r.Perm(len(d.Items))
+	for _, i := range perm {
+		out.Items = append(out.Items, d.Items[i])
+		out.Labels = append(out.Labels, d.Labels[i])
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"e2nvm/internal/bitvec"
+)
+
+func density(items [][]float64) float64 {
+	ones, total := 0, 0
+	for _, it := range items {
+		for _, b := range it {
+			total++
+			if b >= 0.5 {
+				ones++
+			}
+		}
+	}
+	return float64(ones) / float64(total)
+}
+
+// intraInterRatio returns mean intra-class over inter-class Hamming
+// distance — must be well below 1 for clusterable data.
+func intraInterRatio(d *Dataset) float64 {
+	var intra, inter float64
+	var nIntra, nInter int
+	step := len(d.Items)/60 + 1
+	for i := 0; i < len(d.Items); i += step {
+		for j := i + 1; j < len(d.Items); j += step {
+			h := float64(bitvec.HammingFloats(d.Items[i], d.Items[j]))
+			if d.Labels[i] == d.Labels[j] {
+				intra += h
+				nIntra++
+			} else {
+				inter += h
+				nInter++
+			}
+		}
+	}
+	if nIntra == 0 || nInter == 0 || inter == 0 {
+		return 1
+	}
+	return (intra / float64(nIntra)) / (inter / float64(nInter))
+}
+
+func TestClassDatasetsAreClusterable(t *testing.T) {
+	for _, d := range []*Dataset{
+		MNISTLike(300, 128, 1),
+		FashionMNISTLike(300, 128, 2),
+		CIFARLike(300, 128, 3),
+		ImageNetLike(300, 128, 4),
+		PubMedLike(300, 128, 5),
+		RoadNetworkLike(300, 128, 6),
+		AmazonAccessLike(300, 128, 7),
+	} {
+		if len(d.Items) != 300 {
+			t.Fatalf("%s: %d items", d.Name, len(d.Items))
+		}
+		for _, it := range d.Items {
+			if len(it) != 128 {
+				t.Fatalf("%s: item width %d", d.Name, len(it))
+			}
+		}
+		if r := intraInterRatio(d); r > 0.8 {
+			t.Errorf("%s: intra/inter ratio %.2f too high (not clusterable)", d.Name, r)
+		}
+	}
+}
+
+func TestDatasetDensities(t *testing.T) {
+	if dn := density(MNISTLike(200, 256, 1).Items); dn > 0.35 {
+		t.Fatalf("MNIST-like density %.2f too high (strokes are sparse)", dn)
+	}
+	if dn := density(PubMedLike(200, 256, 1).Items); dn > 0.15 {
+		t.Fatalf("PubMed-like density %.2f too high (sparse counts)", dn)
+	}
+	if dn := density(CIFARLike(200, 256, 1).Items); math.Abs(dn-0.5) > 0.15 {
+		t.Fatalf("CIFAR-like density %.2f not near 0.5", dn)
+	}
+}
+
+func TestVideoTemporalCorrelation(t *testing.T) {
+	d := CCTVLike(50, 512, 7)
+	// Consecutive frames are close; distant frames far.
+	near := bitvec.HammingFloats(d.Items[10], d.Items[11])
+	far := bitvec.HammingFloats(d.Items[0], d.Items[49])
+	if near*3 > far {
+		t.Fatalf("video frames lack temporal structure: near=%d far=%d", near, far)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MNISTLike(50, 64, 9)
+	b := MNISTLike(50, 64, 9)
+	for i := range a.Items {
+		if bitvec.HammingFloats(a.Items[i], b.Items[i]) != 0 {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := MNISTLike(50, 64, 10)
+	same := true
+	for i := range a.Items {
+		if bitvec.HammingFloats(a.Items[i], c.Items[i]) != 0 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestBytesPacking(t *testing.T) {
+	d := &Dataset{Name: "x", Bits: 10, Items: [][]float64{{1, 0, 0, 0, 0, 0, 0, 0, 1, 1}}}
+	b := d.Bytes(0)
+	if len(b) != 2 || b[0] != 0x01 || b[1] != 0x03 {
+		t.Fatalf("Bytes = %x", b)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := MNISTLike(100, 32, 1)
+	train, test := d.Split(80)
+	if len(train) != 80 || len(test) != 20 {
+		t.Fatalf("Split = %d/%d", len(train), len(test))
+	}
+	train, test = d.Split(200)
+	if len(train) != 100 || len(test) != 0 {
+		t.Fatalf("over-Split = %d/%d", len(train), len(test))
+	}
+}
+
+func TestMixture(t *testing.T) {
+	m, err := Mixture("mix", MNISTLike(30, 64, 1), CIFARLike(20, 64, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Items) != 50 {
+		t.Fatalf("mixture size %d", len(m.Items))
+	}
+	if _, err := Mixture("bad", MNISTLike(5, 64, 1), MNISTLike(5, 32, 1)); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+	if _, err := Mixture("empty"); err == nil {
+		t.Fatal("expected empty mixture error")
+	}
+}
+
+func TestShuffled(t *testing.T) {
+	d := MNISTLike(100, 32, 1)
+	s := d.Shuffled(2)
+	if len(s.Items) != 100 {
+		t.Fatal("shuffle changed size")
+	}
+	moved := 0
+	for i := range d.Items {
+		if bitvec.HammingFloats(d.Items[i], s.Items[i]) != 0 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("shuffle did not permute")
+	}
+}
+
+func TestDatasetBundles(t *testing.T) {
+	if got := len(TextualDatasets(20, 64, 1)); got != 3 {
+		t.Fatalf("TextualDatasets = %d", got)
+	}
+	if got := len(MultimediaDatasets(20, 64, 1)); got != 3 {
+		t.Fatalf("MultimediaDatasets = %d", got)
+	}
+}
+
+// ----------------------------------------------------------------- ycsb --
+
+func TestNewYCSBValidation(t *testing.T) {
+	if _, err := NewYCSB('Z', 100, 1); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+	if _, err := NewYCSB(YCSBA, 0, 1); err == nil {
+		t.Fatal("expected error for zero records")
+	}
+}
+
+func TestYCSBMixes(t *testing.T) {
+	const n = 20000
+	cases := []struct {
+		w      YCSBWorkload
+		counts map[OpType]float64 // expected fraction
+	}{
+		{YCSBA, map[OpType]float64{OpRead: 0.5, OpUpdate: 0.5}},
+		{YCSBB, map[OpType]float64{OpRead: 0.95, OpUpdate: 0.05}},
+		{YCSBC, map[OpType]float64{OpRead: 1.0}},
+		{YCSBD, map[OpType]float64{OpRead: 0.95, OpInsert: 0.05}},
+		{YCSBE, map[OpType]float64{OpScan: 0.95, OpInsert: 0.05}},
+		{YCSBF, map[OpType]float64{OpRead: 0.5, OpReadModifyWrite: 0.5}},
+	}
+	for _, c := range cases {
+		g, err := NewYCSB(c.w, 1000, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[OpType]int{}
+		for i := 0; i < n; i++ {
+			op := g.Next()
+			got[op.Type]++
+			if op.Key >= g.KeyCount() {
+				t.Fatalf("%s: key %d out of range %d", c.w, op.Key, g.KeyCount())
+			}
+			if op.Type == OpScan && (op.ScanLen < 1 || op.ScanLen > 100) {
+				t.Fatalf("%s: scan len %d", c.w, op.ScanLen)
+			}
+		}
+		for typ, want := range c.counts {
+			frac := float64(got[typ]) / n
+			if math.Abs(frac-want) > 0.02 {
+				t.Errorf("%s: %v fraction %.3f, want %.2f", c.w, typ, frac, want)
+			}
+		}
+	}
+}
+
+func TestYCSBZipfSkew(t *testing.T) {
+	g, err := NewYCSB(YCSBA, 10000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	for i := 0; i < 50000; i++ {
+		counts[g.Next().Key]++
+	}
+	// Zipfian: a small fraction of keys receives a large fraction of
+	// traffic. Count traffic to the 100 hottest keys.
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	top := 0
+	for i := 0; i < 100; i++ {
+		best := 0
+		for j, f := range freqs {
+			if f > freqs[best] {
+				best = j
+			}
+			_ = j
+		}
+		top += freqs[best]
+		freqs[best] = 0
+	}
+	if frac := float64(top) / 50000; frac < 0.3 {
+		t.Fatalf("zipfian skew too weak: top-100 keys get %.2f of traffic", frac)
+	}
+}
+
+func TestYCSBInsertGrowsKeySpace(t *testing.T) {
+	g, err := NewYCSB(YCSBD, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := g.KeyCount()
+	inserted := uint64(0)
+	for i := 0; i < 2000; i++ {
+		if op := g.Next(); op.Type == OpInsert {
+			if op.Key != start+inserted {
+				t.Fatalf("insert key %d, want %d (sequential)", op.Key, start+inserted)
+			}
+			inserted++
+		}
+	}
+	if inserted == 0 {
+		t.Fatal("no inserts generated")
+	}
+	if g.KeyCount() != start+inserted {
+		t.Fatalf("key space %d, want %d", g.KeyCount(), start+inserted)
+	}
+}
+
+func TestYCSBLatestFavorsRecent(t *testing.T) {
+	g, err := NewYCSB(YCSBD, 10000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recent := 0
+	reads := 0
+	for i := 0; i < 20000; i++ {
+		op := g.Next()
+		if op.Type != OpRead {
+			continue
+		}
+		reads++
+		if op.Key >= g.KeyCount()-g.KeyCount()/10 {
+			recent++
+		}
+	}
+	if frac := float64(recent) / float64(reads); frac < 0.5 {
+		t.Fatalf("latest distribution: only %.2f of reads in newest 10%%", frac)
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	names := map[OpType]string{OpRead: "READ", OpUpdate: "UPDATE", OpInsert: "INSERT", OpScan: "SCAN", OpReadModifyWrite: "RMW"}
+	for op, want := range names {
+		if op.String() != want {
+			t.Fatalf("OpType %d = %q", int(op), op.String())
+		}
+	}
+	if YCSBA.String() != "YCSB-A" {
+		t.Fatal("workload name wrong")
+	}
+	if len(AllYCSB()) != 6 {
+		t.Fatal("AllYCSB length wrong")
+	}
+}
+
+func TestValueGenStructure(t *testing.T) {
+	vg := NewValueGen(64, 4, 0.02, 5)
+	// Values of the same class stay close; different classes are far.
+	a1 := vg.For(0)
+	a2 := vg.For(4) // same class (4 % 4 == 0)
+	b := vg.For(1)
+	same := bitvec.HammingBytes(a1, a2)
+	diff := bitvec.HammingBytes(a1, b)
+	if same*3 > diff {
+		t.Fatalf("value classes not separated: same=%d diff=%d", same, diff)
+	}
+	if len(a1) != 64 {
+		t.Fatalf("value size %d", len(a1))
+	}
+}

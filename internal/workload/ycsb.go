@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpType is a YCSB operation kind.
+type OpType int
+
+// YCSB operation kinds.
+const (
+	OpRead OpType = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+// String returns the operation's name.
+func (o OpType) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpUpdate:
+		return "UPDATE"
+	case OpInsert:
+		return "INSERT"
+	case OpScan:
+		return "SCAN"
+	case OpReadModifyWrite:
+		return "RMW"
+	default:
+		return fmt.Sprintf("OpType(%d)", int(o))
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Type    OpType
+	Key     uint64
+	ScanLen int
+}
+
+// YCSBWorkload identifies one of the six core workloads.
+type YCSBWorkload byte
+
+// The six YCSB core workloads.
+const (
+	YCSBA YCSBWorkload = 'A' // 50% read / 50% update, zipfian
+	YCSBB YCSBWorkload = 'B' // 95% read / 5% update, zipfian
+	YCSBC YCSBWorkload = 'C' // 100% read, zipfian
+	YCSBD YCSBWorkload = 'D' // 95% read / 5% insert, latest
+	YCSBE YCSBWorkload = 'E' // 95% scan / 5% insert, zipfian
+	YCSBF YCSBWorkload = 'F' // 50% read / 50% read-modify-write, zipfian
+)
+
+// AllYCSB lists the six core workloads in order.
+func AllYCSB() []YCSBWorkload {
+	return []YCSBWorkload{YCSBA, YCSBB, YCSBC, YCSBD, YCSBE, YCSBF}
+}
+
+// String returns "YCSB-A" etc.
+func (w YCSBWorkload) String() string { return "YCSB-" + string(w) }
+
+// YCSBGenerator produces the operation stream of one core workload over a
+// growing key space (inserts extend it), using the standard zipfian /
+// latest / uniform request distributions.
+type YCSBGenerator struct {
+	Workload YCSBWorkload
+	r        *rand.Rand
+	zipf     *zipfGen
+	keys     uint64 // current key-space size
+	maxScan  int
+}
+
+// NewYCSB creates a generator over an initial key space of recordCount
+// keys (the load phase inserts keys 0..recordCount-1).
+func NewYCSB(w YCSBWorkload, recordCount int, seed int64) (*YCSBGenerator, error) {
+	switch w {
+	case YCSBA, YCSBB, YCSBC, YCSBD, YCSBE, YCSBF:
+	default:
+		return nil, fmt.Errorf("workload: unknown YCSB workload %q", string(w))
+	}
+	if recordCount <= 0 {
+		return nil, fmt.Errorf("workload: recordCount %d must be positive", recordCount)
+	}
+	r := rand.New(rand.NewSource(seed))
+	return &YCSBGenerator{
+		Workload: w,
+		r:        r,
+		zipf:     newZipf(r, uint64(recordCount), 0.99),
+		keys:     uint64(recordCount),
+		maxScan:  100,
+	}, nil
+}
+
+// KeyCount returns the current key-space size (grows with inserts).
+func (g *YCSBGenerator) KeyCount() uint64 { return g.keys }
+
+// Next returns the next operation.
+func (g *YCSBGenerator) Next() Op {
+	p := g.r.Float64()
+	switch g.Workload {
+	case YCSBA:
+		if p < 0.5 {
+			return Op{Type: OpRead, Key: g.zipfKey()}
+		}
+		return Op{Type: OpUpdate, Key: g.zipfKey()}
+	case YCSBB:
+		if p < 0.95 {
+			return Op{Type: OpRead, Key: g.zipfKey()}
+		}
+		return Op{Type: OpUpdate, Key: g.zipfKey()}
+	case YCSBC:
+		return Op{Type: OpRead, Key: g.zipfKey()}
+	case YCSBD:
+		if p < 0.95 {
+			return Op{Type: OpRead, Key: g.latestKey()}
+		}
+		return g.insert()
+	case YCSBE:
+		if p < 0.95 {
+			return Op{Type: OpScan, Key: g.zipfKey(), ScanLen: 1 + g.r.Intn(g.maxScan)}
+		}
+		return g.insert()
+	default: // YCSBF
+		if p < 0.5 {
+			return Op{Type: OpRead, Key: g.zipfKey()}
+		}
+		return Op{Type: OpReadModifyWrite, Key: g.zipfKey()}
+	}
+}
+
+func (g *YCSBGenerator) insert() Op {
+	k := g.keys
+	g.keys++
+	g.zipf.grow(g.keys)
+	return Op{Type: OpInsert, Key: k}
+}
+
+// zipfKey draws a key under the scrambled-zipfian request distribution.
+func (g *YCSBGenerator) zipfKey() uint64 {
+	return scramble(g.zipf.next()) % g.keys
+}
+
+// latestKey draws a key skewed toward recently inserted keys (YCSB's
+// "latest" distribution: zipfian over recency).
+func (g *YCSBGenerator) latestKey() uint64 {
+	off := g.zipf.next()
+	if off >= g.keys {
+		off = g.keys - 1
+	}
+	return g.keys - 1 - off
+}
+
+// scramble is YCSB's FNV-based key scrambler, spreading hot zipfian ranks
+// across the key space.
+func scramble(k uint64) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= (k >> (8 * uint(i))) & 0xff
+		h *= prime
+	}
+	return h
+}
+
+// zipfGen samples ranks 0..n-1 with P(rank) ∝ 1/(rank+1)^theta, using the
+// Gray et al. rejection-free method YCSB uses, supporting item-count
+// growth.
+type zipfGen struct {
+	r     *rand.Rand
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+func newZipf(r *rand.Rand, n uint64, theta float64) *zipfGen {
+	z := &zipfGen{r: r, n: n, theta: theta}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = z.etaVal()
+	return z
+}
+
+func (z *zipfGen) etaVal() float64 {
+	return (1 - math.Pow(2/float64(z.n), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	// Exact for small n; for large n use the integral approximation to
+	// keep generator construction O(1)-ish.
+	if n <= 10000 {
+		s := 0.0
+		for i := uint64(1); i <= n; i++ {
+			s += 1 / math.Pow(float64(i), theta)
+		}
+		return s
+	}
+	base := zetaStatic(10000, theta)
+	// ∫ x^-theta dx from 10000 to n
+	return base + (math.Pow(float64(n), 1-theta)-math.Pow(10000, 1-theta))/(1-theta)
+}
+
+func (z *zipfGen) grow(n uint64) {
+	if n <= z.n {
+		return
+	}
+	// Incremental zeta update.
+	for i := z.n + 1; i <= n && i <= z.n+64; i++ {
+		z.zetan += 1 / math.Pow(float64(i), z.theta)
+	}
+	if n > z.n+64 {
+		z.zetan = zetaStatic(n, z.theta)
+	}
+	z.n = n
+	z.eta = z.etaVal()
+}
+
+func (z *zipfGen) next() uint64 {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	rank := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}
+
+// ValueGen deterministically produces values whose content correlates with
+// the key's cluster, so YCSB traffic also has Hamming structure for the
+// model to exploit (real YCSB payloads are field-structured, not uniform
+// noise).
+type ValueGen struct {
+	protos [][]byte
+	noise  float64
+	r      *rand.Rand
+	size   int
+}
+
+// NewValueGen creates a generator of size-byte values drawn near classes
+// prototype patterns with the given bit-noise.
+func NewValueGen(size, classes int, noise float64, seed int64) *ValueGen {
+	r := rand.New(rand.NewSource(seed))
+	protos := make([][]byte, classes)
+	for c := range protos {
+		p := make([]byte, size)
+		r.Read(p)
+		protos[c] = p
+	}
+	return &ValueGen{protos: protos, noise: noise, r: r, size: size}
+}
+
+// For returns a value for key; repeated calls vary slightly but stay near
+// the key's class prototype.
+func (v *ValueGen) For(key uint64) []byte {
+	return v.near(v.protos[key%uint64(len(v.protos))])
+}
+
+// ForVersion returns a value whose class depends on both the key and its
+// version, modeling update traffic whose content drifts over time (each
+// rewrite of a key carries materially different content — the regime in
+// which placement beats in-place overwrites).
+func (v *ValueGen) ForVersion(key uint64, version int) []byte {
+	return v.near(v.protos[(key+uint64(version))%uint64(len(v.protos))])
+}
+
+func (v *ValueGen) near(proto []byte) []byte {
+	out := append([]byte(nil), proto...)
+	flips := int(v.noise * float64(v.size*8))
+	for i := 0; i < flips; i++ {
+		b := v.r.Intn(v.size * 8)
+		out[b>>3] ^= 1 << (uint(b) & 7)
+	}
+	return out
+}

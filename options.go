@@ -1,0 +1,103 @@
+package e2nvm
+
+import (
+	"fmt"
+	"io"
+
+	"e2nvm/internal/batch"
+	"e2nvm/internal/core"
+	"e2nvm/internal/kvstore"
+	"e2nvm/internal/nvm"
+)
+
+// SaveModel serializes the store's trained model (encoder weights,
+// centroids, padding state) so a future Open can skip training by passing
+// the stream via OpenWithModel.
+func (s *Store) SaveModel(w io.Writer) error {
+	return s.inner.Model().Save(w)
+}
+
+// OpenWithModel is Open, but restores a previously saved model instead of
+// training one. The model's input width must match the configured segment
+// size; the dynamic address pool is rebuilt by predicting the device's
+// seeded contents.
+func OpenWithModel(cfg Config, model io.Reader) (*Store, error) {
+	cfg = cfg.withDefaults()
+	m, err := core.Load(model)
+	if err != nil {
+		return nil, err
+	}
+	if m.InputBits() != cfg.SegmentSize*8 {
+		return nil, fmt.Errorf("e2nvm: model input %d bits, want %d for %d-byte segments",
+			m.InputBits(), cfg.SegmentSize*8, cfg.SegmentSize)
+	}
+	devCfg := nvm.DefaultConfig(cfg.SegmentSize, cfg.NumSegments)
+	devCfg.WearLevelPeriod = cfg.WearLevelPeriod
+	devCfg.TrackBitWear = cfg.TrackBitWear
+	dev, err := nvm.NewDevice(devCfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SeedContent != nil {
+		buf := make([]byte, cfg.SegmentSize)
+		for a := 0; a < cfg.NumSegments; a++ {
+			for i := range buf {
+				buf[i] = 0
+			}
+			cfg.SeedContent(a, buf)
+			if err := dev.FillSegment(a, buf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	placement := kvstore.PlaceE2NVM
+	if cfg.Placement == PlacementArbitrary {
+		placement = kvstore.PlaceArbitrary
+	}
+	inner, err := kvstore.OpenWith(dev, m, kvstore.Options{
+		Placement:   placement,
+		AutoRetrain: cfg.AutoRetrain,
+		CrashSafe:   cfg.CrashSafe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{inner: inner, dev: dev}, nil
+}
+
+// Batcher groups small writes into segment-sized batch records before they
+// reach the store — the paper's §4.1.4 optimization that shrinks both the
+// address-pool footprint and the padded fraction of each model input. The
+// batcher is not safe for concurrent use.
+type Batcher struct {
+	inner *batch.Batcher
+}
+
+// NewBatcher creates a batcher whose sealed batch records fill the store's
+// maximum value size. gcFrac (0 = default 0.5) is the live fraction below
+// which a sealed batch is compacted.
+func (s *Store) NewBatcher(gcFrac float64) (*Batcher, error) {
+	b, err := batch.New(s, s.MaxValue(), gcFrac)
+	if err != nil {
+		return nil, err
+	}
+	return &Batcher{inner: b}, nil
+}
+
+// Put stores a small value under key, buffering it until a batch fills.
+func (b *Batcher) Put(key uint64, value []byte) error { return b.inner.Put(key, value) }
+
+// Get returns the value stored under key.
+func (b *Batcher) Get(key uint64) ([]byte, bool, error) { return b.inner.Get(key) }
+
+// Delete removes key, compacting its batch when it becomes sparse.
+func (b *Batcher) Delete(key uint64) (bool, error) { return b.inner.Delete(key) }
+
+// Flush seals the open buffer into a batch record.
+func (b *Batcher) Flush() error { return b.inner.Flush() }
+
+// Len returns the number of live user keys.
+func (b *Batcher) Len() int { return b.inner.Len() }
+
+// Batches returns the number of sealed batch records alive in the store.
+func (b *Batcher) Batches() int { return b.inner.Batches() }

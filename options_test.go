@@ -1,0 +1,105 @@
+package e2nvm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveAndOpenWithModel(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SeedContent = func(addr int, seg []byte) {
+		for i := range seg {
+			seg[i] = byte(addr % 7)
+		}
+	}
+	s1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s1.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenWithModel(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Clusters() != s1.Clusters() {
+		t.Fatalf("clusters %d vs %d", s2.Clusters(), s1.Clusters())
+	}
+	if err := s2.Put(1, []byte("restored")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := s2.Get(1)
+	if !ok || string(v) != "restored" {
+		t.Fatalf("Get = (%q,%v)", v, ok)
+	}
+}
+
+func TestOpenWithModelWidthMismatch(t *testing.T) {
+	s1, err := Open(smallConfig()) // 32 B segments
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s1.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.SegmentSize = 64
+	if _, err := OpenWithModel(cfg, &buf); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+}
+
+func TestOpenWithModelGarbage(t *testing.T) {
+	if _, err := OpenWithModel(smallConfig(), bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestBatcherOverStore(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SegmentSize = 128 // MaxValue 117 → ~10 tiny entries per batch
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.NewBatcher(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ResetMetrics()
+	// 40 tiny puts should reach the device as far fewer segment writes.
+	for k := uint64(0); k < 40; k++ {
+		if err := b.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Writes >= 40 {
+		t.Fatalf("batching issued %d device writes for 40 puts", m.Writes)
+	}
+	if b.Len() != 40 || b.Batches() == 0 {
+		t.Fatalf("Len=%d Batches=%d", b.Len(), b.Batches())
+	}
+	for k := uint64(0); k < 40; k++ {
+		v, ok, err := b.Get(k)
+		if err != nil || !ok || v[0] != byte(k) {
+			t.Fatalf("Get(%d) = (%v,%v,%v)", k, v, ok, err)
+		}
+	}
+	// Delete most of a batch and confirm survivors persist through GC.
+	for k := uint64(0); k < 39; k++ {
+		if _, err := b.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, err := b.Get(39)
+	if err != nil || !ok || v[0] != 39 {
+		t.Fatalf("survivor Get = (%v,%v,%v)", v, ok, err)
+	}
+}

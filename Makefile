@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test race lint vet
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# Repo-specific static analysis: lockdiscipline, seededrand, floateq,
+# nopanic (see DESIGN.md "Static analysis & invariants").
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/e2nvm-lint ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

@@ -90,7 +90,7 @@ func run(name string, vg *workload.ValueGen, augmented bool) (float64, error) {
 			if err != nil {
 				return 0, err
 			}
-			pool.Add(model.PredictBytes(img), a)
+			pool.Add(model.MustPredictBytes(img), a)
 		}
 		values = kvstore.NewClusteredAllocator(core.NewManager(model), pool)
 	}

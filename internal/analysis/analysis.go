@@ -1,0 +1,140 @@
+// Package analysis is a small, self-contained reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic)
+// built on the standard library's go/parser and go/types only, so the lint
+// suite needs no external module downloads.
+//
+// The suite enforces invariants this codebase relies on but the compiler
+// cannot check:
+//
+//   - lockdiscipline: mutex-guarded struct fields are only touched under
+//     their mutex, and no return path leaks a held lock;
+//   - seededrand: library code never draws from the global math/rand
+//     source, keeping experiments reproducible under a seed;
+//   - floateq: numeric code never compares floats with ==/!= except
+//     against a literal-zero sentinel;
+//   - nopanic: exported API paths of the storage packages return errors
+//     instead of panicking.
+//
+// A diagnostic can be suppressed at a specific site with a trailing or
+// preceding comment of the form:
+//
+//	// lint:allow <name>[,<name>...] — reason
+//
+// which the Pass honors before reporting.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in lint:allow
+	// comments.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run performs the check on one package, reporting findings through
+	// the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic like a compiler error.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+	allow map[string]map[int][]string // filename → line → allowed analyzer names
+}
+
+// NewPass prepares a pass over pkg for a. Diagnostics accumulate into out.
+func NewPass(a *Analyzer, pkg *Package, out *[]Diagnostic) *Pass {
+	p := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		diags:     out,
+		allow:     map[string]map[int][]string{},
+	}
+	for _, f := range pkg.Files {
+		p.indexAllowComments(f)
+	}
+	return p
+}
+
+var allowRe = regexp.MustCompile(`lint:allow\s+([A-Za-z0-9_,]+)`)
+
+// indexAllowComments records every lint:allow comment of f by file/line so
+// Reportf can honor the escape hatch.
+func (p *Pass) indexAllowComments(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := allowRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			byLine := p.allow[pos.Filename]
+			if byLine == nil {
+				byLine = map[int][]string{}
+				p.allow[pos.Filename] = byLine
+			}
+			names := strings.Split(m[1], ",")
+			byLine[pos.Line] = append(byLine[pos.Line], names...)
+		}
+	}
+}
+
+// allowed reports whether an allow comment for the current analyzer sits on
+// the diagnosed line or the line directly above it.
+func (p *Pass) allowed(pos token.Position) bool {
+	byLine := p.allow[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reportf records a diagnostic at pos unless a lint:allow comment
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.allowed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}

@@ -1,0 +1,88 @@
+// Package analysistest runs an analyzer over golden fixture packages under
+// testdata/src and checks its diagnostics against `// want "regex"`
+// comments, mirroring the x/tools harness of the same name.
+//
+// Each fixture package is stdlib-only and compiled with the fixture loader,
+// so the goldens exercise exactly the code path the e2nvm-lint driver uses.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"e2nvm/internal/analysis"
+)
+
+// wantRe extracts the quoted expectation regexes from a want comment; a
+// line may carry several: // want "first" "second"
+var wantRe = regexp.MustCompile(`want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes the fixture package at testdataDir/src/<pkgName> and fails t
+// on any mismatch between reported diagnostics and want expectations.
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgName string) {
+	t.Helper()
+	dir := filepath.Join(testdataDir, "src", pkgName)
+	loader := analysis.NewFixtureLoader()
+	pkg, err := loader.LoadDir(dir, pkgName)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q[1], err)
+					}
+					wants = append(wants, &expectation{
+						file:    pos.Filename,
+						line:    pos.Line,
+						pattern: re,
+					})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, pkg, &diags)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}

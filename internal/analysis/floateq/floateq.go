@@ -1,0 +1,76 @@
+// Package floateq flags ==/!= between floating-point operands.
+//
+// The K-means/VAE math converges by driving residuals toward zero;
+// comparing those residuals with exact equality is a classic source of
+// non-terminating training loops (SMART-WRITE, arXiv:2511.04713, calls
+// this out for NVM write-optimization models specifically). The one
+// sanctioned exception is comparison against a literal 0, which the
+// numeric kernels use as a "skip the no-op work" sentinel (e.g. the
+// sparse-input fast paths in internal/mat): a value that was assigned
+// exactly 0.0 compares reliably. Everything else must go through
+// mat.EqualWithin, the epsilon comparison helper.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"e2nvm/internal/analysis"
+)
+
+// Analyzer flags floating-point equality comparisons.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "forbid ==/!= on floating-point operands unless one side is a " +
+		"literal 0 sentinel; use mat.EqualWithin for tolerance comparison",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) || !isFloat(pass, be.Y) {
+				return true
+			}
+			if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison; use mat.EqualWithin (or an explicit ordered comparison) — exact equality on computed floats is unreliable",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether e has floating-point type (including untyped
+// float constants).
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to 0.
+func isZeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}

@@ -1,0 +1,11 @@
+package floateq
+
+import (
+	"testing"
+
+	"e2nvm/internal/analysis/analysistest"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "../testdata", Analyzer, "floateq")
+}

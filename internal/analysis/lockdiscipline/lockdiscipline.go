@@ -1,0 +1,397 @@
+// Package lockdiscipline enforces the repo's mutex convention on structs
+// that embed a `mu sync.Mutex` / `sync.RWMutex` field (nine of them:
+// nvm.Device, kvstore.Store, core.Model, core.Manager, dap.Pool,
+// energy.Profiler, txn.Manager, index.FreeList, ...).
+//
+// Convention: every sibling field declared AFTER the mu field is guarded
+// by mu; fields declared before it are immutable after construction (or
+// independently synchronized) and may be read freely. The analyzer
+// enforces two rules:
+//
+//  1. an exported method that reads or writes a guarded field must take
+//     the lock: it must contain at least one recv.mu.Lock() / RLock()
+//     call (this caught the unlocked dap.Pool.K and core.Model.Padder
+//     reads racing Reset/SetPadder);
+//  2. a method that locks mu without defer must not return while the lock
+//     is held — every return path needs a preceding Unlock.
+//
+// False positives (e.g. a method documented as requiring the caller to
+// hold the lock) use the `// lint:allow lockdiscipline` escape hatch;
+// unexported *Locked helpers are excluded from rule 1 by convention.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"e2nvm/internal/analysis"
+)
+
+// Analyzer checks mutex discipline around mu-guarded struct fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "fields declared after a struct's mu mutex must only be accessed " +
+		"under mu in exported methods, and no return path may leak a held lock",
+	Run: run,
+}
+
+// guardInfo describes one mu-guarded struct.
+type guardInfo struct {
+	muField string          // name of the mutex field ("mu")
+	guarded map[string]bool // sibling fields declared after the mutex
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			names := fd.Recv.List[0].Names
+			if len(names) == 0 || names[0].Name == "_" {
+				continue
+			}
+			recv, ok := pass.TypesInfo.Defs[names[0]].(*types.Var)
+			if !ok {
+				continue
+			}
+			gi := guards[namedTypeName(recv.Type())]
+			if gi == nil {
+				continue
+			}
+			checkGuardedAccess(pass, fd, recv, gi)
+			checkReturnPaths(pass, fd, recv, gi)
+		}
+	}
+	return nil
+}
+
+// collectGuards finds struct types with a mutex field named mu and records
+// which sibling fields it guards (everything declared after it).
+func collectGuards(pass *analysis.Pass) map[*types.TypeName]*guardInfo {
+	out := map[*types.TypeName]*guardInfo{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			gi := &guardInfo{guarded: map[string]bool{}}
+			for _, field := range st.Fields.List {
+				isMutex := isSyncMutex(pass, field.Type)
+				for _, name := range field.Names {
+					switch {
+					case gi.muField == "" && isMutex && name.Name == "mu":
+						gi.muField = name.Name
+					case gi.muField != "" && !isMutex:
+						gi.guarded[name.Name] = true
+					}
+				}
+			}
+			if gi.muField != "" && len(gi.guarded) > 0 {
+				out[tn] = gi
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isSyncMutex(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// namedTypeName unwraps pointers to the defining TypeName, or nil.
+func namedTypeName(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// checkGuardedAccess implements rule 1: exported methods touching guarded
+// fields must contain a lock acquisition on recv.mu.
+func checkGuardedAccess(pass *analysis.Pass, fd *ast.FuncDecl, recv *types.Var, gi *guardInfo) {
+	if !fd.Name.IsExported() || strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	if containsLockCall(pass, fd.Body, recv, gi.muField) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != recv {
+			return true
+		}
+		if gi.guarded[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(),
+				"%s accesses mu-guarded field %s.%s without %s.%s.Lock (field is declared after mu; lock it or move it above mu if it is immutable)",
+				fd.Name.Name, id.Name, sel.Sel.Name, id.Name, gi.muField)
+		}
+		return true
+	})
+}
+
+// containsLockCall reports whether body contains recv.mu.Lock/RLock.
+func containsLockCall(pass *analysis.Pass, body *ast.BlockStmt, recv *types.Var, muField string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if kind := lockCallKind(pass, call, recv, muField); kind == lockAcquire || kind == rlockAcquire {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+type lockKind int
+
+const (
+	notLock lockKind = iota
+	lockAcquire
+	rlockAcquire
+	lockRelease
+	rlockRelease
+)
+
+// lockCallKind classifies call as an operation on recv.<muField>.
+func lockCallKind(pass *analysis.Pass, call *ast.CallExpr, recv *types.Var, muField string) lockKind {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return notLock
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != muField {
+		return notLock
+	}
+	id, ok := inner.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != recv {
+		return notLock
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		return lockAcquire
+	case "RLock":
+		return rlockAcquire
+	case "Unlock":
+		return lockRelease
+	case "RUnlock":
+		return rlockRelease
+	}
+	return notLock
+}
+
+// lockState tracks whether recv.mu is held on the current path.
+type lockState struct {
+	held     bool // mu (or its read half) currently locked on this path
+	deferred bool // a defer recv.mu.Unlock() covers the rest of the function
+}
+
+// checkReturnPaths implements rule 2 with a conservative structural walk:
+// it simulates Lock/Unlock/defer-Unlock along statement paths and reports
+// any return reached while the lock is held without a covering defer.
+// Branches are walked independently; a branch that ends in return does not
+// contribute to the fall-through state.
+func checkReturnPaths(pass *analysis.Pass, fd *ast.FuncDecl, recv *types.Var, gi *guardInfo) {
+	var walkStmts func(stmts []ast.Stmt, st lockState) lockState
+	var walkStmt func(s ast.Stmt, st lockState) lockState
+
+	// walkExpr descends into function literals (e.g. goroutine bodies),
+	// which start with their own unlocked state.
+	walkExpr := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				walkStmts(fl.Body.List, lockState{})
+				return false
+			}
+			return true
+		})
+	}
+
+	walkStmt = func(s ast.Stmt, st lockState) lockState {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				switch lockCallKind(pass, call, recv, gi.muField) {
+				case lockAcquire, rlockAcquire:
+					st.held = true
+				case lockRelease, rlockRelease:
+					st.held = false
+				}
+			}
+			walkExpr(s.X)
+		case *ast.DeferStmt:
+			switch lockCallKind(pass, s.Call, recv, gi.muField) {
+			case lockRelease, rlockRelease:
+				st.deferred = true
+			default:
+				walkExpr(s.Call.Fun)
+				for _, a := range s.Call.Args {
+					walkExpr(a)
+				}
+			}
+		case *ast.GoStmt:
+			walkExpr(s.Call.Fun)
+			for _, a := range s.Call.Args {
+				walkExpr(a)
+			}
+		case *ast.ReturnStmt:
+			if st.held && !st.deferred {
+				pass.Reportf(s.Pos(),
+					"%s returns while %s.%s is held; unlock before returning or use defer %s.%s.Unlock()",
+					fd.Name.Name, recv.Name(), gi.muField, recv.Name(), gi.muField)
+			}
+			for _, r := range s.Results {
+				walkExpr(r)
+			}
+		case *ast.BlockStmt:
+			st = walkStmts(s.List, st)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				st = walkStmt(s.Init, st)
+			}
+			walkExpr(s.Cond)
+			bodyExit := walkStmts(s.Body.List, st)
+			if s.Else != nil {
+				elseExit := walkStmt(s.Else, st)
+				st = mergeBranches(s.Body.List, bodyExit, elseStmts(s.Else), elseExit)
+			} else if !terminates(s.Body.List) {
+				// Fall-through merges with the branch exit conservatively.
+				st.held = st.held || bodyExit.held
+				st.deferred = st.deferred || bodyExit.deferred
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				st = walkStmt(s.Init, st)
+			}
+			walkExpr(s.Cond)
+			walkStmts(s.Body.List, st)
+		case *ast.RangeStmt:
+			walkExpr(s.X)
+			walkStmts(s.Body.List, st)
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				st = walkStmt(s.Init, st)
+			}
+			walkExpr(s.Tag)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body, st)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body, st)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkStmts(cc.Body, st)
+				}
+			}
+		case *ast.LabeledStmt:
+			st = walkStmt(s.Stmt, st)
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				walkExpr(r)
+			}
+		}
+		return st
+	}
+
+	walkStmts = func(stmts []ast.Stmt, st lockState) lockState {
+		for _, s := range stmts {
+			st = walkStmt(s, st)
+		}
+		return st
+	}
+
+	walkStmts(fd.Body.List, lockState{})
+}
+
+// elseStmts flattens an else arm into its statement list.
+func elseStmts(s ast.Stmt) []ast.Stmt {
+	if b, ok := s.(*ast.BlockStmt); ok {
+		return b.List
+	}
+	return []ast.Stmt{s}
+}
+
+// mergeBranches combines the exit states of an if/else pair: a branch that
+// terminates (ends in return) does not flow out.
+func mergeBranches(body []ast.Stmt, bodyExit lockState, els []ast.Stmt, elseExit lockState) lockState {
+	bt, et := terminates(body), terminates(els)
+	switch {
+	case bt && et:
+		return lockState{}
+	case bt:
+		return elseExit
+	case et:
+		return bodyExit
+	default:
+		return lockState{
+			held:     bodyExit.held || elseExit.held,
+			deferred: bodyExit.deferred || elseExit.deferred,
+		}
+	}
+}
+
+// terminates reports whether a statement list ends in a return (the only
+// terminator these packages use on lock paths).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

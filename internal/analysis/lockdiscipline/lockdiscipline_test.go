@@ -1,0 +1,11 @@
+package lockdiscipline
+
+import (
+	"testing"
+
+	"e2nvm/internal/analysis/analysistest"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "../testdata", Analyzer, "lockdiscipline")
+}

@@ -1,0 +1,59 @@
+// Package nopanic forbids panic in exported API paths of library code.
+//
+// The storage packages (internal/core, internal/kvstore, internal/txn)
+// sit under a public Store API that heavy concurrent traffic will drive
+// with arbitrary inputs; a panic there takes down the whole process
+// instead of failing one request. Exported functions and methods in those
+// packages must return (wrapped sentinel) errors.
+//
+// Deliberate invariant panics — unreachable-by-construction states, or
+// Must* convenience wrappers for driver code — are annotated with
+//
+//	// lint:allow nopanic — <why this cannot fire / why a panic is right>
+//
+// which the analyzer honors.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"e2nvm/internal/analysis"
+)
+
+// Analyzer flags panic calls lexically inside exported functions/methods.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc: "forbid panic() in exported API paths of the storage packages; " +
+		"return wrapped sentinel errors instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"panic in exported API %s; return a wrapped sentinel error instead (library code must not crash the caller)",
+					fd.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}

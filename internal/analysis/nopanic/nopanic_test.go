@@ -1,0 +1,11 @@
+package nopanic
+
+import (
+	"testing"
+
+	"e2nvm/internal/analysis/analysistest"
+)
+
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, "../testdata", Analyzer, "nopanic")
+}

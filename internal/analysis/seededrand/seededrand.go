@@ -1,0 +1,69 @@
+// Package seededrand forbids the global math/rand source in library code.
+//
+// The paper's evaluation (and Predict-and-Write before it) reports
+// seed-sensitive clustering quality, so every random draw in the training
+// and simulation paths must come from an injected *rand.Rand seeded by the
+// caller — two runs with the same Config.Seed must be bit-identical.
+// Global math/rand top-level functions (rand.Intn, rand.Float64, ...)
+// share a process-wide source that other goroutines and packages also
+// advance, silently destroying that reproducibility.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"e2nvm/internal/analysis"
+)
+
+// Analyzer flags calls to global math/rand top-level functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid the process-global math/rand source in library code; " +
+		"inject a *rand.Rand (rand.New(rand.NewSource(seed))) instead",
+	Run: run,
+}
+
+// globalFuncs are the math/rand package-level functions that draw from (or
+// mutate) the shared global source. Constructors (New, NewSource, NewZipf)
+// are the sanctioned alternative and stay allowed.
+var globalFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() != "math/rand" && fn.Pkg().Path() != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand have a receiver; only package-level
+			// functions touch the global source.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if globalFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"global math/rand.%s breaks seed reproducibility; draw from an injected *rand.Rand instead",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package seededrand
+
+import (
+	"testing"
+
+	"e2nvm/internal/analysis/analysistest"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "../testdata", Analyzer, "seededrand")
+}

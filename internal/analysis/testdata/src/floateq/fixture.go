@@ -1,0 +1,41 @@
+// Package floateq is a golden fixture for the floateq analyzer.
+package floateq
+
+// Converged compares computed floats exactly — the classic bug.
+func Converged(prev, cur float64) bool {
+	return prev == cur // want "floating-point == comparison"
+}
+
+// Different uses != on floats.
+func Different(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+// SkipZero compares against the literal-0 sentinel, which is sanctioned.
+func SkipZero(x float64) bool {
+	return x == 0
+}
+
+// SkipZeroFlipped has the sentinel on the left.
+func SkipZeroFlipped(x float64) bool {
+	return 0.0 != x
+}
+
+// Ints are fine: exact integer equality is reliable.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Tolerance is the sanctioned pattern (mirrors mat.EqualWithin).
+func Tolerance(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// Allowed demonstrates the escape hatch.
+func Allowed(a, b float64) bool {
+	return a == b // lint:allow floateq — fixture-only demonstration
+}

@@ -1,0 +1,69 @@
+// Package lockdiscipline is a golden fixture for the lockdiscipline
+// analyzer. Convention under test: fields declared after mu are guarded by
+// it; fields before mu are set once at construction and free to read.
+package lockdiscipline
+
+import "sync"
+
+// Counter follows the repo layout: immutable config above mu, mutable
+// state below it.
+type Counter struct {
+	name string // immutable after construction
+
+	mu sync.Mutex
+	n  int
+	hi int
+}
+
+// Name reads an unguarded field; no lock needed.
+func (c *Counter) Name() string { return c.name }
+
+// Add is the conforming pattern: lock with deferred unlock.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+	if c.n > c.hi {
+		c.hi = c.n
+	}
+}
+
+// Peek reads guarded state without taking the lock — a data race.
+func (c *Counter) Peek() int {
+	return c.n // want "Peek accesses mu-guarded field c.n without c.mu.Lock"
+}
+
+// Leak locks but returns on the early path while still holding mu.
+func (c *Counter) Leak(d int) int {
+	c.mu.Lock()
+	if d == 0 {
+		return c.n // want "Leak returns while c.mu is held"
+	}
+	c.n += d
+	c.mu.Unlock()
+	return c.n
+}
+
+// Balanced unlocks on both branches before returning; no diagnostic.
+func (c *Counter) Balanced(d int) int {
+	c.mu.Lock()
+	if d == 0 {
+		c.mu.Unlock()
+		return 0
+	}
+	c.n += d
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// NLocked is a caller-holds-the-lock helper; the Locked suffix exempts it.
+func (c *Counter) NLocked() int { return c.n }
+
+// reset is unexported; internal helpers manage locking at their call sites.
+func (c *Counter) reset() { c.n = 0 }
+
+// Snapshot demonstrates the escape hatch for a documented exception.
+func (c *Counter) Snapshot() int {
+	return c.n // lint:allow lockdiscipline — fixture-only demonstration
+}

@@ -1,0 +1,53 @@
+// Package nopanic is a golden fixture for the nopanic analyzer.
+package nopanic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the sentinel the good path wraps.
+var ErrBad = errors.New("bad input")
+
+// Bad panics from an exported API path.
+func Bad(n int) int {
+	if n < 0 {
+		panic("negative") // want "panic in exported API Bad"
+	}
+	return n * 2
+}
+
+// BadMethod panics from an exported method.
+type Widget struct{}
+
+func (Widget) Size(n int) int {
+	if n == 0 {
+		panic("zero") // want "panic in exported API Size"
+	}
+	return n
+}
+
+// Good returns a wrapped sentinel error instead.
+func Good(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("doubling %d: %w", n, ErrBad)
+	}
+	return n * 2, nil
+}
+
+// internalInvariant is unexported; panics on invariants are its business.
+func internalInvariant(n int) int {
+	if n < 0 {
+		panic("unreachable")
+	}
+	return n
+}
+
+// MustGood demonstrates the sanctioned Must* escape hatch.
+func MustGood(n int) int {
+	v, err := Good(n)
+	if err != nil {
+		panic(err) // lint:allow nopanic — Must* convenience for driver code
+	}
+	return v
+}

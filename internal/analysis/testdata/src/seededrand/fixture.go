@@ -1,0 +1,31 @@
+// Package seededrand is a golden fixture for the seededrand analyzer.
+package seededrand
+
+import "math/rand"
+
+// Bad draws from the process-global source.
+func Bad() int {
+	return rand.Intn(10) // want "global math/rand.Intn breaks seed reproducibility"
+}
+
+// BadShuffle mutates the global source through Shuffle and Seed.
+func BadShuffle(xs []int) {
+	rand.Seed(42) // want "global math/rand.Seed"
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle"
+}
+
+// Good draws from an injected source; constructors are allowed.
+func Good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// GoodInjected uses method calls on the injected generator.
+func GoodInjected(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// Allowed demonstrates the escape hatch for sanctioned uses.
+func Allowed() int {
+	return rand.Int() // lint:allow seededrand — fixture-only demonstration
+}

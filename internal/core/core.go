@@ -12,6 +12,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -113,17 +114,22 @@ func (c Config) withDefaults() (Config, error) {
 // (they are read-only after training), matching the paper's note that VAE
 // operations in the serving path are read-only.
 type Model struct {
-	cfg    Config
-	vae    *vae.Model
-	km     *kmeans.Model
-	padder *padding.Padder
+	cfg Config
+	vae *vae.Model
+	km  *kmeans.Model
 
 	history   []vae.EpochLoss
 	sseCurve  []float64 // populated when K was chosen by the elbow method
 	trainedOn int
 
-	mu sync.Mutex // guards padder (its RNG and dataset stats mutate)
+	mu     sync.Mutex // guards padder (its RNG and dataset stats mutate)
+	padder *padding.Padder
 }
+
+// ErrBadSegment reports an item whose geometry does not match the model or
+// store configuration (wrong width, oversized value, misconfigured segment
+// size). Callers detect it with errors.Is.
+var ErrBadSegment = errors.New("segment geometry mismatch")
 
 // Train fits an E2-NVM model on the bit images of the current memory
 // segments. Each row of data must hold exactly cfg.InputBits values in
@@ -268,37 +274,53 @@ func (m *Model) FLOPsPerPredict() float64 {
 }
 
 // Predict maps a full-width item (InputBits values in {0,1}) to its
-// cluster.
-func (m *Model) Predict(item []float64) int {
+// cluster. Items of the wrong width report ErrBadSegment; use
+// PredictPadded for narrower items.
+func (m *Model) Predict(item []float64) (int, error) {
 	if len(item) != m.cfg.InputBits {
-		panic(fmt.Sprintf("core: Predict item of %d bits, want %d (use PredictPadded)", len(item), m.cfg.InputBits))
+		return 0, fmt.Errorf("core: Predict item of %d bits, want %d (use PredictPadded): %w",
+			len(item), m.cfg.InputBits, ErrBadSegment)
 	}
-	return m.km.Predict(m.vae.Encode(item))
+	return m.km.Predict(m.vae.Encode(item)), nil
 }
 
 // PredictPadded maps an item of up to InputBits bits to its cluster,
 // applying the configured padding strategy when the item is narrower than
-// the model (§4). The padded bits are used only for this prediction.
-func (m *Model) PredictPadded(item []float64) int {
+// the model (§4). The padded bits are used only for this prediction. Items
+// wider than InputBits report ErrBadSegment.
+func (m *Model) PredictPadded(item []float64) (int, error) {
 	if len(item) == m.cfg.InputBits {
 		return m.Predict(item)
 	}
 	m.mu.Lock()
-	padded := m.padder.Pad(item, m.cfg.InputBits)
+	padded, err := m.padder.PadChecked(item, m.cfg.InputBits)
 	m.mu.Unlock()
+	if err != nil {
+		return 0, fmt.Errorf("core: %v: %w", err, ErrBadSegment)
+	}
 	return m.Predict(padded)
 }
 
 // PredictBytes maps a raw segment image to its cluster.
-func (m *Model) PredictBytes(b []byte) int {
+func (m *Model) PredictBytes(b []byte) (int, error) {
 	return m.PredictPadded(BytesToBits(b))
+}
+
+// MustPredictBytes is PredictBytes for callers that construct their inputs
+// (experiment drivers, examples) and treat a geometry mismatch as a bug.
+func (m *Model) MustPredictBytes(b []byte) int {
+	c, err := m.PredictBytes(b)
+	if err != nil {
+		panic(err) // lint:allow nopanic — Must* convenience for driver code with self-made inputs
+	}
+	return c
 }
 
 // PredictBytesBatch predicts the clusters of many segment images in
 // parallel (prediction is thread-safe), preserving input order. It is the
 // bulk path used when populating or rebuilding the address pool over large
-// devices.
-func (m *Model) PredictBytesBatch(imgs [][]byte) []int {
+// devices. The first geometry error aborts the batch.
+func (m *Model) PredictBytesBatch(imgs [][]byte) ([]int, error) {
 	out := make([]int, len(imgs))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(imgs) {
@@ -306,11 +328,16 @@ func (m *Model) PredictBytesBatch(imgs [][]byte) []int {
 	}
 	if workers <= 1 {
 		for i, b := range imgs {
-			out[i] = m.PredictBytes(b)
+			c, err := m.PredictBytes(b)
+			if err != nil {
+				return nil, fmt.Errorf("core: batch item %d: %w", i, err)
+			}
+			out[i] = c
 		}
-		return out
+		return out, nil
 	}
 	var wg sync.WaitGroup
+	errs := make([]error, workers)
 	chunk := (len(imgs) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -322,15 +349,25 @@ func (m *Model) PredictBytesBatch(imgs [][]byte) []int {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				out[i] = m.PredictBytes(imgs[i])
+				c, err := m.PredictBytes(imgs[i])
+				if err != nil {
+					errs[w] = fmt.Errorf("core: batch item %d: %w", i, err)
+					return
+				}
+				out[i] = c
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
-	return out
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Encode exposes the latent embedding of a full-width item.
@@ -338,7 +375,11 @@ func (m *Model) Encode(item []float64) []float64 { return m.vae.Encode(item) }
 
 // Padder returns the model's padding front-end (used by experiments to
 // install memory-density callbacks).
-func (m *Model) Padder() *padding.Padder { return m.padder }
+func (m *Model) Padder() *padding.Padder {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.padder
+}
 
 // SetPadder swaps the padding front-end, letting experiments sweep padding
 // strategies against one trained encoder (Figure 14).

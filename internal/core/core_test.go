@@ -1,12 +1,22 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"e2nvm/internal/bitvec"
 	"e2nvm/internal/padding"
 )
+
+// mustP unwraps a predict result; test inputs are well-formed, so an error
+// is a test bug (the panic fails the test, goroutine-safe unlike t.Fatal).
+func mustP(c int, err error) int {
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
 
 // segmentSet plants k clusters of segment bit-images.
 func segmentSet(r *rand.Rand, n, k, bits int, noise float64) ([][]float64, []int) {
@@ -74,7 +84,7 @@ func TestTrainAndPredictGroupsSimilarContent(t *testing.T) {
 		counts[i] = map[int]int{}
 	}
 	for i, x := range data {
-		counts[m.Predict(x)][labels[i]]++
+		counts[mustP(m.Predict(x))][labels[i]]++
 	}
 	pure, total := 0, 0
 	for _, cm := range counts {
@@ -134,19 +144,23 @@ func TestHistoryRecorded(t *testing.T) {
 	}
 }
 
-func TestPredictWrongWidthPanics(t *testing.T) {
+func TestPredictWrongWidthReturnsErrBadSegment(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	data, _ := segmentSet(r, 50, 2, 16, 0.05)
 	m, err := Train(data, quickCfg(16, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	m.Predict(make([]float64, 8))
+	if _, err := m.Predict(make([]float64, 8)); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("Predict on wrong width: err = %v, want ErrBadSegment", err)
+	}
+	// Items wider than the model are rejected by PredictPadded too.
+	if _, err := m.PredictPadded(make([]float64, 99)); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("PredictPadded on oversized item: err = %v, want ErrBadSegment", err)
+	}
+	if _, err := m.PredictBytesBatch([][]byte{make([]byte, 2), make([]byte, 99)}); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("PredictBytesBatch with oversized item: err = %v, want ErrBadSegment", err)
+	}
 }
 
 func TestPredictPaddedAcceptsNarrowItems(t *testing.T) {
@@ -156,12 +170,12 @@ func TestPredictPaddedAcceptsNarrowItems(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := m.PredictPadded(make([]float64, 20))
+	c := mustP(m.PredictPadded(make([]float64, 20)))
 	if c < 0 || c >= 2 {
 		t.Fatalf("padded prediction %d out of range", c)
 	}
 	// Full-width items route through Predict unchanged.
-	if got := m.PredictPadded(data[0]); got != m.Predict(data[0]) {
+	if got := mustP(m.PredictPadded(data[0])); got != mustP(m.Predict(data[0])) {
 		t.Fatal("full-width PredictPadded disagrees with Predict")
 	}
 }
@@ -174,9 +188,12 @@ func TestPredictBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := []byte{0xff, 0x00, 0xff, 0x00}
-	c := m.PredictBytes(b)
-	if c2 := m.Predict(BytesToBits(b)); c2 != c {
+	c := mustP(m.PredictBytes(b))
+	if c2 := mustP(m.Predict(BytesToBits(b))); c2 != c {
 		t.Fatalf("PredictBytes %d != Predict(bits) %d", c, c2)
+	}
+	if c3 := m.MustPredictBytes(b); c3 != c {
+		t.Fatalf("MustPredictBytes %d != PredictBytes %d", c3, c)
 	}
 }
 
@@ -246,7 +263,7 @@ func TestLearnedPaddingTrains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := m.PredictPadded(make([]float64, 40))
+	c := mustP(m.PredictPadded(make([]float64, 40)))
 	if c < 0 || c >= m.K() {
 		t.Fatalf("learned-padded prediction %d out of range", c)
 	}
@@ -312,14 +329,14 @@ func TestConcurrentPredict(t *testing.T) {
 	}
 	want := make([]int, len(data))
 	for i, x := range data {
-		want[i] = m.Predict(x)
+		want[i] = mustP(m.Predict(x))
 	}
 	done := make(chan bool, 8)
 	for g := 0; g < 8; g++ {
 		go func(g int) {
 			ok := true
 			for i := g; i < len(data); i += 2 {
-				if m.Predict(data[i]) != want[i] {
+				if mustP(m.Predict(data[i])) != want[i] {
 					ok = false
 				}
 			}
@@ -344,19 +361,22 @@ func TestPredictBytesBatchMatchesSequential(t *testing.T) {
 	for i, row := range data {
 		imgs[i] = BitsToBytes(row)
 	}
-	batch := m.PredictBytesBatch(imgs)
+	batch, err := m.PredictBytesBatch(imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(batch) != len(imgs) {
 		t.Fatalf("batch len = %d", len(batch))
 	}
 	for i, img := range imgs {
-		if got := m.PredictBytes(img); got != batch[i] {
+		if got := mustP(m.PredictBytes(img)); got != batch[i] {
 			t.Fatalf("batch[%d] = %d, sequential = %d", i, batch[i], got)
 		}
 	}
-	if out := m.PredictBytesBatch(nil); len(out) != 0 {
+	if out, err := m.PredictBytesBatch(nil); err != nil || len(out) != 0 {
 		t.Fatal("empty batch should be empty")
 	}
-	if out := m.PredictBytesBatch(imgs[:1]); out[0] != m.PredictBytes(imgs[0]) {
+	if out, err := m.PredictBytesBatch(imgs[:1]); err != nil || out[0] != mustP(m.PredictBytes(imgs[0])) {
 		t.Fatal("single-item batch mismatch")
 	}
 }
@@ -378,14 +398,14 @@ func TestMemoryAwarePlacementBeatsArbitrary(t *testing.T) {
 	// Free segments: the remaining 100, grouped by predicted cluster.
 	free := map[int][][]float64{}
 	for _, seg := range data[300:] {
-		c := m.Predict(seg)
+		c := mustP(m.Predict(seg))
 		free[c] = append(free[c], seg)
 	}
 	aware, arbitrary := 0, 0
 	arb := rand.New(rand.NewSource(13))
 	pool := data[300:]
 	for _, item := range incoming {
-		c := m.Predict(item)
+		c := mustP(m.Predict(item))
 		if segs := free[c]; len(segs) > 0 {
 			aware += bitvec.HammingFloats(segs[0], item)
 		} else {

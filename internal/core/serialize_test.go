@@ -29,7 +29,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	// Predictions must be identical for full-width items.
 	for _, x := range data {
-		if m.Predict(x) != m2.Predict(x) {
+		if mustP(m.Predict(x)) != mustP(m2.Predict(x)) {
 			t.Fatal("prediction diverged after load")
 		}
 	}
@@ -38,7 +38,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	m.SetPadder(zp)
 	m2.SetPadder(padding.New(padding.End, padding.Zero, 1))
 	for _, x := range data[:20] {
-		if m.PredictPadded(x[:20]) != m2.PredictPadded(x[:20]) {
+		if mustP(m.PredictPadded(x[:20])) != mustP(m2.PredictPadded(x[:20])) {
 			t.Fatal("padded prediction diverged after load")
 		}
 	}
@@ -78,7 +78,7 @@ func TestSaveLoadLearnedPadding(t *testing.T) {
 	for j := range item {
 		item[j] = float64(j % 2)
 	}
-	if m.PredictPadded(item) != m2.PredictPadded(item) {
+	if mustP(m.PredictPadded(item)) != mustP(m2.PredictPadded(item)) {
 		t.Fatal("learned-padded prediction diverged after load")
 	}
 	if net, _, _ := m2.Padder().Model(); net == nil {

@@ -59,7 +59,11 @@ func New(k int, opts ...Option) (*Pool, error) {
 }
 
 // K returns the number of clusters.
-func (p *Pool) K() int { return len(p.clusters) }
+func (p *Pool) K() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.clusters)
+}
 
 // Add recycles a free address into cluster c. It returns false when the
 // pool is at its configured capacity (the address is then simply dropped

@@ -79,14 +79,14 @@ func AblationIntraClusterSearch(cfg RunConfig) (*Result, error) {
 		free := map[int][]int{}
 		for a := 0; a < n; a++ {
 			img, _ := dev.Peek(a)
-			c := model.PredictBytes(img)
+			c := mustPredict(model.PredictBytes(img))
 			free[c] = append(free[c], a)
 		}
 		dev.ResetStats()
 		var live []int
 		t0 := time.Now()
 		for _, item := range items {
-			c := model.PredictBytes(item)
+			c := mustPredict(model.PredictBytes(item))
 			cand := free[c]
 			if len(cand) == 0 {
 				for cc := 0; cc < k; cc++ {
@@ -114,7 +114,8 @@ func AblationIntraClusterSearch(cfg RunConfig) (*Result, error) {
 				v := live[0]
 				live = live[1:]
 				img, _ := dev.Peek(v)
-				free[model.PredictBytes(img)] = append(free[model.PredictBytes(img)], v)
+				fc := mustPredict(model.PredictBytes(img))
+				free[fc] = append(free[fc], v)
 			}
 		}
 		el := float64(time.Since(t0).Microseconds()) / float64(len(items))

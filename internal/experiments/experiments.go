@@ -118,9 +118,20 @@ func IDs() []string {
 
 // ---------------------------------------------------------------- common --
 
-// predictor maps a segment image to a cluster id.
+// predictor maps a segment image to a cluster id. Geometry errors are
+// programming bugs in the drivers (they construct their own inputs), so
+// call sites go through mustPredict.
 type predictor interface {
-	PredictBytes(b []byte) int
+	PredictBytes(b []byte) (int, error)
+}
+
+// mustPredict unwraps a predict result; experiment inputs are self-made,
+// so a geometry error is a bug in the experiment, not a runtime condition.
+func mustPredict(c int, err error) int {
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // placer chooses destinations for incoming writes.
@@ -153,20 +164,26 @@ func newClusterPlacer(model predictor, k int, dev *nvm.Device, freeAddrs []int) 
 		}
 		imgs[i] = img
 	}
-	if bp, ok := model.(interface{ PredictBytesBatch([][]byte) []int }); ok {
-		for i, c := range bp.PredictBytesBatch(imgs) {
+	if bp, ok := model.(interface {
+		PredictBytesBatch([][]byte) ([]int, error)
+	}); ok {
+		clusters, err := bp.PredictBytesBatch(imgs)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range clusters {
 			pool.Add(c, freeAddrs[i])
 		}
 	} else {
 		for i, img := range imgs {
-			pool.Add(model.PredictBytes(img), freeAddrs[i])
+			pool.Add(mustPredict(model.PredictBytes(img)), freeAddrs[i])
 		}
 	}
 	return &clusterPlacer{model: model, pool: pool}, nil
 }
 
 func (p *clusterPlacer) place(content []byte) (int, bool) {
-	cluster := p.model.PredictBytes(content)
+	cluster := mustPredict(p.model.PredictBytes(content))
 	addr, servedBy, ok := p.pool.Get(cluster)
 	if ok && servedBy != cluster {
 		p.fallbacks++
@@ -175,7 +192,7 @@ func (p *clusterPlacer) place(content []byte) (int, bool) {
 }
 
 func (p *clusterPlacer) recycle(addr int, content []byte) {
-	p.pool.Add(p.model.PredictBytes(content), addr)
+	p.pool.Add(mustPredict(p.model.PredictBytes(content)), addr)
 }
 
 // fifoPlacer is the arbitrary-placement baseline.

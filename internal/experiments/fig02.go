@@ -105,8 +105,8 @@ func Fig2(cfg RunConfig) (*Result, error) {
 // pnwAdapter lets a PNW model serve the predictor interface.
 type pnwAdapter struct{ m *pnw.Model }
 
-func (a pnwAdapter) PredictBytes(b []byte) int {
-	return a.m.Predict(core.BytesToBits(b))
+func (a pnwAdapter) PredictBytes(b []byte) (int, error) {
+	return a.m.Predict(core.BytesToBits(b)), nil
 }
 
 // runInPlaceScheme writes items round-robin over all segments, encoding

@@ -70,7 +70,7 @@ func Fig7(cfg RunConfig) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			pool.Add(model.PredictBytes(img), a)
+			pool.Add(mustPredict(model.PredictBytes(img)), a)
 		}
 		footprintKB := float64(pool.FootprintBytes()) / 1024
 		p := &clusterPlacer{model: model, pool: pool}

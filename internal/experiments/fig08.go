@@ -100,14 +100,14 @@ type vaeKMeansPredictor struct {
 	km *kmeans.Model
 }
 
-func (p *vaeKMeansPredictor) PredictBytes(b []byte) int {
+func (p *vaeKMeansPredictor) PredictBytes(b []byte) (int, error) {
 	bits := make([]float64, len(b)*8)
 	for i := range bits {
 		if b[i>>3]&(1<<(uint(i)&7)) != 0 {
 			bits[i] = 1
 		}
 	}
-	return p.km.Predict(p.v.Encode(bits))
+	return p.km.Predict(p.v.Encode(bits)), nil
 }
 
 func argMin(v []float64) int {

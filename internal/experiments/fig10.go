@@ -105,12 +105,12 @@ func Fig10(cfg RunConfig) (*Result, error) {
 			}
 			t0 := time.Now()
 			for _, it := range probe {
-				pnwAdapter{pm}.PredictBytes(it)
+				mustPredict(pnwAdapter{pm}.PredictBytes(it))
 			}
 			pnwUs := float64(time.Since(t0).Microseconds()) / float64(len(probe))
 			t0 = time.Now()
 			for _, it := range probe {
-				em.PredictBytes(it)
+				mustPredict(em.PredictBytes(it))
 			}
 			e2Us := float64(time.Since(t0).Microseconds()) / float64(len(probe))
 

@@ -123,7 +123,7 @@ func Fig12(cfg RunConfig) (*Result, error) {
 				if err != nil {
 					return 0, err
 				}
-				pool.Add(model.PredictBytes(img), a)
+				pool.Add(mustPredict(model.PredictBytes(img)), a)
 			}
 			values = kvstore.NewClusteredAllocator(core.NewManager(model), pool)
 		}

@@ -78,7 +78,7 @@ func Fig14(cfg RunConfig) (*Result, error) {
 				totalFlips, words := 0, 0
 				for _, full := range testFull {
 					item := crop(full, loc)
-					cluster := model.PredictPadded(item)
+					cluster := mustPredict(model.PredictPadded(item))
 					addr, _, ok := placerP.pool.Get(cluster)
 					if !ok {
 						return nil, fmt.Errorf("fig14: pool exhausted")

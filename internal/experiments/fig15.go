@@ -61,7 +61,7 @@ func Fig15(cfg RunConfig) (*Result, error) {
 		for _, full := range test {
 			keep := bits * (100 - pct) / 100
 			item := append([]float64(nil), full[:keep]...)
-			cluster := model.PredictPadded(item)
+			cluster := mustPredict(model.PredictPadded(item))
 			addr, _, ok := cp.pool.Get(cluster)
 			if !ok {
 				return nil, fmt.Errorf("fig15: pool exhausted")

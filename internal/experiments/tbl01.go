@@ -54,9 +54,9 @@ func Table1(cfg RunConfig) (*Result, error) {
 	// 0–3, 4–7, 8–11 in three clusters).
 	groupsOK := true
 	for g := 0; g < 3; g++ {
-		c0 := model.Predict(data[4*g])
+		c0 := mustPredict(model.Predict(data[4*g]))
 		for i := 1; i < 4; i++ {
-			if model.Predict(data[4*g+i]) != c0 {
+			if mustPredict(model.Predict(data[4*g+i])) != c0 {
 				groupsOK = false
 			}
 		}
@@ -76,10 +76,10 @@ func Table1(cfg RunConfig) (*Result, error) {
 			p.SetMemoryDensity(func() float64 { return densityOf(data) })
 			model.SetPadder(p)
 			padded := p.Pad(d1, 8)
-			cl := model.Predict(padded)
+			cl := mustPredict(model.Predict(padded))
 			best := 9
 			for i, row := range data {
-				if model.Predict(data[i]) != cl {
+				if mustPredict(model.Predict(data[i])) != cl {
 					continue
 				}
 				if h := bitvec.HammingFloats(padded, row); h < best {

@@ -1,0 +1,87 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// clusterTestData builds a fixed mixture so two Fit runs see identical
+// inputs; all nondeterminism then comes from the training RNG alone.
+func clusterTestData(seed int64, n, dim int) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	data := make([][]float64, n)
+	for i := range data {
+		row := make([]float64, dim)
+		center := float64(i % 3 * 5)
+		for j := range row {
+			row[j] = center + r.NormFloat64()
+		}
+		data[i] = row
+	}
+	return data
+}
+
+// TestFitSameSeedBitIdentical is the determinism regression test: two runs
+// with the same Config.Seed must produce byte-identical assignments and
+// bit-identical centroids (math.Float64bits, not approximate equality).
+func TestFitSameSeedBitIdentical(t *testing.T) {
+	data := clusterTestData(7, 150, 6)
+	cfg := NewConfig(3)
+	cfg.Seed = 42
+
+	m1, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Iterations != m2.Iterations {
+		t.Fatalf("iterations diverged: %d vs %d", m1.Iterations, m2.Iterations)
+	}
+	if math.Float64bits(m1.SSE) != math.Float64bits(m2.SSE) {
+		t.Fatalf("SSE diverged: %v vs %v", m1.SSE, m2.SSE)
+	}
+	for c := range m1.Centroids {
+		for j := range m1.Centroids[c] {
+			a, b := m1.Centroids[c][j], m2.Centroids[c][j]
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("centroid[%d][%d] diverged: %v vs %v", c, j, a, b)
+			}
+		}
+	}
+	for i, x := range data {
+		if m1.Predict(x) != m2.Predict(x) {
+			t.Fatalf("assignment %d diverged", i)
+		}
+	}
+}
+
+// TestFitInjectedRandMatchesSeed verifies Config.Rand overrides Seed and
+// that an injected generator reproduces the Seed-derived stream.
+func TestFitInjectedRandMatchesSeed(t *testing.T) {
+	data := clusterTestData(9, 120, 4)
+	cfg := NewConfig(3)
+	cfg.Seed = 5
+
+	bySeed, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Rand = rand.New(rand.NewSource(5))
+	cfg.Seed = 999 // must be ignored when Rand is set
+	byRand, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range bySeed.Centroids {
+		for j := range bySeed.Centroids[c] {
+			a, b := bySeed.Centroids[c][j], byRand.Centroids[c][j]
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("injected Rand diverged from seed stream at centroid[%d][%d]", c, j)
+			}
+		}
+	}
+}

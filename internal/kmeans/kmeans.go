@@ -29,6 +29,13 @@ type Config struct {
 	Tol      float64 // centroid-shift convergence threshold, default 1e-4
 	Seed     int64
 	PlusPlus bool // use k-means++ seeding (default true via NewConfig)
+
+	// Rand, when non-nil, is the generator seeding draws come from,
+	// overriding Seed. Injecting a shared *rand.Rand lets a caller thread
+	// one deterministic stream through several fits; otherwise each Fit
+	// derives its own stream from Seed, so same-seed runs are
+	// bit-identical.
+	Rand *rand.Rand
 }
 
 // NewConfig returns a Config with defaults for the given K.
@@ -66,7 +73,10 @@ func Fit(data [][]float64, cfg Config) (*Model, error) {
 			return nil, fmt.Errorf("kmeans: row %d has %d features, want %d", i, len(row), dim)
 		}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 
 	m := &Model{K: cfg.K}
 	if cfg.PlusPlus {

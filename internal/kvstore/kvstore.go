@@ -57,6 +57,18 @@ var ErrValueTooLarge = errors.New("kvstore: value exceeds segment payload")
 // ErrNoSpace is returned when no free segment remains.
 var ErrNoSpace = errors.New("kvstore: no free segments")
 
+// ErrBadSegment reports a geometry mismatch between the model and the
+// device (wrong InputBits for the segment size, item wider than a
+// segment). It re-exports core.ErrBadSegment so store callers need only
+// this package for errors.Is checks.
+var ErrBadSegment = core.ErrBadSegment
+
+// ErrOutOfRange reports a segment address outside the device (or inside
+// the reserved redo-log zone). It aliases nvm.ErrBadAddress, so device and
+// transaction errors wrapped anywhere below the store satisfy
+// errors.Is(err, ErrOutOfRange).
+var ErrOutOfRange = nvm.ErrBadAddress
+
 // Options configures Open.
 type Options struct {
 	// Placement selects the placement policy (default PlaceE2NVM).
@@ -96,13 +108,13 @@ type Store struct {
 	pool *dap.Pool
 	opts Options
 
+	txnMgr   *txn.Manager // non-nil in crash-safe mode; set once at open
+	dataSegs int          // segments usable for data (device minus txn log)
+
 	mu      sync.Mutex
 	tree    *index.RBTree // key → segment address
 	stats   Stats
 	indexed int // segments [0, indexed) are under DAP management
-
-	txnMgr   *txn.Manager // non-nil in crash-safe mode
-	dataSegs int          // segments usable for data (device minus txn log)
 }
 
 // Open trains an E2-NVM model on the device's current segment contents
@@ -114,7 +126,7 @@ func Open(dev *nvm.Device, modelCfg core.Config, opts Options) (*Store, error) {
 		modelCfg.InputBits = segBits
 	}
 	if modelCfg.InputBits != segBits {
-		return nil, fmt.Errorf("kvstore: model InputBits %d != segment bits %d", modelCfg.InputBits, segBits)
+		return nil, fmt.Errorf("kvstore: model InputBits %d != segment bits %d: %w", modelCfg.InputBits, segBits, ErrBadSegment)
 	}
 	data, err := segmentImages(dev)
 	if err != nil {
@@ -137,7 +149,7 @@ func OpenWith(dev *nvm.Device, model *core.Model, opts Options) (*Store, error) 
 
 func openWith(dev *nvm.Device, model *core.Model, opts Options, recovering bool) (*Store, error) {
 	if model.InputBits() != dev.SegmentSize()*8 {
-		return nil, fmt.Errorf("kvstore: model InputBits %d != segment bits %d", model.InputBits(), dev.SegmentSize()*8)
+		return nil, fmt.Errorf("kvstore: model InputBits %d != segment bits %d: %w", model.InputBits(), dev.SegmentSize()*8, ErrBadSegment)
 	}
 	if opts.LowWater <= 0 {
 		opts.LowWater = dev.NumSegments() / (model.K() * 10)
@@ -243,7 +255,10 @@ func (s *Store) indexRange(lo, hi int) (int, error) {
 	}
 	// Predict in parallel, then insert in address order so the pool's
 	// FIFO contents stay deterministic.
-	clusters := model.PredictBytesBatch(imgs)
+	clusters, err := model.PredictBytesBatch(imgs)
+	if err != nil {
+		return 0, err
+	}
 	added := 0
 	for i, c := range clusters {
 		s.pool.Add(c, lo+i)
@@ -347,7 +362,10 @@ func (s *Store) Put(key uint64, value []byte) error {
 			addr = a
 		}
 	default: // PlaceE2NVM
-		cluster := model.PredictPadded(core.BytesToBits(record))
+		cluster, err := model.PredictPadded(core.BytesToBits(record))
+		if err != nil {
+			return err
+		}
 		a, servedBy, ok := s.pool.Get(cluster)
 		if !ok {
 			return ErrNoSpace
@@ -420,7 +438,11 @@ func (s *Store) recycleLocked(addr int) {
 	if err != nil {
 		return
 	}
-	s.pool.Add(s.mgr.Current().PredictBytes(img), addr)
+	c, err := s.mgr.Current().PredictBytes(img)
+	if err != nil {
+		return // segment unparsable under the live model; drop from pool
+	}
+	s.pool.Add(c, addr)
 }
 
 // Get returns the value stored for key.
@@ -572,7 +594,11 @@ func (s *Store) rebuildPoolLocked(model *core.Model) error {
 		if err != nil {
 			return err
 		}
-		s.pool.Add(model.PredictBytes(img), addr)
+		c, err := model.PredictBytes(img)
+		if err != nil {
+			return err
+		}
+		s.pool.Add(c, addr)
 	}
 	return nil
 }
@@ -631,7 +657,11 @@ func RecoverWith(dev *nvm.Device, model *core.Model, opts Options) (*Store, erro
 			s.tree.Put(key, int64(addr))
 			continue
 		}
-		s.pool.Add(model.PredictBytes(img), addr)
+		c, err := model.PredictBytes(img)
+		if err != nil {
+			return nil, err
+		}
+		s.pool.Add(c, addr)
 	}
 	return s, nil
 }
@@ -652,9 +682,13 @@ func NewClusteredAllocator(mgr *core.Manager, pool *dap.Pool) *ClusteredAllocato
 	return &ClusteredAllocator{mgr: mgr, pool: pool}
 }
 
-// Place implements index.Allocator.
+// Place implements index.Allocator. Values wider than the model's segment
+// report ErrBadSegment instead of panicking.
 func (a *ClusteredAllocator) Place(value []byte) (int, error) {
-	cluster := a.mgr.Current().PredictBytes(value)
+	cluster, err := a.mgr.Current().PredictBytes(value)
+	if err != nil {
+		return 0, err
+	}
 	addr, _, ok := a.pool.Get(cluster)
 	if !ok {
 		return 0, index.ErrNoSpace
@@ -666,7 +700,9 @@ func (a *ClusteredAllocator) Place(value []byte) (int, error) {
 func (a *ClusteredAllocator) Release(addr int, content []byte) {
 	cluster := 0
 	if content != nil {
-		cluster = a.mgr.Current().PredictBytes(content)
+		if c, err := a.mgr.Current().PredictBytes(content); err == nil {
+			cluster = c
+		}
 	}
 	a.pool.Add(cluster, addr)
 }

@@ -193,3 +193,19 @@ func ArgMin(v []float64) int {
 	}
 	return best
 }
+
+// EqualWithin reports whether a and b agree to within tol, absolutely for
+// small magnitudes and relatively for large ones. It is the sanctioned way
+// to compare computed floats in this codebase — the floateq analyzer
+// rejects ==/!= between float expressions (except against a literal 0).
+func EqualWithin(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}

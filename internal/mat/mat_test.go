@@ -183,3 +183,23 @@ func BenchmarkMulVec256(b *testing.B) {
 		m.MulVec(x, y)
 	}
 }
+
+func TestEqualWithin(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1.0, 1.0, 1e-9, true},
+		{1.0, 1.0 + 1e-12, 1e-9, true},      // absolute tolerance
+		{1e12, 1e12 * (1 + 1e-12), 1e-9, true}, // relative tolerance at scale
+		{1.0, 1.1, 1e-9, false},
+		{0, 1e-12, 1e-9, true},
+		{math.NaN(), math.NaN(), 1e-9, false},
+		{math.NaN(), 1, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := EqualWithin(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("EqualWithin(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// trainSteps initializes a layer from seed, runs a few Adam steps on a
+// fixed input, and returns the resulting weights.
+func trainSteps(seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDense(8, 4, Sigmoid, rng)
+	opt := NewAdam(0.01)
+	opt.Register(d.Params()...)
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = float64(i%2) - 0.5
+	}
+	for step := 0; step < 5; step++ {
+		y := d.Forward(x)
+		grad := make([]float64, len(y))
+		for i := range grad {
+			grad[i] = y[i] - 0.5
+		}
+		d.ZeroGrad()
+		d.Backward(grad)
+		opt.Step()
+	}
+	return append([]float64(nil), d.W.Data...)
+}
+
+// TestDenseSameSeedBitIdentical asserts that the injected-*rand.Rand
+// initialization plus training is fully deterministic: two same-seed runs
+// end with bit-identical weights (math.Float64bits).
+func TestDenseSameSeedBitIdentical(t *testing.T) {
+	w1 := trainSteps(11)
+	w2 := trainSteps(11)
+	for i := range w1 {
+		if math.Float64bits(w1[i]) != math.Float64bits(w2[i]) {
+			t.Fatalf("weight %d diverged: %v vs %v", i, w1[i], w2[i])
+		}
+	}
+	// Different seeds must actually change the initialization, otherwise
+	// the identity above is vacuous.
+	w3 := trainSteps(12)
+	same := true
+	for i := range w1 {
+		if math.Float64bits(w1[i]) != math.Float64bits(w3[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical weights")
+	}
+}

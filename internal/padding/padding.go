@@ -162,9 +162,23 @@ func (p *Padder) Observe(data []float64) {
 	}
 }
 
+// PadChecked expands data to width w like Pad, but reports an error
+// instead of panicking when the item is wider than w or a Learned padder
+// has no model installed. It is the variant serving paths use so that a
+// misconfigured store fails a request rather than the process.
+func (p *Padder) PadChecked(data []float64, w int) ([]float64, error) {
+	if len(data) > w {
+		return nil, fmt.Errorf("padding: item of %d bits exceeds width %d", len(data), w)
+	}
+	if p.Kind == Learned && p.model == nil && len(data) < w {
+		return nil, fmt.Errorf("padding: Learned padder has no model (call SetModel)")
+	}
+	return p.Pad(data, w), nil
+}
+
 // Pad expands data to width w. The result is freshly allocated; data is
 // not modified. Pad panics if len(data) > w, or if a Learned padder has no
-// model.
+// model; PadChecked is the error-returning variant.
 func (p *Padder) Pad(data []float64, w int) []float64 {
 	q := w - len(data)
 	if q < 0 {

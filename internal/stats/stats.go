@@ -82,7 +82,7 @@ func (c *CDF) Points(n int) [][2]float64 {
 	}
 	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
 	out := make([][2]float64, 0, n)
-	if hi == lo {
+	if hi <= lo { // degenerate range: all samples equal (ordered, not ==)
 		return [][2]float64{{lo, 1}}
 	}
 	for i := 0; i < n; i++ {

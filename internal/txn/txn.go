@@ -167,7 +167,7 @@ func (t *Tx) Write(addr int, data []byte) error {
 		return fmt.Errorf("txn: write on aborted transaction")
 	}
 	if addr < 0 || addr >= t.m.logStart {
-		return fmt.Errorf("txn: address %d outside data region [0,%d)", addr, t.m.logStart)
+		return fmt.Errorf("txn: address %d outside data region [0,%d): %w", addr, t.m.logStart, nvm.ErrBadAddress)
 	}
 	if len(data) != t.m.dev.SegmentSize() {
 		return fmt.Errorf("txn: image of %d bytes, want %d", len(data), t.m.dev.SegmentSize())

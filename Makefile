@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race lint vet
+.PHONY: all build test race lint vet bench
 
 all: build lint test
 
 build:
 	$(GO) build ./...
 
-# Repo-specific static analysis: lockdiscipline, seededrand, floateq,
-# nopanic (see DESIGN.md "Static analysis & invariants").
+# Repo-specific static analysis: per-function analyzers (lockdiscipline,
+# seededrand, floateq, nopanic) plus the inter-procedural ones
+# (hotpathalloc, errflow, deepdeterminism) — see DESIGN.md §8.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/e2nvm-lint ./...
@@ -21,3 +22,8 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Regenerate the committed micro-benchmark baseline (Put/Get/GetInto/Delete
+# ns/op, B/op, allocs/op plus bit-flip counters).
+bench:
+	$(GO) run ./cmd/e2nvm-bench -kvbench -out BENCH_PR2.json

@@ -1,0 +1,246 @@
+// kvbench: the -kvbench mode emits a machine-readable micro-benchmark
+// baseline for the store's hot operations (PUT/GET/DELETE), so successive
+// PRs have a committed perf trajectory (BENCH_PR2.json and onwards).
+//
+// Each entry carries testing.Benchmark's ns/op, B/op and allocs/op plus
+// the device's bit-flip counters accumulated during the run — the same
+// quantities the paper's latency/energy evaluation rests on.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"e2nvm"
+)
+
+// kvBenchGeometry pins the micro-benchmark store shape so numbers are
+// comparable across PRs (64 B segments, 1 Ki segments, K=8, fixed seed).
+const (
+	kvBenchSegSize  = 64
+	kvBenchSegments = 1024
+	kvBenchClusters = 8
+	kvBenchEpochs   = 5
+	kvBenchSeed     = 1
+	kvBenchKeys     = 512
+	kvBenchValue    = 32
+)
+
+type kvBenchEntry struct {
+	Name        string  `json:"name"`
+	Note        string  `json:"note,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Device counters over the measured run, normalized per operation.
+	BitsFlippedPerOp float64 `json:"bits_flipped_per_op"`
+	FlipsPerDataBit  float64 `json:"flips_per_data_bit"`
+}
+
+type kvBenchDoc struct {
+	Schema    string         `json:"schema"`
+	GoVersion string         `json:"go_version"`
+	Geometry  string         `json:"geometry"`
+	Entries   []kvBenchEntry `json:"entries"`
+}
+
+func newKVBenchStore() (*e2nvm.Store, error) {
+	return e2nvm.Open(e2nvm.Config{
+		SegmentSize: kvBenchSegSize,
+		NumSegments: kvBenchSegments,
+		Clusters:    kvBenchClusters,
+		TrainEpochs: kvBenchEpochs,
+		Seed:        kvBenchSeed,
+	})
+}
+
+// runKVBench measures the Put/Get/Delete paths and writes the JSON baseline
+// to out ("-" for stdout).
+func runKVBench(out string) error {
+	var entries []kvBenchEntry
+
+	// PUT: steady-state overwrites across a fixed working set.
+	{
+		store, err := newKVBenchStore()
+		if err != nil {
+			return err
+		}
+		val := make([]byte, kvBenchValue)
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			store.ResetMetrics()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				val[0] = byte(i)
+				if err := store.Put(uint64(i%kvBenchKeys), val); err != nil {
+					failed = err
+					b.FailNow()
+				}
+			}
+		})
+		if failed != nil {
+			return fmt.Errorf("kvbench put: %w", failed)
+		}
+		m := store.Metrics()
+		entries = append(entries, kvBenchEntry{
+			Name:             "kvstore.Put",
+			Iterations:       r.N,
+			NsPerOp:          float64(r.NsPerOp()),
+			BytesPerOp:       r.AllocedBytesPerOp(),
+			AllocsPerOp:      r.AllocsPerOp(),
+			BitsFlippedPerOp: float64(m.BitsFlipped) / float64(r.N),
+			FlipsPerDataBit:  m.FlipsPerDataBit,
+		})
+	}
+
+	// GET: reads over a pre-populated working set.
+	{
+		store, err := newKVBenchStore()
+		if err != nil {
+			return err
+		}
+		val := make([]byte, kvBenchValue)
+		for k := uint64(0); k < kvBenchKeys; k++ {
+			val[0] = byte(k)
+			if err := store.Put(k, val); err != nil {
+				return err
+			}
+		}
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			store.ResetMetrics()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := store.Get(uint64(i % kvBenchKeys)); err != nil {
+					failed = err
+					b.FailNow()
+				}
+			}
+		})
+		if failed != nil {
+			return fmt.Errorf("kvbench get: %w", failed)
+		}
+		m := store.Metrics()
+		entries = append(entries, kvBenchEntry{
+			Name:             "kvstore.Get",
+			Iterations:       r.N,
+			NsPerOp:          float64(r.NsPerOp()),
+			BytesPerOp:       r.AllocedBytesPerOp(),
+			AllocsPerOp:      r.AllocsPerOp(),
+			BitsFlippedPerOp: float64(m.BitsFlipped) / float64(r.N),
+			FlipsPerDataBit:  m.FlipsPerDataBit,
+		})
+	}
+
+	// GETINTO: the zero-alloc read path — same working set as GET, but the
+	// caller reuses one buffer across reads.
+	{
+		store, err := newKVBenchStore()
+		if err != nil {
+			return err
+		}
+		val := make([]byte, kvBenchValue)
+		for k := uint64(0); k < kvBenchKeys; k++ {
+			val[0] = byte(k)
+			if err := store.Put(k, val); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 0, kvBenchValue)
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			store.ResetMetrics()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v, _, err := store.GetInto(uint64(i%kvBenchKeys), buf)
+				if err != nil {
+					failed = err
+					b.FailNow()
+				}
+				buf = v[:0]
+			}
+		})
+		if failed != nil {
+			return fmt.Errorf("kvbench getinto: %w", failed)
+		}
+		m := store.Metrics()
+		entries = append(entries, kvBenchEntry{
+			Name:             "kvstore.GetInto",
+			Note:             "Get into a caller-reused buffer; the delta vs kvstore.Get is the cost of handing out a fresh copy",
+			Iterations:       r.N,
+			NsPerOp:          float64(r.NsPerOp()),
+			BytesPerOp:       r.AllocedBytesPerOp(),
+			AllocsPerOp:      r.AllocsPerOp(),
+			BitsFlippedPerOp: float64(m.BitsFlipped) / float64(r.N),
+			FlipsPerDataBit:  m.FlipsPerDataBit,
+		})
+	}
+
+	// DELETE: each op deletes an existing key and re-inserts it so the
+	// store never drains; the numbers therefore include one PUT per op.
+	{
+		store, err := newKVBenchStore()
+		if err != nil {
+			return err
+		}
+		val := make([]byte, kvBenchValue)
+		for k := uint64(0); k < kvBenchKeys; k++ {
+			val[0] = byte(k)
+			if err := store.Put(k, val); err != nil {
+				return err
+			}
+		}
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			store.ResetMetrics()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k := uint64(i % kvBenchKeys)
+				if _, err := store.Delete(k); err != nil {
+					failed = err
+					b.FailNow()
+				}
+				if err := store.Put(k, val); err != nil {
+					failed = err
+					b.FailNow()
+				}
+			}
+		})
+		if failed != nil {
+			return fmt.Errorf("kvbench delete: %w", failed)
+		}
+		m := store.Metrics()
+		entries = append(entries, kvBenchEntry{
+			Name:             "kvstore.Delete",
+			Note:             "each op is delete + reinsert (the store must not drain); subtract kvstore.Put for the delete-only cost",
+			Iterations:       r.N,
+			NsPerOp:          float64(r.NsPerOp()),
+			BytesPerOp:       r.AllocedBytesPerOp(),
+			AllocsPerOp:      r.AllocsPerOp(),
+			BitsFlippedPerOp: float64(m.BitsFlipped) / float64(r.N),
+			FlipsPerDataBit:  m.FlipsPerDataBit,
+		})
+	}
+
+	doc := kvBenchDoc{
+		Schema:    "e2nvm-kvbench/1",
+		GoVersion: runtime.Version(),
+		Geometry: fmt.Sprintf("%dB segments x %d, K=%d, %d keys, %dB values, seed %d",
+			kvBenchSegSize, kvBenchSegments, kvBenchClusters, kvBenchKeys, kvBenchValue, kvBenchSeed),
+		Entries: entries,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" || out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}

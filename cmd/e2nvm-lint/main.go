@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	go run ./cmd/e2nvm-lint [-vet] [packages]
+//	go run ./cmd/e2nvm-lint [-vet] [-github] [packages]
 //
 // Patterns default to ./... . Exit status is 1 if any diagnostic is
-// reported. Each analyzer runs over a scope matching its invariant:
+// reported. -github additionally emits GitHub Actions ::error annotations
+// so CI failures link to file:line. Each per-package analyzer runs over a
+// scope matching its invariant:
 //
 //	lockdiscipline  all library and command packages
 //	floateq         all library and command packages
@@ -14,6 +16,13 @@
 //	                experiment drivers may use ad-hoc randomness)
 //	nopanic         internal/core, internal/kvstore, internal/txn — the
 //	                storage packages behind the public Store API
+//
+// Three whole-program analyzers then run once over every loaded package,
+// following the call graph across package boundaries:
+//
+//	hotpathalloc     lint:hotpath roots must not reach heap allocations
+//	errflow          exported errors of core/kvstore/txn/nvm wrap sentinels
+//	deepdeterminism  internal/experiments must stay bit-reproducible
 package main
 
 import (
@@ -24,7 +33,10 @@ import (
 	"sort"
 
 	"e2nvm/internal/analysis"
+	"e2nvm/internal/analysis/deepdeterminism"
+	"e2nvm/internal/analysis/errflow"
 	"e2nvm/internal/analysis/floateq"
+	"e2nvm/internal/analysis/hotpathalloc"
 	"e2nvm/internal/analysis/lockdiscipline"
 	"e2nvm/internal/analysis/nopanic"
 	"e2nvm/internal/analysis/seededrand"
@@ -42,8 +54,18 @@ var nopanicScope = map[string]bool{
 // reliable on this codebase (the full default set is run by CI separately).
 var vetPasses = []string{"-copylocks", "-lostcancel", "-printf", "-unreachable"}
 
+// errflowScope lists the storage packages (relative to the module root)
+// whose exported error contract errflow enforces.
+var errflowScope = []string{
+	"internal/core",
+	"internal/kvstore",
+	"internal/txn",
+	"internal/nvm",
+}
+
 func main() {
 	vet := flag.Bool("vet", false, "also run selected go vet passes on the same patterns")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations for diagnostics")
 	flag.Parse()
 
 	patterns := flag.Args()
@@ -73,6 +95,24 @@ func main() {
 		}
 	}
 
+	// Whole-program analyzers see every loaded package at once.
+	errflow.ScopePackages = nil
+	for _, rel := range errflowScope {
+		errflow.ScopePackages = append(errflow.ScopePackages, loader.ModPath+"/"+rel)
+	}
+	deepdeterminism.RootPackages = []string{loader.ModPath + "/internal/experiments"}
+	for _, a := range []*analysis.ProgramAnalyzer{hotpathalloc.Analyzer, errflow.Analyzer, deepdeterminism.Analyzer} {
+		pass, err := analysis.NewProgramPass(a, pkgs, &diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)
+			os.Exit(2)
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)
+			os.Exit(2)
+		}
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -85,6 +125,9 @@ func main() {
 	})
 	for _, d := range diags {
 		fmt.Println(d)
+		if *github {
+			fmt.Printf("::error file=%s,line=%d::[%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+		}
 	}
 
 	failed := len(diags) > 0

@@ -231,8 +231,15 @@ func Open(cfg Config) (*Store, error) {
 // Put stores value under key (the paper's PUT/UPDATE write path).
 func (s *Store) Put(key uint64, value []byte) error { return s.inner.Put(key, value) }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key as a fresh caller-owned copy.
 func (s *Store) Get(key uint64) ([]byte, bool, error) { return s.inner.Get(key) }
+
+// GetInto is Get writing the value into dst's backing array (grown only
+// when too small), for callers that reuse one buffer across reads. It
+// returns the resulting slice, which may share storage with dst.
+func (s *Store) GetInto(key uint64, dst []byte) ([]byte, bool, error) {
+	return s.inner.GetInto(key, dst)
+}
 
 // Delete removes key, recycling its segment into the address pool.
 func (s *Store) Delete(key uint64) (bool, error) { return s.inner.Delete(key) }

@@ -65,7 +65,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
-	allow map[string]map[int][]string // filename → line → allowed analyzer names
+	allow allowIndex
 }
 
 // NewPass prepares a pass over pkg for a. Diagnostics accumulate into out.
@@ -77,30 +77,34 @@ func NewPass(a *Analyzer, pkg *Package, out *[]Diagnostic) *Pass {
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
 		diags:     out,
-		allow:     map[string]map[int][]string{},
+		allow:     allowIndex{},
 	}
 	for _, f := range pkg.Files {
-		p.indexAllowComments(f)
+		p.allow.indexFile(pkg.Fset, f)
 	}
 	return p
 }
 
 var allowRe = regexp.MustCompile(`lint:allow\s+([A-Za-z0-9_,]+)`)
 
-// indexAllowComments records every lint:allow comment of f by file/line so
-// Reportf can honor the escape hatch.
-func (p *Pass) indexAllowComments(f *ast.File) {
+// allowIndex records every lint:allow comment by filename and line, shared
+// by the per-package Pass and the whole-program ProgramPass.
+type allowIndex map[string]map[int][]string
+
+// indexFile records every lint:allow comment of f so reporting can honor
+// the escape hatch.
+func (ai allowIndex) indexFile(fset *token.FileSet, f *ast.File) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			m := allowRe.FindStringSubmatch(c.Text)
 			if m == nil {
 				continue
 			}
-			pos := p.Fset.Position(c.Pos())
-			byLine := p.allow[pos.Filename]
+			pos := fset.Position(c.Pos())
+			byLine := ai[pos.Filename]
 			if byLine == nil {
 				byLine = map[int][]string{}
-				p.allow[pos.Filename] = byLine
+				ai[pos.Filename] = byLine
 			}
 			names := strings.Split(m[1], ",")
 			byLine[pos.Line] = append(byLine[pos.Line], names...)
@@ -108,16 +112,16 @@ func (p *Pass) indexAllowComments(f *ast.File) {
 	}
 }
 
-// allowed reports whether an allow comment for the current analyzer sits on
-// the diagnosed line or the line directly above it.
-func (p *Pass) allowed(pos token.Position) bool {
-	byLine := p.allow[pos.Filename]
+// allowed reports whether an allow comment for name sits on the diagnosed
+// line or the line directly above it.
+func (ai allowIndex) allowed(pos token.Position, name string) bool {
+	byLine := ai[pos.Filename]
 	if byLine == nil {
 		return false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range byLine[line] {
-			if name == p.Analyzer.Name {
+		for _, n := range byLine[line] {
+			if n == name {
 				return true
 			}
 		}
@@ -129,7 +133,7 @@ func (p *Pass) allowed(pos token.Position) bool {
 // suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
-	if p.allowed(position) {
+	if p.allow.allowed(position, p.Analyzer.Name) {
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{

@@ -30,13 +30,50 @@ type expectation struct {
 // on any mismatch between reported diagnostics and want expectations.
 func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgName string) {
 	t.Helper()
+	pkg := loadFixture(t, testdataDir, pkgName)
+	wants := collectWants(t, pkg)
+
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, pkg, &diags)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkDiags(t, diags, wants)
+}
+
+// RunProgram analyzes the fixture package at testdataDir/src/<pkgName> with
+// a whole-program analyzer — the package is its own complete program, so
+// call-graph roots and reachability come from its declarations alone — and
+// fails t on any mismatch between diagnostics and want expectations.
+func RunProgram(t *testing.T, testdataDir string, a *analysis.ProgramAnalyzer, pkgName string) {
+	t.Helper()
+	pkg := loadFixture(t, testdataDir, pkgName)
+	wants := collectWants(t, pkg)
+
+	var diags []analysis.Diagnostic
+	pass, err := analysis.NewProgramPass(a, []*analysis.Package{pkg}, &diags)
+	if err != nil {
+		t.Fatalf("building program pass for %s: %v", a.Name, err)
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkDiags(t, diags, wants)
+}
+
+func loadFixture(t *testing.T, testdataDir, pkgName string) *analysis.Package {
+	t.Helper()
 	dir := filepath.Join(testdataDir, "src", pkgName)
 	loader := analysis.NewFixtureLoader()
 	pkg, err := loader.LoadDir(dir, pkgName)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
+	return pkg
+}
 
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
 	var wants []*expectation
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -60,13 +97,11 @@ func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgName string)
 			}
 		}
 	}
+	return wants
+}
 
-	var diags []analysis.Diagnostic
-	pass := analysis.NewPass(a, pkg, &diags)
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
-	}
-
+func checkDiags(t *testing.T, diags []analysis.Diagnostic, wants []*expectation) {
+	t.Helper()
 	for _, d := range diags {
 		found := false
 		for _, w := range wants {

@@ -1,0 +1,401 @@
+package analysis
+
+// This file implements the inter-procedural half of the framework: a call
+// graph over the type-checked packages of one program, with enough edge
+// metadata for whole-program ("Program") analyzers to compute reachability
+// from annotated roots and to attribute a diagnostic found deep in a callee
+// back to the entry point that reaches it.
+//
+// Resolution is static and conservative:
+//
+//   - direct calls to declared functions and concrete methods become
+//     static edges (go/types resolves the callee object);
+//   - calls through an interface method become dynamic edges fanning out
+//     to every in-program concrete method whose receiver type implements
+//     the interface (method sets via go/types); zero-candidate dynamic
+//     calls dispatch only to out-of-program code and carry no edges;
+//   - calls through a function value (a parameter, struct field, or
+//     variable of function type) cannot be resolved and are recorded as
+//     unresolved value calls, which strict analyzers may flag;
+//   - creating a function literal adds a reference edge from the enclosing
+//     function: a closure built on some path is conservatively assumed to
+//     run on that path.
+//
+// Analyzers prune an edge by honoring a `lint:allow <name>` comment on the
+// call site's line — the sanctioned way to declare a call a cold branch.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CallKind classifies how a call site dispatches.
+type CallKind int
+
+// Call kinds.
+const (
+	// CallStatic targets one known function or concrete method.
+	CallStatic CallKind = iota
+	// CallDynamic dispatches through an interface; Targets holds every
+	// in-program candidate implementation.
+	CallDynamic
+	// CallValue invokes a function value (parameter, field, variable);
+	// the target cannot be resolved statically.
+	CallValue
+	// CallRef is not a call: the enclosing function creates a function
+	// literal here. Reachability treats it as a potential call.
+	CallRef
+)
+
+// Call is one call site (or function-literal reference) inside a FuncNode.
+type Call struct {
+	Site    token.Pos
+	Kind    CallKind
+	Callee  *FuncNode   // static/ref target inside the program, else nil
+	Targets []*FuncNode // dynamic-dispatch candidates inside the program
+	// External names the out-of-program callee (stdlib) of a static call
+	// when Callee is nil.
+	External *types.Func
+}
+
+// FuncNode is one function of the analyzed program: a declared function or
+// method, or a function literal.
+type FuncNode struct {
+	Obj   *types.Func   // nil for function literals
+	Decl  *ast.FuncDecl // nil for function literals
+	Lit   *ast.FuncLit  // nil for declared functions
+	Pkg   *Package
+	Calls []Call
+
+	name string
+}
+
+// Pos returns the node's declaration position.
+func (n *FuncNode) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// Body returns the function body (never nil for nodes in the graph).
+func (n *FuncNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Name returns a short human-readable identifier: "pkg.Func",
+// "pkg.(*T).Method", or "pkg.func@line" for literals.
+func (n *FuncNode) Name() string { return n.name }
+
+// DocContains reports whether the declaration's doc comment (or a trailing
+// comment on the declaration line) carries the given lint marker, e.g.
+// "lint:hotpath". Function literals have no doc and always report false.
+func (n *FuncNode) DocContains(marker string) bool {
+	if n.Decl == nil {
+		return false
+	}
+	if n.Decl.Doc != nil {
+		for _, c := range n.Decl.Doc.List {
+			if strings.Contains(c.Text, marker) {
+				return true
+			}
+		}
+	}
+	// A trailing comment on the func line also counts; scan the file's
+	// comments for one on the declaration's line.
+	declLine := n.Pkg.Fset.Position(n.Decl.Pos()).Line
+	for _, f := range n.Pkg.Files {
+		if f.Pos() <= n.Decl.Pos() && n.Decl.Pos() < f.End() {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if n.Pkg.Fset.Position(c.Pos()).Line == declLine && strings.Contains(c.Text, marker) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// InspectOwn walks the node's own body, not descending into nested
+// function literals (each literal is its own FuncNode). When visiting the
+// node of a literal, directly nested literals are likewise skipped.
+func (n *FuncNode) InspectOwn(visit func(ast.Node) bool) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+			visit(x) // let the visitor see the creation site itself
+			return false
+		}
+		return visit(x)
+	})
+}
+
+// CallGraph is the static call graph of one program.
+type CallGraph struct {
+	pkgs  []*Package
+	nodes map[*types.Func]*FuncNode
+	lits  map[*ast.FuncLit]*FuncNode
+	all   []*FuncNode
+}
+
+// Nodes returns every function of the program in source order.
+func (g *CallGraph) Nodes() []*FuncNode { return g.all }
+
+// NodeOf returns the graph node for a declared function object, or nil.
+func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode { return g.nodes[fn] }
+
+// BuildCallGraph constructs the call graph over the given packages (one
+// loader's worth of type-checked packages sharing a FileSet).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		pkgs:  pkgs,
+		nodes: map[*types.Func]*FuncNode{},
+		lits:  map[*ast.FuncLit]*FuncNode{},
+	}
+	// Pass 1: a node per declared function and per function literal.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &FuncNode{Obj: obj, Decl: fd, Pkg: pkg, name: declName(pkg, fd, obj)}
+				g.nodes[obj] = n
+				g.all = append(g.all, n)
+				ast.Inspect(fd.Body, func(x ast.Node) bool {
+					if lit, ok := x.(*ast.FuncLit); ok {
+						ln := &FuncNode{Lit: lit, Pkg: pkg,
+							name: fmt.Sprintf("%s.func@%d", pkg.Types.Name(), pkg.Fset.Position(lit.Pos()).Line)}
+						g.lits[lit] = ln
+						g.all = append(g.all, ln)
+					}
+					return true
+				})
+			}
+		}
+	}
+	// Pass 2: resolve each node's own call sites.
+	for _, n := range g.all {
+		g.resolveCalls(n)
+	}
+	return g
+}
+
+func declName(pkg *Package, fd *ast.FuncDecl, obj *types.Func) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return pkg.Types.Name() + "." + fd.Name.Name
+	}
+	recv := types.TypeString(obj.Type().(*types.Signature).Recv().Type(), func(p *types.Package) string { return "" })
+	return fmt.Sprintf("%s.(%s).%s", pkg.Types.Name(), recv, fd.Name.Name)
+}
+
+// resolveCalls populates n.Calls from its own body.
+func (g *CallGraph) resolveCalls(n *FuncNode) {
+	info := n.Pkg.TypesInfo
+	n.InspectOwn(func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if x != n.Lit {
+				n.Calls = append(n.Calls, Call{Site: x.Pos(), Kind: CallRef, Callee: g.lits[x]})
+			}
+		case *ast.CallExpr:
+			if c, ok := g.resolveCall(info, x); ok {
+				n.Calls = append(n.Calls, c)
+			}
+		}
+		return true
+	})
+}
+
+// resolveCall classifies one call expression. Conversions and builtin
+// calls produce no edge (ok=false).
+func (g *CallGraph) resolveCall(info *types.Info, call *ast.CallExpr) (Call, bool) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return Call{}, false // conversion
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[f].(type) {
+		case *types.Func:
+			return g.staticEdge(call.Pos(), obj), true
+		case *types.Builtin, nil:
+			return Call{}, false
+		default:
+			// Variable of function type.
+			return Call{Site: call.Pos(), Kind: CallValue}, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			switch obj := sel.Obj().(type) {
+			case *types.Func:
+				if iface := dispatchInterface(sel); iface != nil {
+					return Call{Site: call.Pos(), Kind: CallDynamic,
+						Targets: g.implementations(iface, obj.Name())}, true
+				}
+				return g.staticEdge(call.Pos(), obj), true
+			default:
+				// Struct field of function type.
+				return Call{Site: call.Pos(), Kind: CallValue}, true
+			}
+		}
+		// Package-qualified call: pkg.Fn(...).
+		switch obj := info.Uses[f.Sel].(type) {
+		case *types.Func:
+			return g.staticEdge(call.Pos(), obj), true
+		case *types.Builtin, nil:
+			return Call{}, false
+		default:
+			return Call{Site: call.Pos(), Kind: CallValue}, true
+		}
+	case *ast.FuncLit:
+		return Call{Site: call.Pos(), Kind: CallStatic, Callee: g.lits[f]}, true
+	default:
+		// Calling the result of another call, an index expression, etc.
+		return Call{Site: call.Pos(), Kind: CallValue}, true
+	}
+}
+
+func (g *CallGraph) staticEdge(site token.Pos, obj *types.Func) Call {
+	if n := g.nodes[obj]; n != nil {
+		return Call{Site: site, Kind: CallStatic, Callee: n}
+	}
+	return Call{Site: site, Kind: CallStatic, External: obj}
+}
+
+// dispatchInterface returns the interface a method selection dispatches
+// through, or nil for a concrete method call.
+func dispatchInterface(sel *types.Selection) *types.Interface {
+	recv := sel.Recv()
+	if iface, ok := recv.Underlying().(*types.Interface); ok {
+		return iface
+	}
+	return nil
+}
+
+// implementations returns the in-program concrete methods named name on
+// types implementing iface, in deterministic order.
+func (g *CallGraph) implementations(iface *types.Interface, name string) []*FuncNode {
+	var out []*FuncNode
+	seen := map[*FuncNode]bool{}
+	for _, pkg := range g.pkgs {
+		scope := pkg.Types.Scope()
+		for _, tn := range scope.Names() {
+			obj, ok := scope.Lookup(tn).(*types.TypeName)
+			if !ok || obj.IsAlias() {
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			ptr := types.NewPointer(named)
+			if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			ms := types.NewMethodSet(ptr)
+			for i := 0; i < ms.Len(); i++ {
+				m, ok := ms.At(i).Obj().(*types.Func)
+				if !ok || m.Name() != name {
+					continue
+				}
+				if n := g.nodes[m]; n != nil && !seen[n] {
+					seen[n] = true
+					out = append(out, n)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// ReachStep records how a function was first reached during Reach: the
+// calling node, the call site, and the root whose traversal found it.
+// Roots map to a ReachStep with From == nil and Root == themselves.
+type ReachStep struct {
+	From *FuncNode
+	Site token.Pos
+	Root *FuncNode
+}
+
+// Reach computes breadth-first reachability from roots. skip, when
+// non-nil, is consulted per edge and returning true prunes it (the hook
+// analyzers use to honor lint:allow comments on call sites). The returned
+// map contains every reached node, including the roots.
+func (g *CallGraph) Reach(roots []*FuncNode, skip func(from *FuncNode, c Call) bool) map[*FuncNode]ReachStep {
+	reach := map[*FuncNode]ReachStep{}
+	queue := make([]*FuncNode, 0, len(roots))
+	sorted := append([]*FuncNode(nil), roots...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Pos() < sorted[j].Pos() })
+	for _, r := range sorted {
+		if _, ok := reach[r]; ok {
+			continue
+		}
+		reach[r] = ReachStep{Root: r}
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		root := reach[n].Root
+		for _, c := range n.Calls {
+			if skip != nil && skip(n, c) {
+				continue
+			}
+			targets := c.Targets
+			if c.Callee != nil {
+				targets = []*FuncNode{c.Callee}
+			}
+			for _, t := range targets {
+				if t == nil {
+					continue
+				}
+				if _, ok := reach[t]; ok {
+					continue
+				}
+				reach[t] = ReachStep{From: n, Site: c.Site, Root: root}
+				queue = append(queue, t)
+			}
+		}
+	}
+	return reach
+}
+
+// PathTo reconstructs the discovery chain root → ... → n as a " -> "
+// joined string of node names.
+func PathTo(reach map[*FuncNode]ReachStep, n *FuncNode) string {
+	var names []string
+	for cur := n; cur != nil; {
+		names = append(names, cur.Name())
+		step, ok := reach[cur]
+		if !ok || step.From == nil {
+			break
+		}
+		cur = step.From
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}

@@ -1,0 +1,170 @@
+// Package deepdeterminism defines an inter-procedural Analyzer that keeps
+// the experiment pipeline bit-reproducible: every function reachable from
+// an experiment entry point must be a pure function of the seeded
+// RunConfig. It generalizes the per-function seededrand check across the
+// call graph and adds two more nondeterminism sources:
+//
+//   - time.Now / time.Since (wall-clock dependence),
+//   - the global math/rand source (unseeded, process-global),
+//   - ranging over a map where iteration order can feed output — unless
+//     the surrounding function visibly sorts afterwards (a call into
+//     package sort later in the same function), the idiomatic fix.
+//
+// Roots are every function of the packages in RootPackages (the lint
+// driver sets internal/experiments) plus any function carrying a
+// `// lint:entrypoint` doc marker (used by fixtures and one-off tools).
+// A `lint:allow deepdeterminism` comment on a call site prunes the edge
+// (e.g. a wall-clock progress message on a cold path); on a use site it
+// suppresses the finding.
+package deepdeterminism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"e2nvm/internal/analysis"
+)
+
+// Marker is the doc-comment marker for explicit entry-point roots.
+const Marker = "lint:entrypoint"
+
+// RootPackages lists import paths whose every function is an entry point;
+// the lint driver sets it to the experiments package. Fixtures leave it
+// empty and mark roots with the doc marker instead.
+var RootPackages []string
+
+// Analyzer flags nondeterminism reachable from experiment entry points.
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "deepdeterminism",
+	Doc: "code reachable from experiment entry points must not read the wall clock, " +
+		"the global math/rand source, or emit map-ordered output",
+	Run: run,
+}
+
+// globalRandFuncs mirrors seededrand's list of top-level math/rand
+// functions backed by the process-global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Read": true, "Seed": true,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := pass.Graph
+	rootPkg := map[string]bool{}
+	for _, p := range RootPackages {
+		rootPkg[p] = true
+	}
+	var roots []*analysis.FuncNode
+	for _, n := range g.Nodes() {
+		if rootPkg[n.Pkg.PkgPath] && n.Obj != nil {
+			roots = append(roots, n)
+		} else if n.DocContains(Marker) {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	reach := g.Reach(roots, func(_ *analysis.FuncNode, c analysis.Call) bool {
+		return pass.Allowed(c.Site)
+	})
+	for _, n := range g.Nodes() {
+		step, ok := reach[n]
+		if !ok {
+			continue
+		}
+		checkFunc(pass, n, step.Root, reach)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.ProgramPass, n, root *analysis.FuncNode, reach map[*analysis.FuncNode]analysis.ReachStep) {
+	info := n.Pkg.TypesInfo
+	flag := func(x ast.Node, what string) {
+		if n == root {
+			pass.Reportf(x.Pos(), "%s in experiment entry point %s", what, root.Name())
+			return
+		}
+		pass.Reportf(x.Pos(), "%s reachable from experiment entry point %s (%s)",
+			what, root.Name(), analysis.PathTo(reach, n))
+	}
+
+	// Map ranges are fine when the function visibly sorts afterwards.
+	sortCalls := sortCallOffsets(n)
+
+	n.InspectOwn(func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			obj := calleeOf(info, x)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if obj.Name() == "Now" || obj.Name() == "Since" {
+					flag(x, "wall-clock time."+obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[obj.Name()] && obj.Type().(*types.Signature).Recv() == nil {
+					flag(x, "global math/rand."+obj.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			t := info.Types[x.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			sorted := false
+			for _, off := range sortCalls {
+				if off > x.Pos() {
+					sorted = true
+					break
+				}
+			}
+			if !sorted {
+				flag(x, "map iteration order feeds output (no sort call after the range)")
+			}
+		}
+		return true
+	})
+}
+
+// calleeOf resolves the called *types.Func of a call expression, or nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj, _ := info.Uses[f].(*types.Func)
+		return obj
+	case *ast.SelectorExpr:
+		obj, _ := info.Uses[f.Sel].(*types.Func)
+		return obj
+	}
+	return nil
+}
+
+// sortCallOffsets records positions of calls into packages sort and slices
+// within n's own body.
+func sortCallOffsets(n *analysis.FuncNode) []token.Pos {
+	info := n.Pkg.TypesInfo
+	var out []token.Pos
+	n.InspectOwn(func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := calleeOf(info, call); obj != nil && obj.Pkg() != nil {
+			if p := obj.Pkg().Path(); p == "sort" || p == "slices" {
+				out = append(out, call.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}

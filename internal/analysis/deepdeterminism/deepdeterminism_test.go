@@ -1,0 +1,14 @@
+package deepdeterminism
+
+import (
+	"testing"
+
+	"e2nvm/internal/analysis/analysistest"
+)
+
+func TestDeepDeterminism(t *testing.T) {
+	// No package roots: the fixture marks its entry points with the doc
+	// marker instead.
+	RootPackages = nil
+	analysistest.RunProgram(t, "../testdata", Analyzer, "deepdeterminism")
+}

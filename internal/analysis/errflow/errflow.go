@@ -1,0 +1,217 @@
+// Package errflow defines an inter-procedural Analyzer enforcing the
+// repo's error contract: every error crossing an exported boundary of the
+// storage packages chains (via %w) to a declared sentinel, so callers can
+// errors.Is against the package's documented error vars — even when the
+// error is constructed inside a private helper several calls down.
+//
+// Three checks:
+//
+//  1. A bare error origin — errors.New, or fmt.Errorf whose format has no
+//     %w verb — inside any function reachable from an exported function of
+//     a scoped package is flagged at the construction site. Returning nil,
+//     a sentinel (a package-level error var), or a %w-wrap is fine;
+//     errors from out-of-scope callees (stdlib, other packages) are
+//     trusted to be properly formed.
+//  2. err == X / err != X comparisons between two non-nil error values:
+//     use errors.Is, which survives wrapping.
+//  3. A call whose error result is silently discarded as a bare
+//     statement. An explicit `_ = f()` is deliberate and not flagged.
+//
+// Suppress a finding with `lint:allow errflow` on the offending line.
+package errflow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"e2nvm/internal/analysis"
+)
+
+// ScopePackages restricts the boundary check to these import paths; the
+// lint driver sets it to the storage packages (core, kvstore, txn, nvm).
+// Empty means every loaded package is in scope (used by test fixtures).
+var ScopePackages []string
+
+// Analyzer enforces sentinel-wrapped errors across exported boundaries.
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "errflow",
+	Doc: "errors returned across exported boundaries must wrap a declared sentinel " +
+		"via %w; compare errors with errors.Is; do not silently discard error returns",
+	Run: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	inScope := func(p *analysis.Package) bool {
+		if len(ScopePackages) == 0 {
+			return true
+		}
+		for _, s := range ScopePackages {
+			if p.PkgPath == s {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Roots: exported functions and methods of the in-scope packages.
+	// Anything they (transitively, within scope) call can construct an
+	// error that crosses the exported boundary.
+	g := pass.Graph
+	var roots []*analysis.FuncNode
+	for _, n := range g.Nodes() {
+		if n.Obj == nil || !inScope(n.Pkg) {
+			continue
+		}
+		if n.Obj.Exported() && returnsError(n.Obj) {
+			roots = append(roots, n)
+		}
+	}
+	reach := g.Reach(roots, func(from *analysis.FuncNode, c analysis.Call) bool {
+		if pass.Allowed(c.Site) {
+			return true
+		}
+		// Stay within the scoped packages: an out-of-scope callee's
+		// errors are its own contract.
+		if c.Callee != nil && !inScope(c.Callee.Pkg) {
+			return true
+		}
+		return false
+	})
+
+	for _, n := range g.Nodes() {
+		if _, ok := reach[n]; ok {
+			checkOrigins(pass, n)
+		}
+	}
+
+	// Checks 2 and 3 are syntactic and package-scoped.
+	for _, pkg := range pass.Pkgs {
+		if !inScope(pkg) {
+			continue
+		}
+		checkComparisonsAndDiscards(pass, pkg)
+	}
+	return nil
+}
+
+// returnsError reports whether fn's signature includes an error result.
+func returnsError(fn *types.Func) bool {
+	res := fn.Type().(*types.Signature).Results()
+	for i := 0; i < res.Len(); i++ {
+		if isError(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isError(t types.Type) bool {
+	return t.String() == "error"
+}
+
+// checkOrigins flags bare error constructions in one reached function.
+func checkOrigins(pass *analysis.ProgramPass, n *analysis.FuncNode) {
+	info := n.Pkg.TypesInfo
+	n.InspectOwn(func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() + "." + obj.Name() {
+		case "errors.New":
+			pass.Reportf(call.Pos(),
+				"bare errors.New escapes the exported boundary of %s; wrap a declared sentinel with fmt.Errorf(\"...: %%w\", ErrX)",
+				n.Pkg.Types.Name())
+		case "fmt.Errorf":
+			if len(call.Args) == 0 {
+				return true
+			}
+			if format, ok := stringConstant(info, call.Args[0]); ok && !strings.Contains(format, "%w") {
+				pass.Reportf(call.Pos(),
+					"fmt.Errorf without %%w escapes the exported boundary of %s; chain a declared sentinel",
+					n.Pkg.Types.Name())
+			}
+		}
+		return true
+	})
+}
+
+// stringConstant evaluates e as a constant string.
+func stringConstant(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkComparisonsAndDiscards flags err==X comparisons and discarded
+// error-returning calls throughout one package.
+func checkComparisonsAndDiscards(pass *analysis.ProgramPass, pkg *analysis.Package) {
+	info := pkg.TypesInfo
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if isErrorExpr(info, x.X) && isErrorExpr(info, x.Y) {
+					pass.Reportf(x.Pos(), "error compared with %s; use errors.Is so wrapped sentinels still match", x.Op)
+				}
+			case *ast.ExprStmt:
+				call, ok := x.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callReturnsError(info, call) {
+					pass.Reportf(x.Pos(), "error result silently discarded; handle it or assign to _ explicitly")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isErrorExpr reports whether e has error type and is not a nil literal.
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	return isError(tv.Type)
+}
+
+// callReturnsError reports whether the call produces at least one error
+// result (single error, or error in a tuple).
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isError(t.At(i).Type()) {
+				return true
+			}
+		}
+	default:
+		return isError(t)
+	}
+	return false
+}

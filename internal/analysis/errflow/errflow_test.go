@@ -1,0 +1,14 @@
+package errflow
+
+import (
+	"testing"
+
+	"e2nvm/internal/analysis/analysistest"
+)
+
+func TestErrFlow(t *testing.T) {
+	// Empty scope puts every loaded package in scope — the fixture package
+	// plays the role of a storage package.
+	ScopePackages = nil
+	analysistest.RunProgram(t, "../testdata", Analyzer, "errflow")
+}

@@ -1,0 +1,11 @@
+package hotpathalloc
+
+import (
+	"testing"
+
+	"e2nvm/internal/analysis/analysistest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.RunProgram(t, "../testdata", Analyzer, "hotpathalloc")
+}

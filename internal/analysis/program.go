@@ -1,0 +1,79 @@
+package analysis
+
+// Whole-program analyzers: unlike the per-package Analyzer/Pass pair, a
+// ProgramAnalyzer sees every loaded package at once plus the call graph
+// built over them, so it can follow facts across function and package
+// boundaries (reachability from annotated roots, error provenance through
+// private helpers, and so on).
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// ProgramAnalyzer describes one whole-program static check.
+type ProgramAnalyzer struct {
+	// Name identifies the analyzer in diagnostics and lint:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run performs the check over the whole program.
+	Run func(*ProgramPass) error
+}
+
+// ProgramPass carries the whole program through one ProgramAnalyzer.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Fset     *token.FileSet
+	// Pkgs are the analyzed packages in load order.
+	Pkgs []*Package
+	// Graph is the static call graph over Pkgs.
+	Graph *CallGraph
+
+	diags *[]Diagnostic
+	allow allowIndex
+}
+
+// NewProgramPass prepares a pass over pkgs for a, building the call graph.
+// Diagnostics accumulate into out.
+func NewProgramPass(a *ProgramAnalyzer, pkgs []*Package, out *[]Diagnostic) (*ProgramPass, error) {
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("analysis: program pass needs at least one package")
+	}
+	p := &ProgramPass{
+		Analyzer: a,
+		Fset:     pkgs[0].Fset,
+		Pkgs:     pkgs,
+		Graph:    BuildCallGraph(pkgs),
+		diags:    out,
+		allow:    allowIndex{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			p.allow.indexFile(pkg.Fset, f)
+		}
+	}
+	return p, nil
+}
+
+// Allowed reports whether a lint:allow comment for this analyzer covers
+// pos (same line or the line above). Analyzers use it both to suppress a
+// diagnostic at an interior site and to prune a call-graph edge whose call
+// site is declared a cold branch.
+func (p *ProgramPass) Allowed(pos token.Pos) bool {
+	return p.allow.allowed(p.Fset.Position(pos), p.Analyzer.Name)
+}
+
+// Reportf records a diagnostic at pos unless a lint:allow comment
+// suppresses it.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.allow.allowed(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}

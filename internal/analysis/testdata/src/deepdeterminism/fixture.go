@@ -1,0 +1,67 @@
+// Package deepdeterminism is a golden fixture for the deepdeterminism
+// analyzer: wall-clock reads, the global math/rand source, and map-ordered
+// output are flagged in entry points and — through the call graph — in
+// everything they reach.
+package deepdeterminism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Run is an experiment entry point. The seeded generator is fine; the
+// wall-clock read is not, and describe's finding exists only because Run's
+// call edge makes it reachable.
+//
+// lint:entrypoint
+func Run(seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Now() // want "wall-clock time\.Now in experiment entry point deepdeterminism\.Run"
+	_ = start
+	return describe(rng.Intn(4))
+}
+
+// describe draws from the process-global source; it carries no marker of
+// its own, so the finding below is purely inter-procedural.
+func describe(n int) string {
+	n += rand.Intn(8) // want "global math/rand\.Intn reachable from experiment entry point deepdeterminism\.Run \(deepdeterminism\.Run -> deepdeterminism\.describe\)"
+	return fmt.Sprint(n)
+}
+
+// Tally feeds map iteration order straight into its result.
+//
+// lint:entrypoint
+func Tally(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order feeds output \(no sort call after the range\) in experiment entry point deepdeterminism\.Tally"
+		total += v
+	}
+	return total
+}
+
+// Keys ranges over a map but sorts before returning — the idiomatic fix,
+// not flagged.
+//
+// lint:entrypoint
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stamp demonstrates the escape hatch for sanctioned wall-clock reads.
+//
+// lint:entrypoint
+func Stamp() int64 {
+	return time.Now().UnixNano() // lint:allow deepdeterminism — fixture-only demonstration
+}
+
+// hidden is unreachable from every entry point: not flagged.
+func hidden() int64 {
+	return time.Now().UnixNano()
+}

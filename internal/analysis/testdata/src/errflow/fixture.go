@@ -1,0 +1,68 @@
+// Package errflow is a golden fixture for the errflow analyzer: bare error
+// constructions that can escape an exported boundary are flagged even when
+// they sit in a private helper several calls down, and the syntactic
+// checks catch == comparisons and silently discarded error results.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the package's declared sentinel; package-level construction is
+// exactly where errors.New belongs.
+var ErrBad = errors.New("errflow: bad input")
+
+// Do is an exported boundary. It constructs nothing itself — the findings
+// sit in validate, reachable only through Do's call edge.
+func Do(n int) error {
+	if n != 0 {
+		return validate(n)
+	}
+	return nil
+}
+
+func validate(n int) error {
+	if n > 10 {
+		return errors.New("too big") // want "bare errors\.New escapes the exported boundary of errflow"
+	}
+	return fmt.Errorf("odd value %d", n) // want "fmt\.Errorf without %w escapes the exported boundary of errflow"
+}
+
+// Wrapped chains the declared sentinel with %w: not flagged.
+func Wrapped(n int) error {
+	if n < 0 {
+		return fmt.Errorf("errflow: n %d: %w", n, ErrBad)
+	}
+	return nil
+}
+
+// Classify compares errors by identity, which breaks once Wrapped-style
+// chains are involved.
+func Classify(err error) bool {
+	if err == ErrBad { // want "error compared with ==; use errors\.Is so wrapped sentinels still match"
+		return true
+	}
+	if err != nil { // nil comparisons are how errors are checked: not flagged
+		return errors.Is(err, ErrBad)
+	}
+	return false
+}
+
+func fire() error { return nil }
+
+// Spray drops fire's error on the floor; the explicit blank assignment is
+// a deliberate discard and stays clean.
+func Spray() {
+	fire() // want "error result silently discarded; handle it or assign to _ explicitly"
+	_ = fire()
+}
+
+// orphan is unreachable from every exported error-returning function, so
+// its bare construction never crosses a boundary: not flagged.
+func orphan() error { return errors.New("orphan") }
+
+// Tagged demonstrates the escape hatch for sanctioned bare errors.
+func Tagged() error {
+	return errors.New("deliberately bare") // lint:allow errflow — fixture-only demonstration
+}

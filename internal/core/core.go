@@ -65,10 +65,10 @@ type Config struct {
 
 func (c Config) withDefaults() (Config, error) {
 	if c.InputBits <= 0 {
-		return c, fmt.Errorf("core: InputBits %d must be positive", c.InputBits)
+		return c, fmt.Errorf("core: InputBits %d must be positive: %w", c.InputBits, ErrBadConfig)
 	}
 	if c.K < 0 {
-		return c, fmt.Errorf("core: K %d must be non-negative", c.K)
+		return c, fmt.Errorf("core: K %d must be non-negative: %w", c.K, ErrBadConfig)
 	}
 	if len(c.ElbowRange) == 0 {
 		c.ElbowRange = []int{2, 3, 4, 5, 6, 8, 10, 12}
@@ -122,14 +122,35 @@ type Model struct {
 	sseCurve  []float64 // populated when K was chosen by the elbow method
 	trainedOn int
 
+	// scratch pools *predictScratch buffers so the PredictBytes serving
+	// path does not allocate in steady state.
+	scratch sync.Pool
+
 	mu     sync.Mutex // guards padder (its RNG and dataset stats mutate)
 	padder *padding.Padder
+}
+
+// predictScratch holds the reusable buffers of one PredictBytes call: the
+// expanded bit image, the padded model input, and the encoder activations.
+type predictScratch struct {
+	bits, padded, h, mu []float64
 }
 
 // ErrBadSegment reports an item whose geometry does not match the model or
 // store configuration (wrong width, oversized value, misconfigured segment
 // size). Callers detect it with errors.Is.
 var ErrBadSegment = errors.New("segment geometry mismatch")
+
+// ErrBadConfig reports an invalid model configuration (non-positive width,
+// negative K). Callers detect it with errors.Is.
+var ErrBadConfig = errors.New("invalid model config")
+
+// ErrBadTrainingSet reports training data the model cannot be fitted on
+// (empty, wrong row width, too few samples for the elbow range).
+var ErrBadTrainingSet = errors.New("invalid training set")
+
+// ErrBadSnapshot reports a serialized model that cannot be restored.
+var ErrBadSnapshot = errors.New("invalid model snapshot")
 
 // Train fits an E2-NVM model on the bit images of the current memory
 // segments. Each row of data must hold exactly cfg.InputBits values in
@@ -140,11 +161,11 @@ func Train(data [][]float64, cfg Config) (*Model, error) {
 		return nil, err
 	}
 	if len(data) == 0 {
-		return nil, fmt.Errorf("core: empty training set")
+		return nil, fmt.Errorf("core: empty training set: %w", ErrBadTrainingSet)
 	}
 	for i, row := range data {
 		if len(row) != c.InputBits {
-			return nil, fmt.Errorf("core: row %d has %d bits, want %d", i, len(row), c.InputBits)
+			return nil, fmt.Errorf("core: row %d has %d bits, want %d: %w", i, len(row), c.InputBits, ErrBadTrainingSet)
 		}
 	}
 
@@ -175,7 +196,7 @@ func Train(data [][]float64, cfg Config) (*Model, error) {
 	if k == 0 {
 		ks := feasibleKs(c.ElbowRange, len(data))
 		if len(ks) == 0 {
-			return nil, fmt.Errorf("core: no feasible K in elbow range for %d samples", len(data))
+			return nil, fmt.Errorf("core: no feasible K in elbow range for %d samples: %w", len(data), ErrBadTrainingSet)
 		}
 		curve, err := kmeans.SSECurve(latents, ks, c.Seed)
 		if err != nil {
@@ -301,9 +322,47 @@ func (m *Model) PredictPadded(item []float64) (int, error) {
 	return m.Predict(padded)
 }
 
-// PredictBytes maps a raw segment image to its cluster.
+// PredictBytes maps a raw segment image to its cluster. It is the serving
+// path (Algorithm 1 step 4): bit expansion, padding, and the encoder pass
+// all run in pooled scratch buffers, so steady-state calls do not allocate.
+//
+// lint:hotpath
 func (m *Model) PredictBytes(b []byte) (int, error) {
-	return m.PredictPadded(BytesToBits(b))
+	s, _ := m.scratch.Get().(*predictScratch)
+	if s == nil {
+		s = new(predictScratch) // lint:allow hotpathalloc — one scratch set per P, amortized by the pool
+	}
+	s.bits = bytesToBitsInto(s.bits, b)
+	c, err := m.predictScratched(s, s.bits)
+	m.scratch.Put(s)
+	return c, err
+}
+
+// predictScratched pads (when the item is narrower than the model) and
+// encodes item using the buffers in s.
+func (m *Model) predictScratched(s *predictScratch, item []float64) (int, error) {
+	if len(item) != m.cfg.InputBits {
+		m.mu.Lock()
+		padded, err := m.padder.PadCheckedTo(s.padded, item, m.cfg.InputBits)
+		m.mu.Unlock()
+		if err != nil {
+			return 0, fmt.Errorf("core: %v: %w", err, ErrBadSegment)
+		}
+		s.padded = padded
+		item = padded
+	}
+	s.h = growFloats(s.h, m.vae.HiddenDim())
+	s.mu = growFloats(s.mu, m.vae.LatentDim())
+	return m.km.Predict(m.vae.EncodeInto(item, s.h, s.mu)), nil
+}
+
+// growFloats returns a slice of length n, reusing s's backing array when it
+// is large enough.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n) // lint:allow hotpathalloc — scratch sized once per model geometry
+	}
+	return s[:n]
 }
 
 // MustPredictBytes is PredictBytes for callers that construct their inputs
@@ -392,6 +451,22 @@ func (m *Model) SetPadder(p *padding.Padder) {
 // BytesToBits expands raw bytes into the {0,1} float vector the model
 // consumes.
 func BytesToBits(b []byte) []float64 { return bitvec.FromBytes(b).Floats() }
+
+// bytesToBitsInto is BytesToBits reusing dst's backing array (LSB-first
+// within each byte, matching bitvec's layout).
+func bytesToBitsInto(dst []float64, b []byte) []float64 {
+	n := len(b) * 8
+	if cap(dst) < n {
+		dst = make([]float64, n) // lint:allow hotpathalloc — scratch grows once to the segment width
+	}
+	dst = dst[:n]
+	for i, by := range b {
+		for j := 0; j < 8; j++ {
+			dst[i*8+j] = float64((by >> uint(j)) & 1)
+		}
+	}
+	return dst
+}
 
 // BitsToBytes packs a {0,1} float vector back into bytes (thresholding at
 // 0.5).

@@ -61,14 +61,14 @@ func Load(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("core: decoding model: %w", err)
 	}
 	if s.Version != snapshotVersion {
-		return nil, fmt.Errorf("core: snapshot version %d, want %d", s.Version, snapshotVersion)
+		return nil, fmt.Errorf("core: snapshot version %d, want %d: %w", s.Version, snapshotVersion, ErrBadSnapshot)
 	}
 	v, err := vae.FromSnapshot(s.VAE)
 	if err != nil {
 		return nil, err
 	}
 	if len(s.Centroids) == 0 {
-		return nil, fmt.Errorf("core: snapshot has no centroids")
+		return nil, fmt.Errorf("core: snapshot has no centroids: %w", ErrBadSnapshot)
 	}
 	m := &Model{
 		cfg:       s.Cfg,

@@ -9,6 +9,11 @@
 // falls back to the nearest non-empty cluster so the system can always
 // serve writes, and reports the cluster as low so the owner can trigger
 // background retraining.
+//
+// Each per-cluster FIFO is a ring buffer: pop/push are O(1) with no
+// allocation or retention in steady state (the earlier slice-FIFO kept
+// popped entries alive in the backing array and re-allocated on append
+// churn, which sat directly on the PUT path).
 package dap
 
 import (
@@ -16,12 +21,52 @@ import (
 	"sync"
 )
 
+// ring is a FIFO of addresses over a power-of-two circular buffer.
+type ring struct {
+	buf  []int
+	head int // index of the oldest element
+	n    int // number of live elements
+}
+
+// push appends addr, growing the buffer when full.
+func (r *ring) push(addr int) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = addr
+	r.n++
+}
+
+// pop removes and returns the oldest address. Callers check r.n > 0.
+func (r *ring) pop() int {
+	addr := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return addr
+}
+
+// grow doubles the buffer, linearizing the live window. Amortized O(1):
+// steady-state traffic never grows once the ring reaches the working-set
+// size.
+func (r *ring) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]int, size) // lint:allow hotpathalloc — amortized ring growth, absent in steady state
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
 // Pool is a cluster-to-memory dynamic address pool.
 type Pool struct {
 	mu       sync.Mutex
-	clusters [][]int // cluster id → FIFO of free addresses
-	free     int     // total free addresses
-	maxSize  int     // optional cap on total entries (0 = unlimited)
+	clusters []ring // cluster id → FIFO of free addresses
+	free     int    // total free addresses
+	maxSize  int    // optional cap on total entries (0 = unlimited)
 
 	// lowWater is the per-cluster threshold below which the cluster is
 	// reported by LowClusters, the paper's retraining trigger.
@@ -51,7 +96,7 @@ func New(k int, opts ...Option) (*Pool, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("dap: cluster count %d must be positive", k)
 	}
-	p := &Pool{clusters: make([][]int, k)}
+	p := &Pool{clusters: make([]ring, k)}
 	for _, o := range opts {
 		o(p)
 	}
@@ -68,6 +113,8 @@ func (p *Pool) K() int {
 // Add recycles a free address into cluster c. It returns false when the
 // pool is at its configured capacity (the address is then simply dropped
 // from tracking, matching the paper's bounded-table option).
+//
+// lint:hotpath
 func (p *Pool) Add(c, addr int) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -75,7 +122,7 @@ func (p *Pool) Add(c, addr int) bool {
 	if p.maxSize > 0 && p.free >= p.maxSize {
 		return false
 	}
-	p.clusters[c] = append(p.clusters[c], addr)
+	p.clusters[c].push(addr)
 	p.free++
 	p.pushed++
 	return true
@@ -86,21 +133,23 @@ func (p *Pool) Add(c, addr int) bool {
 // latent-space adjacency) is used instead; fallback reports which cluster
 // actually served the request. ok is false only when the whole pool is
 // empty.
+//
+// lint:hotpath
 func (p *Pool) Get(c int) (addr, servedBy int, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.checkCluster(c)
-	if len(p.clusters[c]) > 0 {
+	if p.clusters[c].n > 0 {
 		return p.pop(c), c, true
 	}
 	if p.free == 0 {
 		return 0, 0, false
 	}
 	for d := 1; d < len(p.clusters); d++ {
-		if cc := c - d; cc >= 0 && len(p.clusters[cc]) > 0 {
+		if cc := c - d; cc >= 0 && p.clusters[cc].n > 0 {
 			return p.pop(cc), cc, true
 		}
-		if cc := c + d; cc < len(p.clusters) && len(p.clusters[cc]) > 0 {
+		if cc := c + d; cc < len(p.clusters) && p.clusters[cc].n > 0 {
 			return p.pop(cc), cc, true
 		}
 	}
@@ -109,8 +158,7 @@ func (p *Pool) Get(c int) (addr, servedBy int, ok bool) {
 }
 
 func (p *Pool) pop(c int) int {
-	addr := p.clusters[c][0]
-	p.clusters[c] = p.clusters[c][1:]
+	addr := p.clusters[c].pop()
 	p.free--
 	p.popped++
 	return addr
@@ -134,8 +182,8 @@ func (p *Pool) ClusterSizes() []int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	out := make([]int, len(p.clusters))
-	for i, c := range p.clusters {
-		out[i] = len(c)
+	for i := range p.clusters {
+		out[i] = p.clusters[i].n
 	}
 	return out
 }
@@ -149,12 +197,28 @@ func (p *Pool) LowClusters() []int {
 		return nil
 	}
 	var low []int
-	for i, c := range p.clusters {
-		if len(c) <= p.lowWater {
+	for i := range p.clusters {
+		if p.clusters[i].n <= p.lowWater {
 			low = append(low, i)
 		}
 	}
 	return low
+}
+
+// NeedsRetrain reports whether any cluster is at or below the low-water
+// mark, without allocating (the hot-path variant of LowClusters).
+func (p *Pool) NeedsRetrain() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lowWater <= 0 {
+		return false
+	}
+	for i := range p.clusters {
+		if p.clusters[i].n <= p.lowWater {
+			return true
+		}
+	}
+	return false
 }
 
 // Reset discards all entries and re-shapes the pool to k clusters —
@@ -166,7 +230,7 @@ func (p *Pool) Reset(k int) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.clusters = make([][]int, k)
+	p.clusters = make([]ring, k)
 	p.free = 0
 	return nil
 }
@@ -185,11 +249,15 @@ func (p *Pool) Stats() Stats {
 	return Stats{Free: p.free, Popped: p.popped, Pushed: p.pushed}
 }
 
-// FootprintBytes estimates the pool's DRAM footprint: 8 bytes per tracked
-// address plus 24 bytes of slice header per cluster (the quantity plotted
-// in the paper's Figure 7).
+// FootprintBytes estimates the pool's DRAM footprint: 8 bytes per ring
+// slot (occupied or not) plus the ring headers (the quantity plotted in
+// the paper's Figure 7).
 func (p *Pool) FootprintBytes() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.free*8 + len(p.clusters)*24
+	bytes := 0
+	for i := range p.clusters {
+		bytes += len(p.clusters[i].buf) * 8
+	}
+	return bytes + len(p.clusters)*40
 }

@@ -132,9 +132,30 @@ func TestReset(t *testing.T) {
 func TestFootprintBytes(t *testing.T) {
 	p, _ := New(2)
 	base := p.FootprintBytes()
+	// The first Add materializes cluster 0's ring (8 slots × 8 bytes).
 	p.Add(0, 1)
-	if p.FootprintBytes() != base+8 {
-		t.Fatalf("footprint did not grow by 8: %d -> %d", base, p.FootprintBytes())
+	if p.FootprintBytes() != base+64 {
+		t.Fatalf("footprint did not grow by one ring: %d -> %d", base, p.FootprintBytes())
+	}
+	// Further adds within capacity cost nothing; the footprint is bounded
+	// by ring capacity, not by total traffic (the old slice FIFO retained
+	// popped entries in its backing array).
+	for i := 0; i < 7; i++ {
+		p.Add(0, 2+i)
+	}
+	if p.FootprintBytes() != base+64 {
+		t.Fatalf("footprint grew within ring capacity: %d -> %d", base, p.FootprintBytes())
+	}
+	// Steady-state pop/push traffic reuses the ring in place.
+	for i := 0; i < 1000; i++ {
+		addr, _, ok := p.Get(0)
+		if !ok {
+			t.Fatal("pool unexpectedly empty")
+		}
+		p.Add(0, addr)
+	}
+	if p.FootprintBytes() != base+64 {
+		t.Fatalf("steady-state traffic changed footprint: %d -> %d", base, p.FootprintBytes())
 	}
 }
 

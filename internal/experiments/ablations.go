@@ -61,11 +61,11 @@ func AblationIntraClusterSearch(cfg RunConfig) (*Result, error) {
 			return 0, 0, err
 		}
 		dev.ResetStats()
-		t0 := time.Now()
+		t0 := time.Now() // lint:allow deepdeterminism — measured placement latency is this ablation's output
 		if _, err := runPlacement(dev, p, items, n/2); err != nil {
 			return 0, 0, err
 		}
-		el := float64(time.Since(t0).Microseconds()) / float64(len(items))
+		el := float64(time.Since(t0).Microseconds()) / float64(len(items)) // lint:allow deepdeterminism — measured placement latency is this ablation's output
 		s := dev.Stats()
 		return float64(s.BitsFlipped) / float64(s.Writes), el, nil
 	}
@@ -84,7 +84,7 @@ func AblationIntraClusterSearch(cfg RunConfig) (*Result, error) {
 		}
 		dev.ResetStats()
 		var live []int
-		t0 := time.Now()
+		t0 := time.Now() // lint:allow deepdeterminism — measured placement latency is this ablation's output
 		for _, item := range items {
 			c := mustPredict(model.PredictBytes(item))
 			cand := free[c]
@@ -118,7 +118,7 @@ func AblationIntraClusterSearch(cfg RunConfig) (*Result, error) {
 				free[fc] = append(free[fc], v)
 			}
 		}
-		el := float64(time.Since(t0).Microseconds()) / float64(len(items))
+		el := float64(time.Since(t0).Microseconds()) / float64(len(items)) // lint:allow deepdeterminism — measured placement latency is this ablation's output
 		s := dev.Stats()
 		return float64(s.BitsFlipped) / float64(s.Writes), el, nil
 	}

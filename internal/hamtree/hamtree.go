@@ -14,6 +14,7 @@ package hamtree
 
 import (
 	"fmt"
+	"sort"
 
 	"e2nvm/internal/bitvec"
 )
@@ -94,10 +95,13 @@ func (t *Tree) Nearest(content []byte) (addr, dist int, ok bool) {
 		}
 		// Triangle inequality: a child at edge distance e can contain
 		// entries within |e−d| of the query, so prune e outside
-		// [d−bestD, d+bestD].
-		for e, child := range n.children {
+		// [d−bestD, d+bestD]. Children are visited in ascending edge
+		// distance so that ties for the best node break identically on
+		// every run (map order would make them random).
+		edges := childEdges(n)
+		for _, e := range edges {
 			if e >= d-bestD && e <= d+bestD {
-				walk(child)
+				walk(n.children[e])
 			}
 		}
 	}
@@ -130,13 +134,26 @@ func (t *Tree) maybeRebuild() {
 			// Insert ignores errors here: contents came from this tree.
 			_ = t.Insert(a, n.content)
 		}
-		for _, c := range n.children {
-			walk(c)
+		// Reinsert in ascending edge distance: the rebuilt tree's shape —
+		// and therefore future Nearest answers — must not depend on map
+		// iteration order.
+		for _, e := range childEdges(n) {
+			walk(n.children[e])
 		}
 	}
 	if old != nil {
 		walk(old)
 	}
+}
+
+// childEdges returns n's child edge distances in ascending order.
+func childEdges(n *node) []int {
+	edges := make([]int, 0, len(n.children))
+	for e := range n.children {
+		edges = append(edges, e)
+	}
+	sort.Ints(edges)
+	return edges
 }
 
 // Depth returns the maximum node depth (diagnostics).

@@ -25,9 +25,31 @@ type rbNode struct {
 // RBTree is a red-black tree mapping uint64 keys to int64 values (NVM
 // segment addresses in the KV store). The zero value is ready to use. It is
 // not safe for concurrent mutation; the KV store serializes access.
+//
+// Deleted nodes are kept on an internal free list and reused by Put, so a
+// steady-state update/delete workload stops allocating once the tree has
+// reached its working-set size.
 type RBTree struct {
 	root *rbNode
 	size int
+	free *rbNode // chained through .right
+}
+
+// takeNode returns a recycled node (or a fresh one) initialized for
+// insertion.
+func (t *RBTree) takeNode(key uint64, val int64, parent *rbNode) *rbNode {
+	if n := t.free; n != nil {
+		t.free = n.right
+		*n = rbNode{key: key, val: val, c: red, parent: parent}
+		return n
+	}
+	return &rbNode{key: key, val: val, c: red, parent: parent} // lint:allow hotpathalloc — cold until the working set peaks, then fully recycled
+}
+
+// releaseNode pushes a detached node onto the free list.
+func (t *RBTree) releaseNode(n *rbNode) {
+	*n = rbNode{right: t.free}
+	t.free = n
 }
 
 // Len returns the number of keys.
@@ -66,7 +88,7 @@ func (t *RBTree) Put(key uint64, val int64) (int64, bool) {
 			return old, true
 		}
 	}
-	node := &rbNode{key: key, val: val, c: red, parent: parent}
+	node := t.takeNode(key, val, parent)
 	switch {
 	case parent == nil:
 		t.root = node
@@ -174,6 +196,7 @@ func (t *RBTree) Delete(key uint64) (int64, bool) {
 	val := z.val
 	t.deleteNode(z)
 	t.size--
+	t.releaseNode(z)
 	return val, true
 }
 

@@ -14,7 +14,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"e2nvm/internal/core"
 	"e2nvm/internal/dap"
@@ -56,6 +58,15 @@ var ErrValueTooLarge = errors.New("kvstore: value exceeds segment payload")
 
 // ErrNoSpace is returned when no free segment remains.
 var ErrNoSpace = errors.New("kvstore: no free segments")
+
+// ErrCorrupt reports a stored record whose header cannot be trusted (an
+// invalidated flag where a live record was expected, an out-of-range
+// length, or duplicate valid records during recovery). Callers detect it
+// with errors.Is.
+var ErrCorrupt = errors.New("kvstore: corrupt record")
+
+// ErrBadOptions reports invalid Options passed to Open/OpenWith/Recover.
+var ErrBadOptions = errors.New("kvstore: invalid options")
 
 // ErrBadSegment reports a geometry mismatch between the model and the
 // device (wrong InputBits for the segment size, item wider than a
@@ -111,11 +122,30 @@ type Store struct {
 	txnMgr   *txn.Manager // non-nil in crash-safe mode; set once at open
 	dataSegs int          // segments usable for data (device minus txn log)
 
+	// densityBits caches the data zone's sampled 1-density
+	// (math.Float64bits-encoded) for MemoryBased padding. The padding
+	// callback reads it under the model's lock — possibly from
+	// PredictBytesBatch workers — concurrently with store writes, hence
+	// atomic rather than s.mu.
+	densityBits atomic.Uint64
+	mbPadding   bool // MemoryBased density callback installed (set once at open)
+
 	mu      sync.Mutex
 	tree    *index.RBTree // key → segment address
 	stats   Stats
 	indexed int // segments [0, indexed) are under DAP management
+
+	// Serving-path scratch, reused under mu so steady-state operations do
+	// not allocate.
+	encBuf           []byte // encode() record staging
+	segBuf           []byte // segment staging for Put/invalidate/recycle/density
+	getBuf           []byte // segment staging for reads
+	putsSinceDensity int    // Puts since the density cache was refreshed
 }
+
+// densityRefreshEvery is the Put interval at which the MemoryBased-padding
+// density cache is re-sampled from the device.
+const densityRefreshEvery = 256
 
 // Open trains an E2-NVM model on the device's current segment contents
 // (the "old data" in the paper's experiments) and builds the dynamic
@@ -162,7 +192,7 @@ func openWith(dev *nvm.Device, model *core.Model, opts Options, recovering bool)
 		return nil, err
 	}
 	if opts.IndexFraction < 0 || opts.IndexFraction > 1 {
-		return nil, fmt.Errorf("kvstore: IndexFraction %v out of (0,1]", opts.IndexFraction)
+		return nil, fmt.Errorf("kvstore: IndexFraction %v out of (0,1]: %w", opts.IndexFraction, ErrBadOptions)
 	}
 	s := &Store{
 		dev:      dev,
@@ -201,33 +231,47 @@ func openWith(dev *nvm.Device, model *core.Model, opts Options, recovering bool)
 		return nil, err
 	}
 	// Memory-based padding draws its bit density from the memory locations
-	// incoming items will replace; sample the device for it.
+	// incoming items will replace. The density is sampled into an atomic
+	// cache (refreshed every densityRefreshEvery Puts) rather than walking
+	// the device on every prediction: the callback runs under the model's
+	// lock inside the serving path.
 	if p := model.Padder(); p != nil && p.Kind == padding.MemoryBased {
-		p.SetMemoryDensity(s.sampledDensity)
+		s.mu.Lock()
+		s.refreshDensityLocked()
+		s.mu.Unlock()
+		s.mbPadding = true
+		p.SetMemoryDensity(s.cachedDensity)
 	}
 	return s, nil
 }
 
-// sampledDensity estimates the 1-density of the data zone from a fixed
-// sample of segments (the MB padding source).
-func (s *Store) sampledDensity() float64 {
+// cachedDensity returns the last sampled data-zone 1-density (the MB
+// padding source).
+func (s *Store) cachedDensity() float64 {
+	return math.Float64frombits(s.densityBits.Load())
+}
+
+// refreshDensityLocked re-samples the 1-density of the data zone from a
+// fixed sample of segments into the atomic cache. Callers hold s.mu.
+func (s *Store) refreshDensityLocked() {
 	const samples = 16
+	buf := s.segScratchLocked()
 	ones, bits := 0, 0
 	step := s.dataSegs/samples + 1
 	for addr := 0; addr < s.dataSegs; addr += step {
-		img, err := s.dev.Peek(addr)
-		if err != nil {
+		if err := s.dev.PeekInto(addr, buf); err != nil {
 			continue
 		}
-		for _, b := range img {
+		for _, b := range buf {
 			bits += 8
 			ones += popcount8(b)
 		}
 	}
-	if bits == 0 {
-		return 0.5
+	d := 0.5
+	if bits > 0 {
+		d = float64(ones) / float64(bits)
 	}
-	return float64(ones) / float64(bits)
+	s.densityBits.Store(math.Float64bits(d))
 }
 
 func popcount8(b byte) int {
@@ -324,14 +368,29 @@ func (s *Store) Pool() *dap.Pool { return s.pool }
 // MaxValue returns the largest storable value in bytes.
 func (s *Store) MaxValue() int { return s.dev.SegmentSize() - valueHeader }
 
-// encode serializes a record: header (flags, length, key) plus the value.
+// encode serializes a record — header (flags, length, key) plus the value —
+// into the store's record scratch. The result aliases s.encBuf and is valid
+// until the next encode; callers hold s.mu.
 func (s *Store) encode(key uint64, value []byte) []byte {
-	buf := make([]byte, valueHeader+len(value))
+	n := valueHeader + len(value)
+	if cap(s.encBuf) < n {
+		s.encBuf = make([]byte, n) // lint:allow hotpathalloc — record scratch grows once to the largest value seen
+	}
+	buf := s.encBuf[:n]
 	buf[0] = 1 // valid
 	binary.LittleEndian.PutUint16(buf[1:], uint16(len(value)))
 	binary.LittleEndian.PutUint64(buf[3:], key)
 	copy(buf[valueHeader:], value)
 	return buf
+}
+
+// segScratchLocked returns the segment-size staging buffer. Callers hold
+// s.mu; the buffer is valid until the next call that uses it.
+func (s *Store) segScratchLocked() []byte {
+	if cap(s.segBuf) < s.dev.SegmentSize() {
+		s.segBuf = make([]byte, s.dev.SegmentSize()) // lint:allow hotpathalloc — sized once to the segment size
+	}
+	return s.segBuf[:s.dev.SegmentSize()]
 }
 
 // Put implements the paper's Algorithm 1: predict the cluster of the
@@ -340,6 +399,8 @@ func (s *Store) encode(key uint64, value []byte) []byte {
 // only the record's bits (padded bits are never stored; the rest of the
 // segment keeps its old content), and update the index. Updates free the
 // key's previous segment back into the pool.
+//
+// lint:hotpath
 func (s *Store) Put(key uint64, value []byte) error {
 	if len(value) > s.MaxValue() {
 		return fmt.Errorf("%w: %d > %d", ErrValueTooLarge, len(value), s.MaxValue())
@@ -362,7 +423,7 @@ func (s *Store) Put(key uint64, value []byte) error {
 			addr = a
 		}
 	default: // PlaceE2NVM
-		cluster, err := model.PredictPadded(core.BytesToBits(record))
+		cluster, err := model.PredictBytes(record)
 		if err != nil {
 			return err
 		}
@@ -387,8 +448,8 @@ func (s *Store) Put(key uint64, value []byte) error {
 	// Read the old content (Algorithm 1 line 3) and overwrite only the
 	// record region: the segment's tail keeps its previous bits, so the
 	// differential write touches record bits only.
-	img, err := s.dev.Peek(addr)
-	if err != nil {
+	img := s.segScratchLocked()
+	if err := s.dev.PeekInto(addr, img); err != nil {
 		return err
 	}
 	copy(img[:len(record)], record)
@@ -397,8 +458,14 @@ func (s *Store) Put(key uint64, value []byte) error {
 	}
 	s.tree.Put(key, int64(addr))
 	s.stats.Puts++
-	if s.opts.AutoRetrain && len(s.pool.LowClusters()) > 0 {
-		s.retrainAsyncLocked()
+	if s.mbPadding {
+		if s.putsSinceDensity++; s.putsSinceDensity >= densityRefreshEvery {
+			s.putsSinceDensity = 0
+			s.refreshDensityLocked()
+		}
+	}
+	if s.opts.AutoRetrain && s.pool.NeedsRetrain() {
+		s.retrainAsyncLocked() // lint:allow hotpathalloc — retraining is the deliberate slow path (§4.1.4)
 	}
 	return nil
 }
@@ -406,8 +473,8 @@ func (s *Store) Put(key uint64, value []byte) error {
 // invalidateLocked resets a record's valid flag (a one-bit differential
 // write). Callers hold s.mu.
 func (s *Store) invalidateLocked(addr int) error {
-	img, err := s.dev.Peek(addr)
-	if err != nil {
+	img := s.segScratchLocked()
+	if err := s.dev.PeekInto(addr, img); err != nil {
 		return err
 	}
 	if img[0]&1 == 0 {
@@ -434,8 +501,8 @@ func (s *Store) writeSegmentLocked(addr int, img []byte) error {
 // recycleLocked returns segment addr to the pool under the cluster of its
 // current content (Algorithm 2 steps 3–4). Callers hold s.mu.
 func (s *Store) recycleLocked(addr int) {
-	img, err := s.dev.Peek(addr)
-	if err != nil {
+	img := s.segScratchLocked()
+	if err := s.dev.PeekInto(addr, img); err != nil {
 		return
 	}
 	c, err := s.mgr.Current().PredictBytes(img)
@@ -445,7 +512,10 @@ func (s *Store) recycleLocked(addr int) {
 	s.pool.Add(c, addr)
 }
 
-// Get returns the value stored for key.
+// Get returns the value stored for key. The returned slice is a fresh
+// caller-owned copy; use GetInto on the measured path.
+//
+// lint:hotpath
 func (s *Store) Get(key uint64) ([]byte, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -458,20 +528,53 @@ func (s *Store) Get(key uint64) ([]byte, bool, error) {
 		return nil, false, err
 	}
 	s.stats.Gets++
-	return v, true, nil
+	out := make([]byte, len(v)) // lint:allow hotpathalloc — Get hands out a caller-owned copy; GetInto is the zero-alloc variant
+	copy(out, v)
+	return out, true, nil
 }
 
-func (s *Store) readValueLocked(addr int) ([]byte, error) {
-	seg, err := s.dev.Read(addr)
+// GetInto is Get writing the value into dst's backing array (grown only
+// when too small), for serving paths that reuse one buffer across reads.
+// It returns the resulting slice, which may share storage with dst.
+//
+// lint:hotpath
+func (s *Store) GetInto(key uint64, dst []byte) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addrV, ok := s.tree.Get(key)
+	if !ok {
+		return dst[:0], false, nil
+	}
+	v, err := s.readValueLocked(int(addrV))
 	if err != nil {
+		return dst[:0], false, err
+	}
+	s.stats.Gets++
+	if cap(dst) < len(v) {
+		dst = make([]byte, len(v)) // lint:allow hotpathalloc — grows once to the value size
+	}
+	dst = dst[:len(v)]
+	copy(dst, v)
+	return dst, true, nil
+}
+
+// readValueLocked reads the record at addr into the store's read scratch
+// and returns its value bytes. The result aliases s.getBuf and is valid
+// until the next read; callers hold s.mu.
+func (s *Store) readValueLocked(addr int) ([]byte, error) {
+	if cap(s.getBuf) < s.dev.SegmentSize() {
+		s.getBuf = make([]byte, s.dev.SegmentSize()) // lint:allow hotpathalloc — read scratch sized once to the segment size
+	}
+	seg := s.getBuf[:s.dev.SegmentSize()]
+	if err := s.dev.ReadInto(addr, seg); err != nil {
 		return nil, err
 	}
 	if seg[0]&1 == 0 {
-		return nil, fmt.Errorf("kvstore: segment %d flagged invalid", addr)
+		return nil, fmt.Errorf("kvstore: segment %d flagged invalid: %w", addr, ErrCorrupt)
 	}
 	n := int(binary.LittleEndian.Uint16(seg[1:]))
 	if n > len(seg)-valueHeader {
-		return nil, fmt.Errorf("kvstore: corrupt length %d at segment %d", n, addr)
+		return nil, fmt.Errorf("kvstore: corrupt length %d at segment %d: %w", n, addr, ErrCorrupt)
 	}
 	return seg[valueHeader : valueHeader+n], nil
 }
@@ -479,6 +582,8 @@ func (s *Store) readValueLocked(addr int) ([]byte, error) {
 // Delete implements the paper's Algorithm 2: find the address via the
 // index, reset the valid flag bit (a one-bit differential write), and
 // recycle the address into the pool under its content's cluster.
+//
+// lint:hotpath
 func (s *Store) Delete(key uint64) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -496,7 +601,9 @@ func (s *Store) Delete(key uint64) (bool, error) {
 }
 
 // Scan calls fn for each key in [lo, hi] in ascending key order with its
-// value, stopping early if fn returns false (the paper's SCAN).
+// value, stopping early if fn returns false (the paper's SCAN). The value
+// slice is backed by a buffer reused between callbacks; fn must copy it to
+// retain it past the call.
 func (s *Store) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -534,7 +641,7 @@ func (s *Store) Stats() Stats {
 // NeedsRetrain reports whether any cluster's free list is at or below the
 // low-water mark.
 func (s *Store) NeedsRetrain() bool {
-	return len(s.pool.LowClusters()) > 0
+	return s.pool.NeedsRetrain()
 }
 
 // Retrain synchronously retrains the model on the device's current
@@ -652,7 +759,7 @@ func RecoverWith(dev *nvm.Device, model *core.Model, opts Options) (*Store, erro
 		if n := int(binary.LittleEndian.Uint16(img[1:])); img[0]&1 == 1 && n <= len(img)-valueHeader {
 			key := binary.LittleEndian.Uint64(img[3:])
 			if _, dup := s.tree.Get(key); dup {
-				return nil, fmt.Errorf("kvstore: duplicate valid record for key %d at segment %d", key, addr)
+				return nil, fmt.Errorf("kvstore: duplicate valid record for key %d at segment %d: %w", key, addr, ErrCorrupt)
 			}
 			s.tree.Put(key, int64(addr))
 			continue

@@ -1,0 +1,157 @@
+package kvstore
+
+import "testing"
+
+// putKeys inserts keys with single-byte values equal to the key's low byte.
+func putKeys(t *testing.T, s *Store, keys ...uint64) {
+	t.Helper()
+	for _, k := range keys {
+		if err := s.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func collectScan(t *testing.T, s *Store, lo, hi uint64) []uint64 {
+	t.Helper()
+	var keys []uint64
+	if err := s.Scan(lo, hi, func(k uint64, v []byte) bool {
+		keys = append(keys, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return keys
+}
+
+func TestScanEmptyStore(t *testing.T) {
+	s := openStore(t, 32, 16, Options{})
+	if keys := collectScan(t, s, 0, ^uint64(0)); len(keys) != 0 {
+		t.Fatalf("scan of empty store visited %v", keys)
+	}
+}
+
+func TestScanEmptyRange(t *testing.T) {
+	s := openStore(t, 32, 64, Options{})
+	putKeys(t, s, 1, 2, 3, 4, 5)
+	if keys := collectScan(t, s, 100, 200); len(keys) != 0 {
+		t.Fatalf("scan past all keys visited %v", keys)
+	}
+	// A gap strictly between existing keys is also empty.
+	putKeys(t, s, 50)
+	if keys := collectScan(t, s, 6, 49); len(keys) != 0 {
+		t.Fatalf("scan of key gap visited %v", keys)
+	}
+}
+
+func TestScanInvertedRange(t *testing.T) {
+	s := openStore(t, 32, 64, Options{})
+	putKeys(t, s, 1, 2, 3, 4, 5)
+	if keys := collectScan(t, s, 5, 1); len(keys) != 0 {
+		t.Fatalf("inverted range visited %v, want nothing", keys)
+	}
+}
+
+func TestScanInclusiveBounds(t *testing.T) {
+	s := openStore(t, 32, 64, Options{})
+	putKeys(t, s, 10, 20, 30, 40)
+	// lo and hi land exactly on existing keys: both endpoints included.
+	keys := collectScan(t, s, 20, 30)
+	if len(keys) != 2 || keys[0] != 20 || keys[1] != 30 {
+		t.Fatalf("scan [20,30] = %v, want [20 30]", keys)
+	}
+	// Degenerate range on one existing key.
+	keys = collectScan(t, s, 20, 20)
+	if len(keys) != 1 || keys[0] != 20 {
+		t.Fatalf("scan [20,20] = %v, want [20]", keys)
+	}
+	// Degenerate range on a missing key.
+	if keys = collectScan(t, s, 21, 21); len(keys) != 0 {
+		t.Fatalf("scan [21,21] = %v, want nothing", keys)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s := openStore(t, 32, 64, Options{})
+	putKeys(t, s, 1, 2, 3, 4, 5, 6, 7, 8)
+	var keys []uint64
+	if err := s.Scan(0, ^uint64(0), func(k uint64, v []byte) bool {
+		keys = append(keys, k)
+		return len(keys) < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 || keys[0] != 1 || keys[2] != 3 {
+		t.Fatalf("early-stopped scan visited %v, want first 3 keys", keys)
+	}
+}
+
+func TestGetInto(t *testing.T) {
+	s := openStore(t, 32, 64, Options{})
+	if err := s.Put(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	// nil dst grows to fit.
+	v, ok, err := s.GetInto(1, nil)
+	if err != nil || !ok || string(v) != "hello" {
+		t.Fatalf("GetInto(1, nil) = (%q, %v, %v)", v, ok, err)
+	}
+	// A large enough buffer is reused in place.
+	buf := make([]byte, 0, 16)
+	v, ok, err = s.GetInto(1, buf)
+	if err != nil || !ok || string(v) != "hello" {
+		t.Fatalf("GetInto(1, buf) = (%q, %v, %v)", v, ok, err)
+	}
+	if &v[0] != &buf[:1][0] {
+		t.Fatal("GetInto allocated despite sufficient capacity")
+	}
+	// Miss returns the (empty) buffer and ok=false.
+	v, ok, err = s.GetInto(2, buf)
+	if err != nil || ok || len(v) != 0 {
+		t.Fatalf("GetInto miss = (%q, %v, %v)", v, ok, err)
+	}
+	// Steady-state reads through a reused buffer do not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, _, err = s.GetInto(1, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("GetInto allocates %v per op with a warm buffer, want 0", allocs)
+	}
+}
+
+func TestIndexMoreClampsToDevice(t *testing.T) {
+	s := openStore(t, 32, 64, Options{IndexFraction: 0.5})
+	if got := s.Indexed(); got != 32 {
+		t.Fatalf("Indexed = %d after half-indexed open, want 32", got)
+	}
+	// Asking for far more than remains clamps at the device size.
+	added, err := s.IndexMore(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 32 {
+		t.Fatalf("IndexMore added %d, want the remaining 32", added)
+	}
+	if got := s.Indexed(); got != 64 {
+		t.Fatalf("Indexed = %d after clamped IndexMore, want 64", got)
+	}
+	// Fully indexed: further requests are no-ops.
+	added, err = s.IndexMore(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Fatalf("IndexMore on fully indexed store added %d, want 0", added)
+	}
+	// Zero and negative requests are no-ops too.
+	if added, err = s.IndexMore(0); err != nil || added != 0 {
+		t.Fatalf("IndexMore(0) = (%d, %v), want (0, nil)", added, err)
+	}
+	if added, err = s.IndexMore(-3); err != nil || added != 0 {
+		t.Fatalf("IndexMore(-3) = (%d, %v), want (0, nil)", added, err)
+	}
+}

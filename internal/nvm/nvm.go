@@ -90,10 +90,10 @@ func DefaultConfig(segSize, numSegs int) Config {
 
 func (c *Config) validate() error {
 	if c.SegmentSize <= 0 {
-		return fmt.Errorf("nvm: SegmentSize %d must be positive", c.SegmentSize)
+		return fmt.Errorf("nvm: SegmentSize %d must be positive: %w", c.SegmentSize, ErrBadConfig)
 	}
 	if c.NumSegments <= 0 {
-		return fmt.Errorf("nvm: NumSegments %d must be positive", c.NumSegments)
+		return fmt.Errorf("nvm: NumSegments %d must be positive: %w", c.NumSegments, ErrBadConfig)
 	}
 	if c.CacheLineSize <= 0 {
 		c.CacheLineSize = 64
@@ -127,6 +127,13 @@ func (c *Config) validate() error {
 
 // ErrBadAddress is returned for out-of-range segment addresses.
 var ErrBadAddress = errors.New("nvm: segment address out of range")
+
+// ErrBadConfig is returned by NewDevice for an invalid geometry.
+var ErrBadConfig = errors.New("nvm: invalid device config")
+
+// ErrSegmentSize is returned when a buffer's length does not match the
+// device's segment size.
+var ErrSegmentSize = errors.New("nvm: buffer length != segment size")
 
 // WriteResult reports the cost of a single segment write.
 type WriteResult struct {
@@ -251,6 +258,43 @@ func (d *Device) Peek(addr int) ([]byte, error) {
 	return out, nil
 }
 
+// ReadInto copies the segment's current content into dst (which must be
+// exactly one segment long) and charges read energy/latency — the
+// allocation-free variant of Read for the measured path.
+func (d *Device) ReadInto(addr int, dst []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if addr < 0 || addr >= d.cfg.NumSegments {
+		return fmt.Errorf("%w: %d", ErrBadAddress, addr)
+	}
+	if len(dst) != d.cfg.SegmentSize {
+		return fmt.Errorf("nvm: read into %d bytes from %d-byte segment: %w", len(dst), d.cfg.SegmentSize, ErrSegmentSize)
+	}
+	src := d.segBytes(d.physIndex(addr))
+	copy(dst, src)
+	lines := float64(d.linesPerSegment())
+	d.stats.Reads++
+	d.stats.BitsRead += uint64(len(src) * 8)
+	d.stats.EnergyPJ += float64(len(src)*8)*d.cfg.ReadEnergyPerBitPJ + d.cfg.AccessOverheadPJ
+	d.stats.ReadLatencyNs += d.cfg.ReadLatencyNs + lines*d.cfg.ReadLineLatencyNs
+	return nil
+}
+
+// PeekInto copies the segment content into dst (exactly one segment long)
+// without charging any cost — the allocation-free variant of Peek.
+func (d *Device) PeekInto(addr int, dst []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if addr < 0 || addr >= d.cfg.NumSegments {
+		return fmt.Errorf("%w: %d", ErrBadAddress, addr)
+	}
+	if len(dst) != d.cfg.SegmentSize {
+		return fmt.Errorf("nvm: peek into %d bytes from %d-byte segment: %w", len(dst), d.cfg.SegmentSize, ErrSegmentSize)
+	}
+	copy(dst, d.segBytes(d.physIndex(addr)))
+	return nil
+}
+
 func (d *Device) linesPerSegment() int {
 	return (d.cfg.SegmentSize + d.cfg.CacheLineSize - 1) / d.cfg.CacheLineSize
 }
@@ -258,6 +302,8 @@ func (d *Device) linesPerSegment() int {
 // Write stores data into segment addr using differential (data-comparison)
 // writes: only cells whose value changes are flipped, and only dirty cache
 // lines are written. data must be exactly one segment long.
+//
+// lint:hotpath
 func (d *Device) Write(addr int, data []byte) (WriteResult, error) {
 	return d.write(addr, data, true)
 }
@@ -277,7 +323,7 @@ func (d *Device) write(addr int, data []byte, differential bool) (WriteResult, e
 		return res, fmt.Errorf("%w: %d", ErrBadAddress, addr)
 	}
 	if len(data) != d.cfg.SegmentSize {
-		return res, fmt.Errorf("nvm: write of %d bytes to %d-byte segment", len(data), d.cfg.SegmentSize)
+		return res, fmt.Errorf("nvm: write of %d bytes to %d-byte segment: %w", len(data), d.cfg.SegmentSize, ErrSegmentSize)
 	}
 	dst := d.segBytes(d.physIndex(addr))
 
@@ -415,7 +461,7 @@ func (d *Device) FillSegment(addr int, data []byte) error {
 		return fmt.Errorf("%w: %d", ErrBadAddress, addr)
 	}
 	if len(data) != d.cfg.SegmentSize {
-		return fmt.Errorf("nvm: fill of %d bytes to %d-byte segment", len(data), d.cfg.SegmentSize)
+		return fmt.Errorf("nvm: fill of %d bytes to %d-byte segment: %w", len(data), d.cfg.SegmentSize, ErrSegmentSize)
 	}
 	copy(d.segBytes(d.physIndex(addr)), data)
 	return nil

@@ -116,6 +116,10 @@ type Padder struct {
 	model       *lstm.Network
 	windowBits  int
 	predictBits int
+
+	// edgeScratch holds the contiguous pad sequence for Edges placement on
+	// the PadTo path, so generation order matches the other locations.
+	edgeScratch []float64
 }
 
 // New returns a Padder for the given location and type. Learned padders
@@ -167,58 +171,84 @@ func (p *Padder) Observe(data []float64) {
 // has no model installed. It is the variant serving paths use so that a
 // misconfigured store fails a request rather than the process.
 func (p *Padder) PadChecked(data []float64, w int) ([]float64, error) {
+	return p.PadCheckedTo(nil, data, w)
+}
+
+// PadCheckedTo is PadTo with PadChecked's error reporting: misuse fails the
+// request instead of the process. It is the serving-path entry point.
+func (p *Padder) PadCheckedTo(dst, data []float64, w int) ([]float64, error) {
 	if len(data) > w {
 		return nil, fmt.Errorf("padding: item of %d bits exceeds width %d", len(data), w)
 	}
 	if p.Kind == Learned && p.model == nil && len(data) < w {
 		return nil, fmt.Errorf("padding: Learned padder has no model (call SetModel)")
 	}
-	return p.Pad(data, w), nil
+	return p.PadTo(dst, data, w), nil
 }
 
 // Pad expands data to width w. The result is freshly allocated; data is
 // not modified. Pad panics if len(data) > w, or if a Learned padder has no
 // model; PadChecked is the error-returning variant.
 func (p *Padder) Pad(data []float64, w int) []float64 {
+	return p.PadTo(nil, data, w)
+}
+
+// PadTo is Pad writing into dst's backing array, reallocating only when
+// cap(dst) < w. It returns the padded slice of length w; data must not
+// alias dst. In steady state (a scratch buffer already grown to w) it does
+// not allocate for the non-Learned padding types.
+func (p *Padder) PadTo(dst, data []float64, w int) []float64 {
 	q := w - len(data)
 	if q < 0 {
 		panic(fmt.Sprintf("padding: item of %d bits exceeds width %d", len(data), w))
 	}
-	if q == 0 {
-		out := make([]float64, w)
-		copy(out, data)
-		return out
+	if cap(dst) < w {
+		dst = make([]float64, w) // lint:allow hotpathalloc — grows once to the model width
 	}
-	pad := p.padBits(data, q)
-	out := make([]float64, 0, w)
+	dst = dst[:w]
+	if q == 0 {
+		copy(dst, data)
+		return dst
+	}
 	switch p.Loc {
 	case Begin:
-		out = append(out, pad...)
-		out = append(out, data...)
+		copy(dst[q:], data)
+		p.padBitsInto(dst[:q], data)
 	case End:
-		out = append(out, data...)
-		out = append(out, pad...)
+		copy(dst, data)
+		p.padBitsInto(dst[len(data):], data)
 	case Middle:
 		half := len(data) / 2
-		out = append(out, data[:half]...)
-		out = append(out, pad...)
-		out = append(out, data[half:]...)
+		copy(dst, data[:half])
+		copy(dst[half+q:], data[half:])
+		p.padBitsInto(dst[half:half+q], data)
 	case Edges:
+		// The pad is one generated sequence split around the data, so
+		// Learned generation sees the same context as the contiguous
+		// placements.
+		if cap(p.edgeScratch) < q {
+			p.edgeScratch = make([]float64, q) // lint:allow hotpathalloc — grows once to the model width
+		}
+		pad := p.edgeScratch[:q]
+		p.padBitsInto(pad, data)
 		half := q / 2
-		out = append(out, pad[:half]...)
-		out = append(out, data...)
-		out = append(out, pad[half:]...)
+		copy(dst[:half], pad[:half])
+		copy(dst[half:half+len(data)], data)
+		copy(dst[half+len(data):], pad[half:])
 	default:
 		panic(fmt.Sprintf("padding: unknown location %d", int(p.Loc)))
 	}
-	return out
+	return dst
 }
 
-func (p *Padder) padBits(data []float64, q int) []float64 {
-	pad := make([]float64, q)
+// padBitsInto fills pad (a region of a possibly reused buffer — every slot
+// is overwritten) with q generated bits.
+func (p *Padder) padBitsInto(pad []float64, data []float64) {
 	switch p.Kind {
 	case Zero:
-		// already zero
+		for i := range pad {
+			pad[i] = 0
+		}
 	case One:
 		for i := range pad {
 			pad[i] = 1
@@ -238,24 +268,25 @@ func (p *Padder) padBits(data []float64, q int) []float64 {
 	case MemoryBased:
 		d := 0.5
 		if p.memoryDensity != nil {
-			d = p.memoryDensity()
+			d = p.memoryDensity() // lint:allow hotpathalloc — owner-supplied density callback, opaque to the call graph
 		}
 		p.bernoulli(pad, d)
 	case Learned:
 		if p.model == nil {
 			panic("padding: Learned padder has no model (call SetModel)")
 		}
-		p.generateLearned(data, pad)
+		p.generateLearned(data, pad) // lint:allow hotpathalloc — LSTM window generation allocates by design (§4.1.3); LB trades CPU for flips
 	default:
 		panic(fmt.Sprintf("padding: unknown type %d", int(p.Kind)))
 	}
-	return pad
 }
 
 func (p *Padder) bernoulli(pad []float64, d float64) {
 	for i := range pad {
 		if p.rng.Float64() < d {
 			pad[i] = 1
+		} else {
+			pad[i] = 0
 		}
 	}
 }

@@ -67,7 +67,7 @@ func Train(data [][]float64, cfg Config) (*Model, error) {
 	if cfg.PCADims <= 0 {
 		cfg.PCADims = 10
 	}
-	start := time.Now()
+	start := time.Now() // lint:allow deepdeterminism — TrainTime is a reported wall-clock measurement
 	m := &Model{cfg: cfg}
 	feats := data
 	if cfg.Mode == PCAKMeans {
@@ -89,7 +89,7 @@ func Train(data [][]float64, cfg Config) (*Model, error) {
 		return nil, err
 	}
 	m.km = km
-	m.TrainTime = time.Since(start)
+	m.TrainTime = time.Since(start) // lint:allow deepdeterminism — TrainTime is a reported wall-clock measurement
 	return m, nil
 }
 

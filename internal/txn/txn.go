@@ -53,6 +53,19 @@ var ErrCrashed = errors.New("txn: injected crash")
 // log slot can describe.
 var ErrTxTooLarge = errors.New("txn: transaction exceeds log slot capacity")
 
+// ErrAborted is returned when a transaction is used after Abort (or after
+// a successful Commit recycled it).
+var ErrAborted = errors.New("txn: transaction aborted")
+
+// ErrLogFull is returned by Commit when every log slot is occupied.
+var ErrLogFull = errors.New("txn: no free log slot")
+
+// ErrCorruptLog is returned by Recover when a log header is inconsistent.
+var ErrCorruptLog = errors.New("txn: corrupt log slot")
+
+// ErrBadConfig is returned by NewManager for an unusable log geometry.
+var ErrBadConfig = errors.New("txn: invalid log config")
+
 // Manager coordinates transactions over a device. The log occupies the
 // device's tail segments; callers must not write those directly.
 type Manager struct {
@@ -68,6 +81,10 @@ type Manager struct {
 	// issued through this manager; -1 means disabled.
 	failAfter int
 	writes    int
+
+	txFree  []*Tx  // recycled transactions for Begin
+	hdrBuf  []byte // Commit header scratch (one segment)
+	slotBuf []byte // findFreeSlotLocked peek scratch (one segment)
 }
 
 // NewManager reserves logSlots transaction slots of maxEntries each at the
@@ -75,17 +92,17 @@ type Manager struct {
 // number of data segments that remain usable [0, dataSegs).
 func NewManager(dev *nvm.Device, logSlots, maxEntries int) (*Manager, int, error) {
 	if logSlots <= 0 || maxEntries <= 0 {
-		return nil, 0, fmt.Errorf("txn: logSlots %d / maxEntries %d must be positive", logSlots, maxEntries)
+		return nil, 0, fmt.Errorf("txn: logSlots %d / maxEntries %d must be positive: %w", logSlots, maxEntries, ErrBadConfig)
 	}
 	headerNeeds := hdrFixed + 4*maxEntries
 	if headerNeeds > dev.SegmentSize() {
-		return nil, 0, fmt.Errorf("txn: %d entries need a %d-byte header, segment is %d",
-			maxEntries, headerNeeds, dev.SegmentSize())
+		return nil, 0, fmt.Errorf("txn: %d entries need a %d-byte header, segment is %d: %w",
+			maxEntries, headerNeeds, dev.SegmentSize(), ErrBadConfig)
 	}
 	slotSegs := 1 + maxEntries
 	logSegs := logSlots * slotSegs
 	if logSegs >= dev.NumSegments() {
-		return nil, 0, fmt.Errorf("txn: log (%d segments) does not fit device (%d)", logSegs, dev.NumSegments())
+		return nil, 0, fmt.Errorf("txn: log (%d segments) does not fit device (%d): %w", logSegs, dev.NumSegments(), ErrBadConfig)
 	}
 	m := &Manager{
 		dev:       dev,
@@ -141,7 +158,9 @@ func (m *Manager) write(addr int, data []byte) error {
 	return err
 }
 
-// Tx is an open transaction.
+// Tx is an open transaction. A Tx must not be used after a successful
+// Commit: the manager recycles it for a later Begin (further calls fail
+// with ErrAborted until then).
 type Tx struct {
 	m       *Manager
 	id      uint64
@@ -151,38 +170,68 @@ type Tx struct {
 	aborted bool
 }
 
-// Begin opens a transaction.
+// Begin opens a transaction, reusing a recycled Tx when one is available
+// so steady-state commit traffic does not allocate.
 func (m *Manager) Begin() *Tx {
 	m.mu.Lock()
 	m.nextID++
 	id := m.nextID
+	var t *Tx
+	if n := len(m.txFree); n > 0 {
+		t = m.txFree[n-1]
+		m.txFree = m.txFree[:n-1]
+		t.id = id
+		t.aborted = false
+	} else {
+		// lint:allow hotpathalloc — pool warm-up; recycled on every commit after the first
+		t = &Tx{m: m, id: id, staged: make(map[int]int, m.maxEnt)}
+	}
 	m.mu.Unlock()
-	return &Tx{m: m, id: id, staged: map[int]int{}}
+	return t
+}
+
+// releaseLocked resets a finished transaction and returns it to the reuse
+// pool. The staged images keep their backing arrays (Write re-fills them
+// with the append(buf[:0], ...) idiom). Callers hold m.mu.
+func (m *Manager) releaseLocked(t *Tx) {
+	clear(t.staged)
+	t.addrs = t.addrs[:0]
+	t.images = t.images[:0]
+	t.aborted = true // poison until Begin hands it out again
+	m.txFree = append(m.txFree, t) // lint:allow hotpathalloc — bounded by the number of concurrent transactions
 }
 
 // Write stages a full-segment image for addr. Staging the same address
 // twice keeps the latest image. The data is copied.
 func (t *Tx) Write(addr int, data []byte) error {
 	if t.aborted {
-		return fmt.Errorf("txn: write on aborted transaction")
+		return fmt.Errorf("txn: write on aborted transaction: %w", ErrAborted)
 	}
 	if addr < 0 || addr >= t.m.logStart {
 		return fmt.Errorf("txn: address %d outside data region [0,%d): %w", addr, t.m.logStart, nvm.ErrBadAddress)
 	}
 	if len(data) != t.m.dev.SegmentSize() {
-		return fmt.Errorf("txn: image of %d bytes, want %d", len(data), t.m.dev.SegmentSize())
+		return fmt.Errorf("txn: image of %d bytes, want %d: %w", len(data), t.m.dev.SegmentSize(), nvm.ErrSegmentSize)
 	}
-	img := append([]byte(nil), data...)
 	if i, ok := t.staged[addr]; ok {
-		t.images[i] = img
+		t.images[i] = append(t.images[i][:0], data...)
 		return nil
 	}
 	if len(t.addrs) >= t.m.maxEnt {
 		return ErrTxTooLarge
 	}
 	t.staged[addr] = len(t.addrs)
-	t.addrs = append(t.addrs, addr)
-	t.images = append(t.images, img)
+	t.addrs = append(t.addrs, addr) // lint:allow hotpathalloc — capacity bounded by maxEntries, reused across commits
+	if len(t.images) < cap(t.images) {
+		// Reclaim the buffer a previous incarnation left in the slice's
+		// spare capacity.
+		t.images = t.images[:len(t.images)+1]
+		last := len(t.images) - 1
+		t.images[last] = append(t.images[last][:0], data...)
+	} else {
+		// lint:allow hotpathalloc — image buffer warm-up; reused across commits afterwards
+		t.images = append(t.images, append([]byte(nil), data...))
+	}
 	return nil
 }
 
@@ -205,14 +254,15 @@ func (t *Tx) Abort() { t.aborted = true }
 // record persisted) or discards it entirely.
 func (t *Tx) Commit() error {
 	if t.aborted {
-		return fmt.Errorf("txn: commit on aborted transaction")
-	}
-	if len(t.addrs) == 0 {
-		return nil
+		return fmt.Errorf("txn: commit on aborted transaction: %w", ErrAborted)
 	}
 	m := t.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if len(t.addrs) == 0 {
+		m.releaseLocked(t)
+		return nil
+	}
 
 	slot, err := m.findFreeSlotLocked()
 	if err != nil {
@@ -229,7 +279,11 @@ func (t *Tx) Commit() error {
 	// 2. Persist the header in the staged state (addresses + count), then
 	// flip the state byte to committed with a second small write — the
 	// state byte is the atomic commit point.
-	hdr := make([]byte, m.dev.SegmentSize())
+	if len(m.hdrBuf) != m.dev.SegmentSize() {
+		m.hdrBuf = make([]byte, m.dev.SegmentSize()) // lint:allow hotpathalloc — one-time scratch sized at first commit
+	}
+	hdr := m.hdrBuf
+	clear(hdr)
 	hdr[0] = slotStaged
 	copy(hdr[1:5], logMagic[:])
 	binary.LittleEndian.PutUint16(hdr[5:], uint16(len(t.addrs)))
@@ -255,21 +309,24 @@ func (t *Tx) Commit() error {
 	if err := m.write(base, hdr); err != nil {
 		return err
 	}
+	m.releaseLocked(t)
 	return nil
 }
 
 func (m *Manager) findFreeSlotLocked() (int, error) {
 	slots := (m.dev.NumSegments() - m.logStart) / m.slotSegs
+	if len(m.slotBuf) != m.dev.SegmentSize() {
+		m.slotBuf = make([]byte, m.dev.SegmentSize()) // lint:allow hotpathalloc — one-time scratch sized at first commit
+	}
 	for s := 0; s < slots; s++ {
-		hdr, err := m.dev.Peek(m.logStart + s*m.slotSegs)
-		if err != nil {
+		if err := m.dev.PeekInto(m.logStart+s*m.slotSegs, m.slotBuf); err != nil {
 			return 0, err
 		}
-		if hdr[0] == slotFree || !hasMagic(hdr) {
+		if m.slotBuf[0] == slotFree || !hasMagic(m.slotBuf) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("txn: no free log slot")
+	return 0, ErrLogFull
 }
 
 // Recover scans the log and finishes crash recovery: committed slots are
@@ -299,7 +356,7 @@ func (m *Manager) Recover() (replayed, discarded int, err error) {
 		case slotCommitted:
 			n := int(binary.LittleEndian.Uint16(hdr[5:]))
 			if n > m.maxEnt {
-				return replayed, discarded, fmt.Errorf("txn: corrupt slot %d entry count %d", s, n)
+				return replayed, discarded, fmt.Errorf("txn: slot %d entry count %d: %w", s, n, ErrCorruptLog)
 			}
 			for i := 0; i < n; i++ {
 				addr := int(binary.LittleEndian.Uint32(hdr[hdrFixed+4*i:]))

@@ -121,6 +121,10 @@ func (m *Model) Config() Config { return m.cfg }
 // LatentDim returns the latent space width.
 func (m *Model) LatentDim() int { return m.cfg.LatentDim }
 
+// HiddenDim returns the encoder/decoder hidden width (the scratch size
+// EncodeInto callers must provide).
+func (m *Model) HiddenDim() int { return m.cfg.HiddenDim }
+
 // InputDim returns the model input width in bits.
 func (m *Model) InputDim() int { return m.cfg.InputDim }
 
@@ -144,12 +148,20 @@ func (m *Model) FLOPsPerPredict() float64 {
 // Encode is safe for concurrent use on a trained model: it runs the
 // stateless inference path and never touches the training caches.
 func (m *Model) Encode(x []float64) []float64 {
+	return m.EncodeInto(x, make([]float64, m.cfg.HiddenDim), make([]float64, m.cfg.LatentDim))
+}
+
+// EncodeInto is Encode writing into caller-provided scratch: h and mu must
+// have capacity for HiddenDim and LatentDim values respectively. It returns
+// mu resliced to LatentDim. Like Encode it is safe for concurrent use on a
+// trained model, provided each caller supplies its own scratch.
+func (m *Model) EncodeInto(x, h, mu []float64) []float64 {
 	if len(x) != m.cfg.InputDim {
 		panic(fmt.Sprintf("vae: Encode input %d, want %d", len(x), m.cfg.InputDim))
 	}
-	h := make([]float64, m.cfg.HiddenDim)
+	h = h[:m.cfg.HiddenDim]
+	mu = mu[:m.cfg.LatentDim]
 	m.encH.Apply(x, h)
-	mu := make([]float64, m.cfg.LatentDim)
 	m.encMu.Apply(h, mu)
 	return mu
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench
+.PHONY: all build test race lint vet bench fault
 
 all: build lint test
 
@@ -22,6 +22,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection pipeline under the race detector: the nvm fault model,
+# kvstore detect/retry/retire/scrub tests, the crash matrix, the txn worn-
+# slot tests, pool retirement, and the record-codec fuzz seeds (see
+# DESIGN.md §9).
+fault:
+	$(GO) test -race -run 'Fault|Worn|Retire|Scrub|Degrad|Corrupt|CrashMatrix|Fuzz' \
+		./internal/nvm ./internal/kvstore ./internal/txn ./internal/dap ./internal/experiments .
+	$(GO) test -race -run=NONE -fuzz FuzzRecordRoundTrip -fuzztime 10s ./internal/kvstore
 
 # Regenerate the committed micro-benchmark baseline (Put/Get/GetInto/Delete
 # ns/op, B/op, allocs/op plus bit-flip counters).

@@ -39,6 +39,9 @@ type kvBenchEntry struct {
 	// Device counters over the measured run, normalized per operation.
 	BitsFlippedPerOp float64 `json:"bits_flipped_per_op"`
 	FlipsPerDataBit  float64 `json:"flips_per_data_bit"`
+	// Fault-pipeline counters (only set by the faulted scenario).
+	WornWrites      uint64 `json:"worn_writes,omitempty"`
+	RetiredSegments uint64 `json:"retired_segments,omitempty"`
 }
 
 type kvBenchDoc struct {
@@ -177,6 +180,60 @@ func runKVBench(out string) error {
 			AllocsPerOp:      r.AllocsPerOp(),
 			BitsFlippedPerOp: float64(m.BitsFlipped) / float64(r.N),
 			FlipsPerDataBit:  m.FlipsPerDataBit,
+		})
+	}
+
+	// PUT/FAULTED: the same overwrite loop as PUT, but with verify-after-
+	// write on and ~5% of the data segments fenced as worn out before the
+	// run. Puts route around the dead segments by retiring them; the
+	// delta vs kvstore.Put is the detect/retry/retire pipeline's cost,
+	// and the entry doubles as a regression guard that a faulted store
+	// keeps serving.
+	{
+		store, err := e2nvm.Open(e2nvm.Config{
+			SegmentSize:  kvBenchSegSize,
+			NumSegments:  kvBenchSegments,
+			Clusters:     kvBenchClusters,
+			TrainEpochs:  kvBenchEpochs,
+			Seed:         kvBenchSeed,
+			VerifyWrites: true,
+		})
+		if err != nil {
+			return err
+		}
+		for a := 0; a < kvBenchSegments; a += 20 { // every 20th segment: ~5%
+			if err := store.FailSegment(a); err != nil {
+				return err
+			}
+		}
+		val := make([]byte, kvBenchValue)
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			store.ResetMetrics()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				val[0] = byte(i)
+				if err := store.Put(uint64(i%kvBenchKeys), val); err != nil {
+					failed = err
+					b.FailNow()
+				}
+			}
+		})
+		if failed != nil {
+			return fmt.Errorf("kvbench put/faulted: %w", failed)
+		}
+		m := store.Metrics()
+		entries = append(entries, kvBenchEntry{
+			Name:             "kvstore.Put/faulted",
+			Note:             "verify-after-write with 5% of segments fenced before the run; the delta vs kvstore.Put is the detect/retry/retire cost",
+			Iterations:       r.N,
+			NsPerOp:          float64(r.NsPerOp()),
+			BytesPerOp:       r.AllocedBytesPerOp(),
+			AllocsPerOp:      r.AllocsPerOp(),
+			BitsFlippedPerOp: float64(m.BitsFlipped) / float64(r.N),
+			FlipsPerDataBit:  m.FlipsPerDataBit,
+			WornWrites:       m.WornWrites,
+			RetiredSegments:  m.RetiredSegments,
 		})
 	}
 

@@ -114,6 +114,29 @@ type Config struct {
 	// across torn cache lines at the cost of logging write amplification.
 	CrashSafe bool
 
+	// EnduranceWrites overrides the simulated per-cell write endurance
+	// budget (default 1e8). Lifetime experiments set it low so wear-out
+	// is reachable in minutes.
+	EnduranceWrites float64
+	// Fault configures the device's seeded cell wear-out process; the
+	// zero value disables probabilistic faults.
+	Fault FaultConfig
+	// VerifyWrites models a controller that reads back after
+	// programming, so writes landing on stuck cells fail loudly with
+	// ErrWornOut instead of silently storing faulty bits.
+	VerifyWrites bool
+	// PutRetries bounds how many alternative segments a Put tries when
+	// verify-after-write finds the target worn (default 8).
+	PutRetries int
+	// DisableRetirement keeps worn segments in circulation: writes
+	// surface ErrWornOut but nothing is fenced off (baseline mode for
+	// lifetime experiments).
+	DisableRetirement bool
+	// DegradeThreshold is the fraction of data segments that may be
+	// retired before allocation failures escalate from ErrNoSpace to
+	// ErrDegraded (default 0.1).
+	DegradeThreshold float64
+
 	// Seed makes training and simulation deterministic.
 	Seed int64
 
@@ -171,6 +194,29 @@ func (c Config) padType() padding.Type {
 	}
 }
 
+func (c Config) deviceConfig() nvm.Config {
+	devCfg := nvm.DefaultConfig(c.SegmentSize, c.NumSegments)
+	devCfg.WearLevelPeriod = c.WearLevelPeriod
+	devCfg.TrackBitWear = c.TrackBitWear
+	if c.EnduranceWrites > 0 {
+		devCfg.EnduranceWrites = c.EnduranceWrites
+	}
+	devCfg.Fault = c.Fault.toInternal()
+	devCfg.VerifyWrites = c.VerifyWrites
+	return devCfg
+}
+
+func (c Config) storeOptions(placement kvstore.Placement) kvstore.Options {
+	return kvstore.Options{
+		Placement:         placement,
+		AutoRetrain:       c.AutoRetrain,
+		CrashSafe:         c.CrashSafe,
+		PutRetries:        c.PutRetries,
+		DisableRetirement: c.DisableRetirement,
+		DegradeThreshold:  c.DegradeThreshold,
+	}
+}
+
 // Store is an E2-NVM-managed persistent key/value store over a simulated
 // PCM device. All methods are safe for concurrent use.
 type Store struct {
@@ -182,10 +228,7 @@ type Store struct {
 // E2-NVM model on them, and returns a ready store.
 func Open(cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
-	devCfg := nvm.DefaultConfig(cfg.SegmentSize, cfg.NumSegments)
-	devCfg.WearLevelPeriod = cfg.WearLevelPeriod
-	devCfg.TrackBitWear = cfg.TrackBitWear
-	dev, err := nvm.NewDevice(devCfg)
+	dev, err := nvm.NewDevice(cfg.deviceConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -217,11 +260,7 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.Placement == PlacementArbitrary {
 		placement = kvstore.PlaceArbitrary
 	}
-	inner, err := kvstore.Open(dev, modelCfg, kvstore.Options{
-		Placement:   placement,
-		AutoRetrain: cfg.AutoRetrain,
-		CrashSafe:   cfg.CrashSafe,
-	})
+	inner, err := kvstore.Open(dev, modelCfg, cfg.storeOptions(placement))
 	if err != nil {
 		return nil, err
 	}
@@ -287,6 +326,14 @@ type Metrics struct {
 	Fallbacks uint64
 	// Retrains counts completed model retrains.
 	Retrains int
+	// WornWrites counts writes that hit worn-out cells and were retried
+	// or refused; RetiredSegments counts segments taken out of
+	// circulation; Relocations counts live records Scrub moved to
+	// healthy segments.
+	WornWrites, RetiredSegments, Relocations uint64
+	// StuckBits is the number of cells currently stuck device-wide;
+	// FailedSegments counts segments fenced entirely.
+	StuckBits, FailedSegments uint64
 	// FlipsPerDataBit is BitsFlipped / BitsWritten (0 when nothing was
 	// written) — Figure 12's metric.
 	FlipsPerDataBit float64
@@ -308,6 +355,11 @@ func (s *Store) Metrics() Metrics {
 		WearLevelMoves:   ds.WearLevelMoves,
 		Fallbacks:        ss.Fallbacks,
 		Retrains:         ss.Retrains,
+		WornWrites:       ss.WornWrites,
+		RetiredSegments:  ss.Retired,
+		Relocations:      ss.Relocations,
+		StuckBits:        ds.StuckBits,
+		FailedSegments:   ds.FailedSegments,
 	}
 	if ds.Writes > 0 {
 		m.AvgWriteLatencyNs = ds.WriteLatencyNs / float64(ds.Writes)

@@ -26,7 +26,7 @@ func TestOpenDefaults(t *testing.T) {
 	if s.Clusters() != 2 {
 		t.Fatalf("Clusters = %d", s.Clusters())
 	}
-	if s.MaxValue() != 21 {
+	if s.MaxValue() != 13 {
 		t.Fatalf("MaxValue = %d", s.MaxValue())
 	}
 	if s.String() == "" {

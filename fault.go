@@ -1,0 +1,104 @@
+package e2nvm
+
+import (
+	"e2nvm/internal/kvstore"
+	"e2nvm/internal/nvm"
+)
+
+// Error sentinels surfaced by Store operations, re-exported so callers can
+// use errors.Is without importing internal packages.
+var (
+	// ErrWornOut marks a write refused (or verified bad) because the
+	// target segment's cells are worn out.
+	ErrWornOut = kvstore.ErrWornOut
+	// ErrDegraded is returned instead of a bare ErrNoSpace once segment
+	// retirement has consumed more than Config.DegradeThreshold of the
+	// device. It wraps ErrNoSpace.
+	ErrDegraded = kvstore.ErrDegraded
+	// ErrNoSpace is returned when no free segment remains.
+	ErrNoSpace = kvstore.ErrNoSpace
+	// ErrCorrupt is returned by reads whose stored record fails its
+	// checksum — the medium destroyed the data, but the store never
+	// serves wrong bytes.
+	ErrCorrupt = kvstore.ErrCorrupt
+	// ErrValueTooLarge is returned by Put for values over MaxValue.
+	ErrValueTooLarge = kvstore.ErrValueTooLarge
+)
+
+// FaultConfig configures the simulated device's cell wear-out process. The
+// zero value disables probabilistic faults; segments can still be failed
+// deterministically with Store.InjectStuckAt and Store.FailSegment.
+type FaultConfig struct {
+	// Seed makes the fault process deterministic (independent of
+	// Config.Seed so workloads can be replayed against different fault
+	// draws).
+	Seed int64
+	// ProbPerWrite is the chance that a write to a segment past its
+	// wear-out onset sticks additional cells.
+	ProbPerWrite float64
+	// OnsetFraction is the fraction of EnduranceWrites a segment must
+	// consume before faults can occur (default 0.85).
+	OnsetFraction float64
+	// BitsPerFault is how many cells stick per fault event (default 1).
+	BitsPerFault int
+}
+
+func (f FaultConfig) toInternal() nvm.FaultConfig {
+	return nvm.FaultConfig{
+		Seed:          f.Seed,
+		ProbPerWrite:  f.ProbPerWrite,
+		OnsetFraction: f.OnsetFraction,
+		BitsPerFault:  f.BitsPerFault,
+	}
+}
+
+// Health is a snapshot of the store's capacity state under wear-out.
+type Health struct {
+	DataSegments int  // segments in the data zone
+	Retired      int  // segments permanently out of circulation
+	LiveKeys     int  // records reachable through the index
+	PoolFree     int  // free segments available for placement
+	Degraded     bool // retirement has crossed Config.DegradeThreshold
+}
+
+// Health reports the store's current capacity state.
+func (s *Store) Health() Health {
+	h := s.inner.Health()
+	return Health{
+		DataSegments: h.DataSegments,
+		Retired:      h.Retired,
+		LiveKeys:     h.LiveKeys,
+		PoolFree:     h.PoolFree,
+		Degraded:     h.Degraded,
+	}
+}
+
+// ScrubReport summarizes one incremental Scrub pass.
+type ScrubReport struct {
+	Scanned   int // segments examined
+	Relocated int // live records moved off failing segments
+	Retired   int // segments newly taken out of circulation
+	Lost      int // indexed records whose data is already unrecoverable
+}
+
+// Scrub examines up to n segments for latent cell faults, relocating live
+// records off failing segments and retiring them. Calling it periodically
+// (a media scrubber) turns silent wear into bounded capacity loss before
+// the next Put trips over it. It is a no-op when retirement is disabled.
+func (s *Store) Scrub(n int) (ScrubReport, error) {
+	r, err := s.inner.Scrub(n)
+	return ScrubReport{
+		Scanned:   r.Scanned,
+		Relocated: r.Relocated,
+		Retired:   r.Retired,
+		Lost:      r.Lost,
+	}, err
+}
+
+// InjectStuckAt deterministically sticks one cell of a segment at its
+// current value, for fault-injection tests and experiments.
+func (s *Store) InjectStuckAt(addr, bit int) error { return s.dev.InjectStuckAt(addr, bit) }
+
+// FailSegment fences a whole segment: reads still serve its frozen
+// content, but every future write is refused with ErrWornOut.
+func (s *Store) FailSegment(addr int) error { return s.dev.FailSegment(addr) }

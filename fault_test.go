@@ -1,0 +1,130 @@
+package e2nvm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultSurvivalViaPublicAPI(t *testing.T) {
+	cfg := smallConfig()
+	cfg.VerifyWrites = true
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fence a quarter of the device; puts must route around the fenced
+	// segments by retiring them.
+	for a := 0; a < 16; a++ {
+		if err := s.FailSegment(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 20; k++ {
+		if err := s.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatalf("Put(%d) with fenced segments: %v", k, err)
+		}
+	}
+	for k := uint64(0); k < 20; k++ {
+		v, ok, err := s.Get(k)
+		if err != nil || !ok || v[0] != byte(k) {
+			t.Fatalf("Get(%d) = (%v,%v,%v)", k, v, ok, err)
+		}
+	}
+	if _, err := s.Scrub(64); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Health()
+	if h.Retired == 0 || !h.Degraded && h.Retired < 16 {
+		t.Fatalf("Health after scrubbing a fenced quarter: %+v", h)
+	}
+	m := s.Metrics()
+	if m.RetiredSegments == 0 || m.FailedSegments != 16 {
+		t.Fatalf("fault metrics not plumbed: %+v", m)
+	}
+}
+
+func TestFaultSentinelsViaPublicAPI(t *testing.T) {
+	cfg := smallConfig()
+	cfg.VerifyWrites = true
+	cfg.DisableRetirement = true
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 64; a++ {
+		if err := s.FailSegment(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(2, []byte("b")); !errors.Is(err, ErrWornOut) {
+		t.Fatalf("Put on fenced device = %v, want ErrWornOut", err)
+	}
+	// With retirement on and a tight threshold, exhausting capacity
+	// escalates to ErrDegraded (which still matches ErrNoSpace).
+	cfg2 := smallConfig()
+	cfg2.VerifyWrites = true
+	cfg2.DegradeThreshold = 0.05
+	s2, err := Open(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 64; a++ {
+		if err := s2.FailSegment(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var lastErr error
+	for k := uint64(0); k < 64; k++ {
+		if lastErr = s2.Put(k, []byte{byte(k)}); errors.Is(lastErr, ErrDegraded) {
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrDegraded) || !errors.Is(lastErr, ErrNoSpace) {
+		t.Fatalf("exhausted device = %v, want ErrDegraded wrapping ErrNoSpace", lastErr)
+	}
+	if !s2.Health().Degraded {
+		t.Fatal("Health().Degraded false after ErrDegraded")
+	}
+}
+
+func TestInjectStuckAtSurfacesCorrupt(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DisableRetirement = true
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(7, []byte("seven")); err != nil {
+		t.Fatal(err)
+	}
+	// Stick cells under every segment's checksum region. Sticking freezes
+	// cells at their current values, so the stored record is untouched;
+	// the overwrite of key 7 now lands on faulty cells and must either
+	// succeed cleanly or surface ErrWornOut with the old record intact —
+	// never store wrong bytes.
+	for a := 0; a < 64; a++ {
+		for bit := 0; bit < 8; bit++ {
+			if err := s.InjectStuckAt(a, 15*8+bit); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s.Metrics().StuckBits == 0 {
+		t.Fatal("StuckBits not plumbed")
+	}
+	putErr := s.Put(7, []byte("SEVEN"))
+	if putErr != nil && !errors.Is(putErr, ErrWornOut) {
+		t.Fatalf("Put over stuck cells = %v, want nil or ErrWornOut", putErr)
+	}
+	want := "SEVEN"
+	if putErr != nil {
+		want = "seven" // the failed overwrite must not have touched the old record
+	}
+	v, ok, err := s.Get(7)
+	if err != nil || !ok || string(v) != want {
+		t.Fatalf("Get(7) = (%q,%v,%v), want %q", v, ok, err, want)
+	}
+}

@@ -45,6 +45,24 @@ func (r *ring) pop() int {
 	return addr
 }
 
+// remove deletes the first occurrence of addr from the FIFO, preserving
+// order. Returns whether addr was present. O(n), but only runs on the cold
+// retirement path.
+func (r *ring) remove(addr int) bool {
+	mask := len(r.buf) - 1
+	for i := 0; i < r.n; i++ {
+		if r.buf[(r.head+i)&mask] != addr {
+			continue
+		}
+		for j := i; j < r.n-1; j++ {
+			r.buf[(r.head+j)&mask] = r.buf[(r.head+j+1)&mask]
+		}
+		r.n--
+		return true
+	}
+	return false
+}
+
 // grow doubles the buffer, linearizing the live window. Amortized O(1):
 // steady-state traffic never grows once the ring reaches the working-set
 // size.
@@ -71,6 +89,11 @@ type Pool struct {
 	// lowWater is the per-cluster threshold below which the cluster is
 	// reported by LowClusters, the paper's retraining trigger.
 	lowWater int
+
+	// retired holds addresses of worn-out segments. They are refused by Add
+	// and survive Reset, so a dead segment can never be handed out again.
+	// Lazily allocated: fault-free stores never pay for it.
+	retired map[int]struct{}
 
 	popped uint64 // Get operations served
 	pushed uint64 // Add operations accepted
@@ -112,13 +135,19 @@ func (p *Pool) K() int {
 
 // Add recycles a free address into cluster c. It returns false when the
 // pool is at its configured capacity (the address is then simply dropped
-// from tracking, matching the paper's bounded-table option).
+// from tracking, matching the paper's bounded-table option) or when the
+// address has been retired.
 //
 // lint:hotpath
 func (p *Pool) Add(c, addr int) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.checkCluster(c)
+	if p.retired != nil {
+		if _, dead := p.retired[addr]; dead {
+			return false
+		}
+	}
 	if p.maxSize > 0 && p.free >= p.maxSize {
 		return false
 	}
@@ -221,9 +250,47 @@ func (p *Pool) NeedsRetrain() bool {
 	return false
 }
 
+// Retire permanently removes addr from the pool: it is dropped from
+// whichever free list holds it, and future Add calls for it are refused.
+// Retirement survives Reset, so a model retrain cannot resurrect a dead
+// segment. Returns true the first time addr is retired.
+func (p *Pool) Retire(addr int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.retired == nil {
+		p.retired = make(map[int]struct{})
+	}
+	if _, dead := p.retired[addr]; dead {
+		return false
+	}
+	p.retired[addr] = struct{}{}
+	for c := range p.clusters {
+		if p.clusters[c].remove(addr) {
+			p.free--
+			break
+		}
+	}
+	return true
+}
+
+// IsRetired reports whether addr has been retired.
+func (p *Pool) IsRetired(addr int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, dead := p.retired[addr]
+	return dead
+}
+
+// RetiredCount returns how many addresses have been retired.
+func (p *Pool) RetiredCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.retired)
+}
+
 // Reset discards all entries and re-shapes the pool to k clusters —
 // performed after a model retrain, when every free address is re-predicted
-// under the new model.
+// under the new model. Retired addresses stay retired.
 func (p *Pool) Reset(k int) error {
 	if k <= 0 {
 		return fmt.Errorf("dap: cluster count %d must be positive", k)
@@ -237,16 +304,17 @@ func (p *Pool) Reset(k int) error {
 
 // Stats reports cumulative pool activity.
 type Stats struct {
-	Free   int
-	Popped uint64
-	Pushed uint64
+	Free    int
+	Retired int
+	Popped  uint64
+	Pushed  uint64
 }
 
 // Stats returns a snapshot of pool counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return Stats{Free: p.free, Popped: p.popped, Pushed: p.pushed}
+	return Stats{Free: p.free, Retired: len(p.retired), Popped: p.popped, Pushed: p.pushed}
 }
 
 // FootprintBytes estimates the pool's DRAM footprint: 8 bytes per ring

@@ -215,3 +215,82 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("Free = %d, want %d", p.Free(), 8*250)
 	}
 }
+
+func TestRetireRemovesAndRefuses(t *testing.T) {
+	p, _ := New(4)
+	for a := 0; a < 10; a++ {
+		p.Add(a%4, a)
+	}
+	if !p.Retire(6) {
+		t.Fatal("first Retire(6) returned false")
+	}
+	if p.Retire(6) {
+		t.Fatal("second Retire(6) returned true")
+	}
+	if p.Free() != 9 {
+		t.Fatalf("Free = %d after retiring a pooled address, want 9", p.Free())
+	}
+	if !p.IsRetired(6) || p.IsRetired(7) {
+		t.Fatal("IsRetired wrong")
+	}
+	// The retired address can never come back.
+	if p.Add(2, 6) {
+		t.Fatal("Add accepted a retired address")
+	}
+	for i := 0; i < 9; i++ {
+		addr, _, ok := p.Get(i % 4)
+		if !ok {
+			t.Fatalf("pool dried up after %d gets", i)
+		}
+		if addr == 6 {
+			t.Fatal("retired address handed out by Get")
+		}
+	}
+	if _, _, ok := p.Get(0); ok {
+		t.Fatal("pool served more addresses than it holds")
+	}
+	if got := p.RetiredCount(); got != 1 {
+		t.Fatalf("RetiredCount = %d, want 1", got)
+	}
+	if s := p.Stats(); s.Retired != 1 {
+		t.Fatalf("Stats().Retired = %d, want 1", s.Retired)
+	}
+}
+
+func TestRetireSurvivesReset(t *testing.T) {
+	p, _ := New(2)
+	p.Add(0, 3)
+	p.Retire(3)
+	if err := p.Reset(5); err != nil {
+		t.Fatal(err)
+	}
+	if p.Add(1, 3) {
+		t.Fatal("Reset resurrected a retired address")
+	}
+	if !p.IsRetired(3) {
+		t.Fatal("retirement lost across Reset")
+	}
+	// Retiring an address that is not in any free list still works (it may
+	// be a live segment being retired on a failed overwrite).
+	if !p.Retire(99) {
+		t.Fatal("Retire of untracked address returned false")
+	}
+	if p.Add(0, 99) {
+		t.Fatal("Add accepted an address retired while live")
+	}
+}
+
+func TestRingRemoveKeepsFIFOOrder(t *testing.T) {
+	p, _ := New(1)
+	for a := 0; a < 5; a++ {
+		p.Add(0, a)
+	}
+	p.Retire(2)
+	want := []int{0, 1, 3, 4}
+	for _, w := range want {
+		addr, _, ok := p.Get(0)
+		if !ok || addr != w {
+			t.Fatalf("Get = (%d, %v), want %d", addr, ok, w)
+		}
+	}
+}

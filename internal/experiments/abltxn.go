@@ -24,7 +24,7 @@ func AblationTxnOverhead(cfg RunConfig) (*Result, error) {
 	puts := cfg.scaleInt(600, 120)
 	const k = 6
 
-	vg := workload.NewValueGen(segSize-11, k, 0.03, cfg.Seed)
+	vg := workload.NewValueGen(segSize-kvstore.RecordOverhead, k, 0.03, cfg.Seed)
 	seed := func(dev *nvm.Device) error {
 		for a := 0; a < numSegs; a++ {
 			img := make([]byte, segSize)

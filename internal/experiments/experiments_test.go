@@ -43,7 +43,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"fig18", "fig19",
 		"abl-search", "abl-joint", "abl-latent", "abl-diff", "abl-txn",
-		"exp-extended", "tbl01",
+		"exp-extended", "exp-fault", "tbl01",
 	}
 	ids := IDs()
 	got := map[string]bool{}
@@ -321,5 +321,20 @@ func TestResultJSON(t *testing.T) {
 	}
 	if len(parsed.Headers) == 0 || len(parsed.Rows[0]) != len(parsed.Headers) {
 		t.Fatal("headers/rows mismatch")
+	}
+}
+
+func TestFaultSweepShape(t *testing.T) {
+	res := runExp(t, "exp-fault", tiny)
+	rows := res.Table.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("exp-fault rows = %d, want 4 placement×retirement modes", len(rows))
+	}
+	// wrong_reads (last column) must be zero in every mode — the runner
+	// also enforces this internally, but keep the bar visible here.
+	for _, row := range rows {
+		if row[len(row)-1] != "0" {
+			t.Fatalf("mode %q served wrong reads: %v", row[0], row)
+		}
 	}
 }

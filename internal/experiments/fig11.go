@@ -27,13 +27,13 @@ func Fig11(cfg RunConfig) (*Result, error) {
 	for _, segSize := range segSizes {
 		segBits := segSize * 8
 		// Seed images shared by every run at this segment size.
-		vg := workload.NewValueGen(segSize-11, 12, 0.03, cfg.Seed)
+		vg := workload.NewValueGen(segSize-kvstore.RecordOverhead, 12, 0.03, cfg.Seed)
 		// Seed segments shaped like store records ([flag][len][value]).
 		seedImgs := make([][]byte, numSegs)
 		for i := range seedImgs {
 			img := make([]byte, segSize)
 			img[0] = 1
-			copy(img[11:], vg.For(uint64(i)))
+			copy(img[kvstore.RecordOverhead:], vg.For(uint64(i)))
 			seedImgs[i] = img
 		}
 		seedBits := make([][]float64, numSegs)

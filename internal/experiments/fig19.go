@@ -19,7 +19,7 @@ func init() { register("fig19", Fig19) }
 // P(address writes ≤ 10) ≈ 0.81 and P(bit wear ≤ 5) ≈ 0.85, P(≤7) ≈ 0.98 —
 // i.e. placement does not create hot spots.
 func Fig19(cfg RunConfig) (*Result, error) {
-	const segSize = 16
+	const segSize = 32
 	bits := segSize * 8
 	numSegs := cfg.scaleInt(768, 192)
 	k := 10
@@ -65,7 +65,7 @@ func Fig19(cfg RunConfig) (*Result, error) {
 	val := func() []byte {
 		v := toBytes(mix.Items[next%len(mix.Items)], segSize)
 		next++
-		return v[:segSize-11]
+		return v[:segSize-kvstore.RecordOverhead]
 	}
 	for key := uint64(0); key < uint64(warm); key++ {
 		if err := store.Put(key, val()); err != nil {

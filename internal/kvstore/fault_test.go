@@ -1,0 +1,413 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// addrOf returns the segment address the index holds for key.
+func addrOf(t *testing.T, s *Store, key uint64) int {
+	t.Helper()
+	a, ok := s.tree.Get(key)
+	if !ok {
+		t.Fatalf("key %d not indexed", key)
+	}
+	return int(a)
+}
+
+// TestPutRetiresWornSegmentsAndSucceeds fences most of the device; Puts
+// must detect the worn targets, retire them, and land on the healthy
+// remainder.
+func TestPutRetiresWornSegmentsAndSucceeds(t *testing.T) {
+	s := openStore(t, 32, 64, Options{})
+	dev := s.Device()
+	for addr := 0; addr < 48; addr++ {
+		if err := dev.FailSegment(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wrote := map[uint64][]byte{}
+	for k := uint64(0); k < 12; k++ {
+		v := []byte{byte(k), 0xab, byte(k * 3)}
+		if err := s.Put(k, v); err != nil {
+			if !errors.Is(err, ErrWornOut) && !errors.Is(err, ErrNoSpace) {
+				t.Fatalf("Put(%d): unexpected error %v", k, err)
+			}
+			continue
+		}
+		wrote[k] = v
+	}
+	if len(wrote) == 0 {
+		t.Fatal("no Put succeeded despite 16 healthy segments")
+	}
+	st := s.Stats()
+	if st.Retired == 0 || st.WornWrites == 0 {
+		t.Fatalf("stats = %+v, want Retired > 0 and WornWrites > 0", st)
+	}
+	for k, v := range wrote {
+		got, ok, err := s.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, v) {
+			t.Fatalf("Get(%d) = %x/%v/%v, want %x", k, got, ok, err, v)
+		}
+	}
+	// Retired addresses must be refused if anything tries to recycle them.
+	refused := 0
+	for addr := 0; addr < 48; addr++ {
+		if s.Pool().IsRetired(addr) {
+			if s.Pool().Add(0, addr) {
+				t.Fatalf("retired segment %d re-entered the pool", addr)
+			}
+			refused++
+		}
+	}
+	if refused == 0 {
+		t.Fatal("no address was retired")
+	}
+}
+
+// TestPutWithRetirementDisabledFailsFast is the baseline: a worn write
+// surfaces directly instead of retrying elsewhere.
+func TestPutWithRetirementDisabledFailsFast(t *testing.T) {
+	s := openStore(t, 32, 64, Options{DisableRetirement: true})
+	dev := s.Device()
+	for addr := 0; addr < 64; addr++ {
+		if err := dev.FailSegment(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(1, []byte("x")); !errors.Is(err, ErrWornOut) {
+		t.Fatalf("Put = %v, want ErrWornOut", err)
+	}
+	if st := s.Stats(); st.Retired != 0 {
+		t.Fatalf("retirement disabled but Retired = %d", st.Retired)
+	}
+}
+
+// TestDegradedEscalation wears out the whole device: allocation failures
+// must escalate from ErrNoSpace to ErrDegraded once retirement crosses the
+// threshold, and Health must report it.
+func TestDegradedEscalation(t *testing.T) {
+	s := openStore(t, 32, 64, Options{DegradeThreshold: 0.05})
+	if h := s.Health(); h.Degraded {
+		t.Fatalf("fresh store reports degraded: %+v", h)
+	}
+	dev := s.Device()
+	for addr := 0; addr < 64; addr++ {
+		if err := dev.FailSegment(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		lastErr = s.Put(uint64(i), []byte("v"))
+		if errors.Is(lastErr, ErrDegraded) {
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrDegraded) {
+		t.Fatalf("never degraded; last error: %v", lastErr)
+	}
+	if !errors.Is(lastErr, ErrNoSpace) {
+		t.Fatal("ErrDegraded must keep matching ErrNoSpace")
+	}
+	h := s.Health()
+	if !h.Degraded || h.Retired == 0 {
+		t.Fatalf("Health = %+v, want Degraded with Retired > 0", h)
+	}
+}
+
+// TestDeleteWornRetiresAndShreds sticks the valid-flag cell so the
+// invalidation cannot take: Delete must still delete, retire the segment,
+// and shred the stale record so recovery cannot resurrect it.
+func TestDeleteWornRetiresAndShreds(t *testing.T) {
+	s := openStore(t, 32, 64, Options{})
+	if err := s.Put(7, []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	addr := addrOf(t, s, 7)
+	// Bit 0 of byte 0 is the valid flag, currently 1; stick it there.
+	if err := s.Device().InjectStuckAt(addr, 0); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Delete(7)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v/%v, want true/nil", ok, err)
+	}
+	if _, ok, _ := s.Get(7); ok {
+		t.Fatal("deleted key still readable")
+	}
+	if !s.Pool().IsRetired(addr) {
+		t.Fatalf("segment %d not retired after worn delete", addr)
+	}
+	// The shred must have broken the stale record: recovery over the same
+	// device must not bring key 7 back.
+	s2, err := RecoverWith(s.Device(), s.Model(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s2.Get(7); ok {
+		t.Fatal("recovery resurrected a deleted key")
+	}
+}
+
+// TestRecoverSkipsFailedSegments fences a deleted key's segment entirely
+// (even the shred is refused, freezing the valid record in place): recovery
+// must refuse to re-index records on fenced segments.
+func TestRecoverSkipsFailedSegments(t *testing.T) {
+	s := openStore(t, 32, 64, Options{})
+	if err := s.Put(9, []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	addr := addrOf(t, s, 9)
+	if err := s.Device().FailSegment(addr); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.Delete(9); err != nil || !ok {
+		t.Fatalf("Delete = %v/%v, want true/nil", ok, err)
+	}
+	s2, err := RecoverWith(s.Device(), s.Model(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s2.Get(9); ok {
+		t.Fatal("record on a fenced segment was resurrected")
+	}
+	if !s2.Pool().IsRetired(addr) {
+		t.Fatalf("fenced segment %d not retired by recovery", addr)
+	}
+}
+
+// TestScrubRelocatesLiveRecordOffFaultySegment injects stuck cells under a
+// live record (data intact — cells stick at their current values) and
+// checks the scrubber moves the record to a healthy segment before the
+// damage can corrupt a future overwrite.
+func TestScrubRelocatesLiveRecordOffFaultySegment(t *testing.T) {
+	s := openStore(t, 32, 64, Options{})
+	want := map[uint64][]byte{}
+	for k := uint64(1); k <= 5; k++ {
+		v := []byte{0x10, byte(k), 0x30}
+		if err := s.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	oldAddr := addrOf(t, s, 3)
+	if err := s.Device().InjectStuckAt(oldAddr, 77); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Scrub(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 64 || rep.Relocated != 1 || rep.Retired != 1 || rep.Lost != 0 {
+		t.Fatalf("ScrubReport = %+v, want Scanned=64 Relocated=1 Retired=1 Lost=0", rep)
+	}
+	if newAddr := addrOf(t, s, 3); newAddr == oldAddr {
+		t.Fatal("record not moved off the faulty segment")
+	}
+	if !s.Pool().IsRetired(oldAddr) {
+		t.Fatal("faulty segment not retired")
+	}
+	for k, v := range want {
+		got, ok, err := s.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, v) {
+			t.Fatalf("Get(%d) after scrub = %x/%v/%v, want %x", k, got, ok, err, v)
+		}
+	}
+	if st := s.Stats(); st.Relocations != 1 {
+		t.Fatalf("Relocations = %d, want 1", st.Relocations)
+	}
+	// A second full pass finds nothing left to do.
+	rep, err = s.Scrub(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Relocated != 0 || rep.Retired != 0 {
+		t.Fatalf("second scrub pass not idle: %+v", rep)
+	}
+}
+
+// TestScrubRetiresFaultyFreeSegment: stuck cells on a segment holding no
+// live record retire it without any relocation.
+func TestScrubRetiresFaultyFreeSegment(t *testing.T) {
+	s := openStore(t, 32, 64, Options{})
+	if err := s.Device().InjectStuckAt(11, 5); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Scrub(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retired != 1 || rep.Relocated != 0 {
+		t.Fatalf("ScrubReport = %+v, want Retired=1 Relocated=0", rep)
+	}
+	if !s.Pool().IsRetired(11) {
+		t.Fatal("faulty free segment not retired")
+	}
+}
+
+// mkRecordImage builds a full random-tailed segment image holding one
+// record.
+func mkRecordImage(segSize int, key uint64, seq uint32, value []byte, r *rand.Rand) []byte {
+	img := make([]byte, segSize)
+	r.Read(img)
+	rec := img[:valueHeader+len(value)]
+	encodeRecord(rec, key, seq, value)
+	return img
+}
+
+// TestRecoverResolvesDuplicatesBySequence plants two valid records for one
+// key (the state a crash between persist-new and invalidate-old leaves) and
+// checks recovery keeps the higher sequence — including across wraparound.
+func TestRecoverResolvesDuplicatesBySequence(t *testing.T) {
+	cases := []struct {
+		name             string
+		oldSeq, newSeq   uint32
+		oldAddr, newAddr int
+	}{
+		{"ordered", 5, 6, 3, 9},
+		{"reversed-addresses", 5, 6, 9, 3},
+		{"wraparound", math.MaxUint32, 1, 4, 12},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openStore(t, 32, 16, Options{})
+			dev := s.Device()
+			r := rand.New(rand.NewSource(7))
+			if err := dev.FillSegment(tc.oldAddr, mkRecordImage(32, 42, tc.oldSeq, []byte("old"), r)); err != nil {
+				t.Fatal(err)
+			}
+			if err := dev.FillSegment(tc.newAddr, mkRecordImage(32, 42, tc.newSeq, []byte("new"), r)); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := RecoverWith(dev, s.Model(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s2.Get(42)
+			if err != nil || !ok || string(got) != "new" {
+				t.Fatalf("Get = %q/%v/%v, want \"new\"", got, ok, err)
+			}
+			if a := addrOf(t, s2, 42); a != tc.newAddr {
+				t.Fatalf("index points at %d, want %d", a, tc.newAddr)
+			}
+			// The stale copy was invalidated and recycled.
+			img, err := dev.Peek(tc.oldAddr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if img[0]&1 != 0 {
+				t.Fatal("stale duplicate still flagged valid")
+			}
+			// A fresh Put must not collide with the recovered sequence.
+			if err := s2.Put(43, []byte("post")); err != nil {
+				t.Fatal(err)
+			}
+			if seq := binary.LittleEndian.Uint32(func() []byte {
+				i, _ := dev.Peek(addrOf(t, s2, 43))
+				return i
+			}()[recSeqOff:]); !seqAfter(seq, tc.newSeq) {
+				t.Fatalf("post-recovery Put seq %d not after %d", seq, tc.newSeq)
+			}
+		})
+	}
+}
+
+// TestFaultedWorkloadZeroWrongReads is the acceptance scenario: fence over
+// 5%% of the data segments mid-workload and run mixed traffic with periodic
+// scrubbing. Every Get must return the last successfully Put value or a
+// sentinel error — never wrong bytes — and retired segments must never be
+// handed out again.
+func TestFaultedWorkloadZeroWrongReads(t *testing.T) {
+	const (
+		numSegs = 128
+		keys    = 40
+		ops     = 3000
+		kills   = 9 // 7% of 128
+	)
+	s := openStore(t, 32, numSegs, Options{DegradeThreshold: 0.5})
+	dev := s.Device()
+	r := rand.New(rand.NewSource(99))
+	shadow := map[uint64][]byte{}
+	var killed []int
+	wrongReads := 0
+	for i := 0; i < ops; i++ {
+		if i == ops/3 {
+			// Mid-workload wear-out: fence a batch of random segments.
+			for len(killed) < kills {
+				a := r.Intn(numSegs)
+				if err := dev.FailSegment(a); err != nil {
+					t.Fatal(err)
+				}
+				killed = append(killed, a)
+			}
+		}
+		k := uint64(r.Intn(keys))
+		switch r.Intn(10) {
+		case 0: // delete
+			if _, err := s.Delete(k); err != nil {
+				if !errors.Is(err, ErrWornOut) {
+					t.Fatalf("op %d: Delete(%d): %v", i, k, err)
+				}
+			} else {
+				delete(shadow, k)
+			}
+		case 1, 2, 3, 4: // put
+			v := make([]byte, 1+r.Intn(12))
+			r.Read(v)
+			if err := s.Put(k, v); err != nil {
+				if !errors.Is(err, ErrWornOut) && !errors.Is(err, ErrNoSpace) {
+					t.Fatalf("op %d: Put(%d): %v", i, k, err)
+				}
+			} else {
+				shadow[k] = v
+			}
+		default: // get
+			got, ok, err := s.Get(k)
+			want, live := shadow[k]
+			switch {
+			case err != nil:
+				// A sentinel is an acceptable answer; wrong bytes are not.
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("op %d: Get(%d): %v", i, k, err)
+				}
+			case ok != live:
+				wrongReads++
+				t.Errorf("op %d: Get(%d) present=%v, shadow=%v", i, k, ok, live)
+			case ok && !bytes.Equal(got, want):
+				wrongReads++
+				t.Errorf("op %d: Get(%d) = %x, want %x", i, k, got, want)
+			}
+		}
+		if i%200 == 199 {
+			if _, err := s.Scrub(numSegs / 4); err != nil {
+				t.Fatalf("op %d: Scrub: %v", i, err)
+			}
+		}
+	}
+	if wrongReads != 0 {
+		t.Fatalf("%d wrong reads", wrongReads)
+	}
+	// Deletions on fenced segments notwithstanding, the shadow must be fully
+	// served at the end.
+	for k, v := range shadow {
+		got, ok, err := s.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, v) {
+			t.Fatalf("final Get(%d) = %x/%v/%v, want %x", k, got, ok, err, v)
+		}
+	}
+	// Every fenced segment that was retired stays out of the pool for good.
+	pool := s.Pool()
+	for _, a := range killed {
+		if pool.IsRetired(a) && pool.Add(0, a) {
+			t.Fatalf("retired segment %d re-entered the pool", a)
+		}
+	}
+	if st := s.Stats(); st.Retired == 0 {
+		t.Logf("note: workload never hit a fenced segment (retired=0)")
+	}
+}

@@ -48,10 +48,11 @@ func (p Placement) String() string {
 	return "e2nvm"
 }
 
-// segment value layout: [flags 1B][len 2B][key 8B][value ...]; flag bit 0 =
-// valid. Records are self-describing — the key lives in the segment — so a
-// store can be rebuilt from NVM alone after a crash (see Recover).
-const valueHeader = 11
+// The segment record layout (flags, length, key, sequence, CRC, value)
+// lives in record.go. Records are self-describing — the key is in the
+// segment — so a store can be rebuilt from NVM alone after a crash (see
+// Recover), and CRC-protected, so cell-level corruption is detected rather
+// than served.
 
 // ErrValueTooLarge is returned when a value exceeds the segment payload.
 var ErrValueTooLarge = errors.New("kvstore: value exceeds segment payload")
@@ -59,11 +60,22 @@ var ErrValueTooLarge = errors.New("kvstore: value exceeds segment payload")
 // ErrNoSpace is returned when no free segment remains.
 var ErrNoSpace = errors.New("kvstore: no free segments")
 
-// ErrCorrupt reports a stored record whose header cannot be trusted (an
-// invalidated flag where a live record was expected, an out-of-range
-// length, or duplicate valid records during recovery). Callers detect it
-// with errors.Is.
+// ErrDegraded is returned instead of a bare ErrNoSpace when allocation
+// fails after retirement has consumed at least Options.DegradeThreshold of
+// the data zone: the device is wearing out, not merely full. It wraps
+// ErrNoSpace, so existing errors.Is(err, ErrNoSpace) checks still match.
+var ErrDegraded = fmt.Errorf("kvstore: capacity degraded by worn-out segments: %w", ErrNoSpace)
+
+// ErrCorrupt reports a stored record that cannot be trusted (an invalidated
+// flag where a live record was expected, an out-of-range length, or a CRC
+// mismatch). Callers detect it with errors.Is.
 var ErrCorrupt = errors.New("kvstore: corrupt record")
+
+// ErrWornOut re-exports nvm.ErrWornOut: a write failed because the target
+// segment's cells no longer program. Puts handle it internally (retire and
+// retry elsewhere); it escapes only when retries are exhausted or
+// retirement is disabled.
+var ErrWornOut = nvm.ErrWornOut
 
 // ErrBadOptions reports invalid Options passed to Open/OpenWith/Recover.
 var ErrBadOptions = errors.New("kvstore: invalid options")
@@ -100,6 +112,17 @@ type Options struct {
 	// atomic even across torn cache lines. Costs log space at the top of
 	// the device plus the logging write amplification.
 	CrashSafe bool
+	// PutRetries bounds how many alternate free segments one Put will try
+	// when writes keep landing on worn-out segments (default 8).
+	PutRetries int
+	// DisableRetirement turns off the detect-retire-retry machinery: a
+	// worn write fails the operation directly and the segment stays in
+	// circulation. This is the baseline the fault sweep compares against.
+	DisableRetirement bool
+	// DegradeThreshold is the fraction of data segments that must be
+	// retired before allocation failures escalate from ErrNoSpace to
+	// ErrDegraded (default 0.1).
+	DegradeThreshold float64
 }
 
 // Stats reports store activity.
@@ -110,6 +133,12 @@ type Stats struct {
 	Fallbacks uint64
 	// Retrains counts completed model retrains.
 	Retrains int
+	// WornWrites counts segment writes that failed on worn-out cells.
+	WornWrites uint64
+	// Retired counts segments permanently removed from circulation.
+	Retired uint64
+	// Relocations counts live records Scrub moved off failing segments.
+	Relocations uint64
 }
 
 // Store is the E2-NVM key/value store.
@@ -133,7 +162,8 @@ type Store struct {
 	mu      sync.Mutex
 	tree    *index.RBTree // key → segment address
 	stats   Stats
-	indexed int // segments [0, indexed) are under DAP management
+	indexed int    // segments [0, indexed) are under DAP management
+	seq     uint32 // next record sequence number
 
 	// Serving-path scratch, reused under mu so steady-state operations do
 	// not allocate.
@@ -141,6 +171,9 @@ type Store struct {
 	segBuf           []byte // segment staging for Put/invalidate/recycle/density
 	getBuf           []byte // segment staging for reads
 	putsSinceDensity int    // Puts since the density cache was refreshed
+
+	scrubCursor int    // next segment Scrub will examine
+	scrubBuf    []byte // Scrub's own staging (putLocked reuses segBuf)
 }
 
 // densityRefreshEvery is the Put interval at which the MemoryBased-padding
@@ -193,6 +226,18 @@ func openWith(dev *nvm.Device, model *core.Model, opts Options, recovering bool)
 	}
 	if opts.IndexFraction < 0 || opts.IndexFraction > 1 {
 		return nil, fmt.Errorf("kvstore: IndexFraction %v out of (0,1]: %w", opts.IndexFraction, ErrBadOptions)
+	}
+	if opts.PutRetries < 0 {
+		return nil, fmt.Errorf("kvstore: PutRetries %d must not be negative: %w", opts.PutRetries, ErrBadOptions)
+	}
+	if opts.PutRetries == 0 {
+		opts.PutRetries = 8
+	}
+	if opts.DegradeThreshold < 0 || opts.DegradeThreshold > 1 {
+		return nil, fmt.Errorf("kvstore: DegradeThreshold %v out of [0,1]: %w", opts.DegradeThreshold, ErrBadOptions)
+	}
+	if opts.DegradeThreshold == 0 {
+		opts.DegradeThreshold = 0.1
 	}
 	s := &Store{
 		dev:      dev,
@@ -368,8 +413,9 @@ func (s *Store) Pool() *dap.Pool { return s.pool }
 // MaxValue returns the largest storable value in bytes.
 func (s *Store) MaxValue() int { return s.dev.SegmentSize() - valueHeader }
 
-// encode serializes a record — header (flags, length, key) plus the value —
-// into the store's record scratch. The result aliases s.encBuf and is valid
+// encode serializes a record — header (flags, length, key, sequence, CRC)
+// plus the value — into the store's record scratch, stamping the next
+// store-wide sequence number. The result aliases s.encBuf and is valid
 // until the next encode; callers hold s.mu.
 func (s *Store) encode(key uint64, value []byte) []byte {
 	n := valueHeader + len(value)
@@ -377,10 +423,8 @@ func (s *Store) encode(key uint64, value []byte) []byte {
 		s.encBuf = make([]byte, n) // lint:allow hotpathalloc — record scratch grows once to the largest value seen
 	}
 	buf := s.encBuf[:n]
-	buf[0] = 1 // valid
-	binary.LittleEndian.PutUint16(buf[1:], uint16(len(value)))
-	binary.LittleEndian.PutUint64(buf[3:], key)
-	copy(buf[valueHeader:], value)
+	encodeRecord(buf, key, s.seq, value)
+	s.seq++
 	return buf
 }
 
@@ -400,6 +444,13 @@ func (s *Store) segScratchLocked() []byte {
 // segment keeps its old content), and update the index. Updates free the
 // key's previous segment back into the pool.
 //
+// The path is hardened against cell wear-out: the write is verified
+// (WriteResult.FaultyBits / ErrWornOut), a worn target is retired and the
+// record retried on a different free segment (bounded by
+// Options.PutRetries), and the new record is persisted before the old one
+// is invalidated — so a crash or a worn old segment leaves at worst two
+// valid records whose sequence numbers recovery can order.
+//
 // lint:hotpath
 func (s *Store) Put(key uint64, value []byte) error {
 	if len(value) > s.MaxValue() {
@@ -407,56 +458,9 @@ func (s *Store) Put(key uint64, value []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	record := s.encode(key, value)
-	model := s.mgr.Current()
-
-	var addr int
-	switch s.opts.Placement {
-	case PlaceArbitrary:
-		if old, ok := s.tree.Get(key); ok {
-			addr = int(old) // in-place update
-		} else {
-			a, _, ok := s.pool.Get(0) // any cluster; pool falls back across all
-			if !ok {
-				return ErrNoSpace
-			}
-			addr = a
-		}
-	default: // PlaceE2NVM
-		cluster, err := model.PredictBytes(record)
-		if err != nil {
-			return err
-		}
-		a, servedBy, ok := s.pool.Get(cluster)
-		if !ok {
-			return ErrNoSpace
-		}
-		if servedBy != cluster {
-			s.stats.Fallbacks++
-		}
-		addr = a
-		if old, ok := s.tree.Get(key); ok {
-			// Invalidate the superseded record's flag bit so NVM never
-			// holds two valid records for one key (keeps Recover
-			// unambiguous), then recycle the address.
-			if err := s.invalidateLocked(int(old)); err != nil {
-				return err
-			}
-			s.recycleLocked(int(old))
-		}
-	}
-	// Read the old content (Algorithm 1 line 3) and overwrite only the
-	// record region: the segment's tail keeps its previous bits, so the
-	// differential write touches record bits only.
-	img := s.segScratchLocked()
-	if err := s.dev.PeekInto(addr, img); err != nil {
+	if err := s.putLocked(key, value); err != nil {
 		return err
 	}
-	copy(img[:len(record)], record)
-	if err := s.writeSegmentLocked(addr, img); err != nil {
-		return err
-	}
-	s.tree.Put(key, int64(addr))
 	s.stats.Puts++
 	if s.mbPadding {
 		if s.putsSinceDensity++; s.putsSinceDensity >= densityRefreshEvery {
@@ -468,6 +472,127 @@ func (s *Store) Put(key uint64, value []byte) error {
 		s.retrainAsyncLocked() // lint:allow hotpathalloc — retraining is the deliberate slow path (§4.1.4)
 	}
 	return nil
+}
+
+// putLocked places and persists one record, retiring and retrying around
+// worn-out segments. Callers hold s.mu; Scrub reuses it to relocate
+// records off failing segments.
+func (s *Store) putLocked(key uint64, value []byte) error {
+	record := s.encode(key, value)
+
+	oldAddr := -1
+	if old, ok := s.tree.Get(key); ok {
+		oldAddr = int(old)
+	}
+	if s.opts.Placement == PlaceArbitrary {
+		return s.putArbitraryLocked(key, record, oldAddr)
+	}
+
+	cluster, err := s.mgr.Current().PredictBytes(record)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		addr, servedBy, ok := s.pool.Get(cluster)
+		if !ok {
+			return s.noSpaceErrLocked()
+		}
+		if servedBy != cluster {
+			s.stats.Fallbacks++
+		}
+		werr := s.writeRecordLocked(addr, record)
+		if werr == nil {
+			s.tree.Put(key, int64(addr))
+			if oldAddr >= 0 {
+				s.retireOrRecycleOldLocked(oldAddr)
+			}
+			return nil
+		}
+		if s.opts.DisableRetirement || !errors.Is(werr, ErrWornOut) || attempt >= s.opts.PutRetries {
+			return werr
+		}
+		s.retireLocked(addr)
+	}
+}
+
+// putArbitraryLocked is the arbitrary-placement path: update in place when
+// the key exists, otherwise take any free segment. Worn segments are still
+// retired and the write relocated, so the baseline policy keeps its
+// correctness (it pays for in-place churn with lifetime instead).
+func (s *Store) putArbitraryLocked(key uint64, record []byte, oldAddr int) error {
+	addr := oldAddr
+	for attempt := 0; ; attempt++ {
+		if addr < 0 {
+			a, _, ok := s.pool.Get(0) // any cluster; pool falls back across all
+			if !ok {
+				return s.noSpaceErrLocked()
+			}
+			addr = a
+		}
+		werr := s.writeRecordLocked(addr, record)
+		if werr == nil {
+			s.tree.Put(key, int64(addr))
+			return nil
+		}
+		if s.opts.DisableRetirement || !errors.Is(werr, ErrWornOut) || attempt >= s.opts.PutRetries {
+			return werr
+		}
+		// A failed in-place update either corrupted the old record's CRC in
+		// place or left it intact with a lower sequence number than the
+		// replacement — recovery handles both.
+		s.retireLocked(addr)
+		addr = -1
+	}
+}
+
+// writeRecordLocked lays the record over segment addr's current content
+// (Algorithm 1 line 3: the untouched tail keeps its previous bits, so the
+// differential write flips record bits only) and persists it. Callers hold
+// s.mu.
+func (s *Store) writeRecordLocked(addr int, record []byte) error {
+	img := s.segScratchLocked()
+	if err := s.dev.PeekInto(addr, img); err != nil {
+		return err
+	}
+	copy(img[:len(record)], record)
+	return s.writeSegmentLocked(addr, img)
+}
+
+// retireOrRecycleOldLocked invalidates a superseded record and recycles
+// its segment — or retires the segment when the invalidation write reveals
+// worn cells. The replacement record is already persisted and indexed; a
+// stale copy that cannot be invalidated loses to it by sequence number
+// during recovery. Callers hold s.mu.
+func (s *Store) retireOrRecycleOldLocked(oldAddr int) {
+	if err := s.invalidateLocked(oldAddr); err != nil {
+		if errors.Is(err, ErrWornOut) && !s.opts.DisableRetirement {
+			s.retireLocked(oldAddr)
+		}
+		return
+	}
+	s.recycleLocked(oldAddr)
+}
+
+// retireLocked permanently removes a segment from circulation. Callers
+// hold s.mu.
+func (s *Store) retireLocked(addr int) bool {
+	if !s.pool.Retire(addr) { // lint:allow hotpathalloc — retirement is the cold wear-out path
+		return false
+	}
+	s.stats.Retired++
+	return true
+}
+
+// noSpaceErrLocked reports an allocation failure, escalating to
+// ErrDegraded with live-capacity figures once retirement crosses the
+// configured threshold. Callers hold s.mu.
+func (s *Store) noSpaceErrLocked() error {
+	retired := s.pool.RetiredCount()
+	if float64(retired) >= s.opts.DegradeThreshold*float64(s.dataSegs) {
+		return fmt.Errorf("%w: %d of %d data segments retired, %d live keys, %d pooled",
+			ErrDegraded, retired, s.dataSegs, s.tree.Len(), s.pool.Free())
+	}
+	return ErrNoSpace
 }
 
 // invalidateLocked resets a record's valid flag (a one-bit differential
@@ -485,17 +610,35 @@ func (s *Store) invalidateLocked(addr int) error {
 }
 
 // writeSegmentLocked persists one segment image, through a redo-log
-// transaction in crash-safe mode. Callers hold s.mu.
+// transaction in crash-safe mode, and verifies it took: a write that left
+// stuck cells disagreeing with the image reports ErrWornOut. Callers hold
+// s.mu.
 func (s *Store) writeSegmentLocked(addr int, img []byte) error {
 	if s.txnMgr == nil {
-		_, err := s.dev.Write(addr, img)
-		return err
+		res, err := s.dev.Write(addr, img)
+		if err != nil {
+			if errors.Is(err, ErrWornOut) {
+				s.stats.WornWrites++
+			}
+			return err
+		}
+		if res.FaultyBits > 0 {
+			s.stats.WornWrites++
+			return fmt.Errorf("kvstore: write left %d faulty bits at segment %d: %w", res.FaultyBits, addr, ErrWornOut)
+		}
+		return nil
 	}
 	tx := s.txnMgr.Begin()
 	if err := tx.Write(addr, img); err != nil {
 		return err
 	}
-	return tx.Commit()
+	if err := tx.Commit(); err != nil {
+		if errors.Is(err, ErrWornOut) {
+			s.stats.WornWrites++
+		}
+		return err
+	}
+	return nil
 }
 
 // recycleLocked returns segment addr to the pool under the cluster of its
@@ -572,11 +715,15 @@ func (s *Store) readValueLocked(addr int) ([]byte, error) {
 	if seg[0]&1 == 0 {
 		return nil, fmt.Errorf("kvstore: segment %d flagged invalid: %w", addr, ErrCorrupt)
 	}
-	n := int(binary.LittleEndian.Uint16(seg[1:]))
+	n := int(binary.LittleEndian.Uint16(seg[recLenOff:]))
 	if n > len(seg)-valueHeader {
 		return nil, fmt.Errorf("kvstore: corrupt length %d at segment %d: %w", n, addr, ErrCorrupt)
 	}
-	return seg[valueHeader : valueHeader+n], nil
+	rec := seg[:valueHeader+n]
+	if binary.LittleEndian.Uint32(rec[recCRCOff:]) != recordCRC(rec) {
+		return nil, fmt.Errorf("kvstore: CRC mismatch at segment %d: %w", addr, ErrCorrupt)
+	}
+	return rec[valueHeader:], nil
 }
 
 // Delete implements the paper's Algorithm 2: find the address via the
@@ -593,11 +740,34 @@ func (s *Store) Delete(key uint64) (bool, error) {
 	}
 	addr := int(addrV)
 	if err := s.invalidateLocked(addr); err != nil {
+		if errors.Is(err, ErrWornOut) && !s.opts.DisableRetirement {
+			// The flag cell no longer clears: take the segment out of
+			// circulation and shred the stale record so a future Recover
+			// cannot resurrect the deleted key.
+			s.retireLocked(addr)
+			s.shredLocked(addr)
+			s.stats.Deletes++
+			return true, nil
+		}
 		return false, err
 	}
 	s.recycleLocked(addr)
 	s.stats.Deletes++
 	return true, nil
+}
+
+// shredLocked overwrites a retired segment with zeros, best-effort: even on
+// a worn segment the non-stuck cells are programmed, which is enough to
+// break a stale record's CRC so recovery treats the segment as free.
+// Callers hold s.mu.
+func (s *Store) shredLocked(addr int) {
+	img := s.segScratchLocked()
+	for i := range img {
+		img[i] = 0
+	}
+	if err := s.writeSegmentLocked(addr, img); err != nil {
+		return // the segment is already retired; nothing more to do
+	}
 }
 
 // Scan calls fn for each key in [lo, hi] in ascending key order with its
@@ -636,6 +806,110 @@ func (s *Store) Stats() Stats {
 	st := s.stats
 	st.Retrains = s.mgr.Retrains()
 	return st
+}
+
+// Health is a live-capacity snapshot of the store.
+type Health struct {
+	DataSegments int  // segments in the data zone
+	Retired      int  // segments permanently out of circulation
+	LiveKeys     int  // records reachable through the index
+	PoolFree     int  // free segments available for placement
+	Degraded     bool // retirement has crossed Options.DegradeThreshold
+}
+
+// Health reports how much of the store's capacity is still serviceable.
+func (s *Store) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	retired := s.pool.RetiredCount()
+	return Health{
+		DataSegments: s.dataSegs,
+		Retired:      retired,
+		LiveKeys:     s.tree.Len(),
+		PoolFree:     s.pool.Free(),
+		Degraded:     float64(retired) >= s.opts.DegradeThreshold*float64(s.dataSegs),
+	}
+}
+
+// ScrubReport summarizes one incremental Scrub pass.
+type ScrubReport struct {
+	Scanned   int // segments examined
+	Relocated int // live records moved off failing segments
+	Retired   int // segments newly taken out of circulation
+	Lost      int // indexed records whose data is already unrecoverable
+}
+
+// Scrub examines up to n segments, continuing round-robin from where the
+// previous call stopped. A live record on a segment with stuck or fenced
+// cells is relocated to a healthy segment and the old one retired; a
+// faulty segment holding no live record is retired on sight; an indexed
+// record that no longer passes its CRC is counted as lost (reads keep
+// returning ErrCorrupt for it — the store never serves corrupt bytes as
+// data). Run it periodically to catch damage before it spreads: stuck
+// cells corrupt lazily, on the next overwrite or wear-leveling move.
+func (s *Store) Scrub(n int) (ScrubReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep ScrubReport
+	for i := 0; i < n && s.indexed > 0; i++ {
+		addr := s.scrubCursor % s.indexed
+		s.scrubCursor = addr + 1
+		rep.Scanned++
+		if s.pool.IsRetired(addr) {
+			continue
+		}
+		stuck, failed, err := s.dev.SegmentFaults(addr)
+		if err != nil {
+			return rep, err
+		}
+		faulty := stuck > 0 || failed
+		img := s.scrubBufLocked()
+		if err := s.dev.PeekInto(addr, img); err != nil {
+			return rep, err
+		}
+		key, _, value, ok := parseRecord(img)
+		if ok {
+			if a, live := s.tree.Get(key); live && int(a) == addr {
+				if !faulty {
+					continue // healthy live record
+				}
+				// Relocate, then retire. putLocked supersedes the copy at
+				// addr (invalidating and recycling it); retiring pulls the
+				// address back out of the pool for good.
+				if err := s.putLocked(key, value); err != nil {
+					return rep, err
+				}
+				if s.retireLocked(addr) {
+					rep.Retired++
+				}
+				s.stats.Relocations++
+				rep.Relocated++
+				continue
+			}
+		} else if img[0]&1 == 1 {
+			// Flagged valid but unparsable: if the index still points here,
+			// the record's data is gone.
+			if nlen := int(binary.LittleEndian.Uint16(img[recLenOff:])); nlen <= len(img)-valueHeader {
+				k := binary.LittleEndian.Uint64(img[recKeyOff:])
+				if a, live := s.tree.Get(k); live && int(a) == addr {
+					rep.Lost++
+				}
+			}
+		}
+		if faulty && s.retireLocked(addr) {
+			rep.Retired++
+		}
+	}
+	return rep, nil
+}
+
+// scrubBufLocked returns Scrub's staging buffer (distinct from segBuf,
+// which putLocked needs while Scrub relocates). Callers hold s.mu.
+func (s *Store) scrubBufLocked() []byte {
+	if cap(s.scrubBuf) < s.dev.SegmentSize() {
+		s.scrubBuf = make([]byte, s.dev.SegmentSize())
+	}
+	return s.scrubBuf[:s.dev.SegmentSize()]
 }
 
 // NeedsRetrain reports whether any cluster's free list is at or below the
@@ -745,30 +1019,74 @@ func RecoverWith(dev *nvm.Device, model *core.Model, opts Options) (*Store, erro
 	if err := s.pool.Reset(model.K()); err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.indexed = s.dataSegs
+	// A record is recognized by its set valid flag, parsable length, and
+	// matching CRC; everything else — pre-use garbage, torn writes,
+	// cell-corrupted records — is treated as free space.
+	seqOf := map[uint64]uint32{}
+	var stale []int
+	var maxSeq uint32
+	haveSeq := false
 	for addr := 0; addr < s.dataSegs; addr++ {
+		if _, failed, ferr := dev.SegmentFaults(addr); ferr != nil {
+			return nil, ferr
+		} else if failed {
+			// A fenced segment refuses every write, so a record on it can
+			// be neither invalidated nor shredded — trusting it would let a
+			// deleted key resurrect. Retire it instead of re-indexing.
+			if !opts.DisableRetirement {
+				s.retireLocked(addr)
+			}
+			continue
+		}
 		img, err := dev.Peek(addr)
 		if err != nil {
 			return nil, err
 		}
-		// A record is recognized by a set valid flag AND a parsable
-		// length. Segments holding pre-use garbage that happens to have
-		// the flag bit set but an out-of-range length are treated as
-		// free (formatting the data zone before first use avoids even
-		// the residual ambiguity).
-		if n := int(binary.LittleEndian.Uint16(img[1:])); img[0]&1 == 1 && n <= len(img)-valueHeader {
-			key := binary.LittleEndian.Uint64(img[3:])
-			if _, dup := s.tree.Get(key); dup {
-				return nil, fmt.Errorf("kvstore: duplicate valid record for key %d at segment %d: %w", key, addr, ErrCorrupt)
+		key, seq, _, ok := parseRecord(img)
+		if !ok {
+			c, err := model.PredictBytes(img)
+			if err != nil {
+				return nil, err
 			}
-			s.tree.Put(key, int64(addr))
+			s.pool.Add(c, addr)
 			continue
 		}
-		c, err := model.PredictBytes(img)
-		if err != nil {
-			return nil, err
+		if !haveSeq || seqAfter(seq, maxSeq) {
+			maxSeq, haveSeq = seq, true
 		}
-		s.pool.Add(c, addr)
+		if oldA, dup := s.tree.Get(key); dup {
+			// Two valid records for one key: a Put persisted its
+			// replacement but did not get to invalidate the old copy
+			// (crash in between, or a worn segment refusing the flag
+			// write). The higher sequence number is the live record.
+			loser := addr
+			if seqAfter(seq, seqOf[key]) {
+				loser = int(oldA)
+				s.tree.Put(key, int64(addr))
+				seqOf[key] = seq
+			}
+			stale = append(stale, loser)
+			continue
+		}
+		s.tree.Put(key, int64(addr))
+		seqOf[key] = seq
+	}
+	// Invalidate the stale copies (best-effort: worn segments may refuse
+	// and are then retired) and return them to circulation.
+	for _, addr := range stale {
+		if err := s.invalidateLocked(addr); err != nil {
+			if errors.Is(err, ErrWornOut) && !opts.DisableRetirement {
+				s.retireLocked(addr)
+			}
+			continue
+		}
+		s.recycleLocked(addr)
+	}
+	if haveSeq {
+		s.seq = maxSeq + 1
 	}
 	return s, nil
 }

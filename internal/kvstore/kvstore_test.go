@@ -39,7 +39,7 @@ func TestOpenPopulatesPool(t *testing.T) {
 	if s.Model().K() != 3 {
 		t.Fatalf("K = %d, want 3", s.Model().K())
 	}
-	if s.MaxValue() != 32-11 {
+	if s.MaxValue() != 32-19 {
 		t.Fatalf("MaxValue = %d", s.MaxValue())
 	}
 }
@@ -193,7 +193,7 @@ func TestPlacementString(t *testing.T) {
 // under E2-NVM placement than under arbitrary placement.
 func TestE2NVMPlacementReducesFlips(t *testing.T) {
 	run := func(p Placement) uint64 {
-		segSize := 16
+		segSize := 32
 		numSegs := 256
 		dev, err := nvm.NewDevice(nvm.DefaultConfig(segSize, numSegs))
 		if err != nil {
@@ -227,7 +227,7 @@ func TestE2NVMPlacementReducesFlips(t *testing.T) {
 		// Write a mixture of sparse and dense values.
 		wr := rand.New(rand.NewSource(6))
 		for k := uint64(0); k < 128; k++ {
-			v := make([]byte, segSize-11)
+			v := make([]byte, segSize-19)
 			if k%2 == 0 {
 				for i := range v {
 					v[i] = byte(wr.Intn(4))
@@ -440,7 +440,7 @@ func TestIncrementalIndexingSurvivesRetrain(t *testing.T) {
 }
 
 func TestAutoRetrainFires(t *testing.T) {
-	dev, err := nvm.NewDevice(nvm.DefaultConfig(16, 24))
+	dev, err := nvm.NewDevice(nvm.DefaultConfig(32, 24))
 	if err != nil {
 		t.Fatal(err)
 	}

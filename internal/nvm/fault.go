@@ -1,0 +1,205 @@
+// Cell wear-out fault model.
+//
+// PCM cells survive ~1e8 writes; after that they fail as stuck-at faults:
+// the cell keeps returning the last value it held and no longer responds to
+// programming pulses (Longofono et al., "Virtual Coset Coding"). The device
+// models this two ways:
+//
+//   - probabilistically: with Config.Fault.ProbPerWrite > 0, every write to
+//     a segment whose write count has passed OnsetFraction·EnduranceWrites
+//     may stick cells at their just-written values, with probability ramping
+//     linearly up to ProbPerWrite at full wear — all driven by a private
+//     RNG seeded from Config.Fault.Seed, so runs are reproducible;
+//   - deterministically: InjectStuckAt pins one named cell at its current
+//     value and FailSegment fences a whole segment, for tests and sweeps.
+//
+// A stuck cell never silently changes stored data — corruption appears only
+// when a later write tries to flip it. Write reports the mismatch in
+// WriteResult.FaultyBits, and with Config.VerifyWrites it also returns
+// ErrWornOut, modeling a controller that reads back after programming.
+// Reads always serve the true (possibly corrupt) cell contents; the layers
+// above are responsible for detecting damage (CRC) and retiring segments.
+//
+// Faults live with *physical* slots: a start-gap move does not carry a bad
+// cell along with the logical address, and data moved onto a stuck cell by
+// the wear-leveling unit can be corrupted in place — exactly the hazard the
+// kvstore's Scrub pass exists to catch.
+package nvm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrWornOut is returned by Write for a failed segment, and — when
+// Config.VerifyWrites is set — for any write whose readback does not match
+// the requested data because of stuck cells.
+var ErrWornOut = errors.New("nvm: segment worn out")
+
+// FaultConfig controls the probabilistic wear-out model. The zero value
+// disables it; deterministic injection (InjectStuckAt, FailSegment) works
+// regardless.
+type FaultConfig struct {
+	// Seed seeds the device's private fault RNG. Same seed + same write
+	// sequence = same faults.
+	Seed int64
+	// ProbPerWrite is the per-write probability of a fault event once a
+	// segment reaches its full endurance budget. Below
+	// OnsetFraction·EnduranceWrites the probability is zero; in between it
+	// ramps linearly. 0 disables probabilistic faults.
+	ProbPerWrite float64
+	// OnsetFraction is the fraction of EnduranceWrites at which faults may
+	// begin to fire (default 0.85).
+	OnsetFraction float64
+	// BitsPerFault is how many cells stick per fault event (default 1).
+	BitsPerFault int
+}
+
+func (f *FaultConfig) validate() error {
+	if f.ProbPerWrite < 0 || f.ProbPerWrite > 1 {
+		return fmt.Errorf("nvm: Fault.ProbPerWrite %v outside [0,1]: %w", f.ProbPerWrite, ErrBadConfig)
+	}
+	if f.OnsetFraction == 0 {
+		f.OnsetFraction = 0.85
+	}
+	if f.OnsetFraction < 0 || f.OnsetFraction >= 1 {
+		return fmt.Errorf("nvm: Fault.OnsetFraction %v outside [0,1): %w", f.OnsetFraction, ErrBadConfig)
+	}
+	if f.BitsPerFault <= 0 {
+		f.BitsPerFault = 1
+	}
+	return nil
+}
+
+// ensureFaultState lazily allocates the per-physical-slot stuck-cell maps so
+// fault-free devices pay nothing.
+func (d *Device) ensureFaultState() {
+	if d.stuckMask == nil {
+		d.stuckMask = make([][]byte, d.cfg.NumSegments+1)
+		d.stuckVal = make([][]byte, d.cfg.NumSegments+1)
+	}
+}
+
+// slotStuck returns (allocating if needed) the stuck mask/value planes of
+// one physical slot.
+func (d *Device) slotStuck(phys int) (mask, val []byte) {
+	d.ensureFaultState()
+	mask, val = d.stuckMask[phys], d.stuckVal[phys]
+	if mask == nil {
+		mask = make([]byte, d.cfg.SegmentSize)
+		val = make([]byte, d.cfg.SegmentSize)
+		d.stuckMask[phys], d.stuckVal[phys] = mask, val
+	}
+	return mask, val
+}
+
+// applyStuck forces dst's stuck cells back to their stuck values and returns
+// how many of them now disagree with the data the caller wanted stored.
+func applyStuck(dst, want, mask, val []byte) int {
+	faulty := 0
+	for i, m := range mask {
+		if m == 0 {
+			continue
+		}
+		dst[i] = (dst[i] &^ m) | (val[i] & m)
+		faulty += onesCount8((dst[i] ^ want[i]) & m)
+	}
+	return faulty
+}
+
+// maybeWearFault is called (under d.mu) after each write with the segment's
+// freshly written physical content. Once wear passes the onset fraction it
+// may stick BitsPerFault cells at their just-written values — so the damage
+// surfaces only on a later write that tries to flip them.
+func (d *Device) maybeWearFault(addr, phys int, content []byte) {
+	f := &d.cfg.Fault
+	wear := float64(d.segWrites[addr]) / d.cfg.EnduranceWrites
+	if wear < f.OnsetFraction {
+		return
+	}
+	ramp := (wear - f.OnsetFraction) / (1 - f.OnsetFraction)
+	if ramp > 1 {
+		ramp = 1
+	}
+	if d.rng.Float64() >= f.ProbPerWrite*ramp {
+		return
+	}
+	mask, val := d.slotStuck(phys)
+	for n := 0; n < f.BitsPerFault; n++ {
+		bit := d.rng.Intn(d.cfg.SegmentSize * 8)
+		byi, m := bit>>3, byte(1)<<uint(bit&7)
+		if mask[byi]&m != 0 {
+			continue // that cell is already stuck
+		}
+		mask[byi] |= m
+		val[byi] = (val[byi] &^ m) | (content[byi] & m)
+		d.stats.StuckBits++
+	}
+	d.stats.FaultEvents++
+}
+
+// InjectStuckAt deterministically sticks one cell of segment addr at its
+// current value. bit indexes the segment's bits ([0, SegmentSize*8)). The
+// fault attaches to the physical slot currently backing addr.
+func (d *Device) InjectStuckAt(addr, bit int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if addr < 0 || addr >= d.cfg.NumSegments {
+		return fmt.Errorf("%w: %d", ErrBadAddress, addr)
+	}
+	if bit < 0 || bit >= d.cfg.SegmentSize*8 {
+		return fmt.Errorf("nvm: stuck-at bit %d outside [0,%d): %w", bit, d.cfg.SegmentSize*8, ErrBadAddress)
+	}
+	phys := d.physIndex(addr)
+	mask, val := d.slotStuck(phys)
+	byi, m := bit>>3, byte(1)<<uint(bit&7)
+	if mask[byi]&m != 0 {
+		return nil // already stuck
+	}
+	mask[byi] |= m
+	cur := d.segBytes(phys)[byi] & m
+	val[byi] = (val[byi] &^ m) | cur
+	d.stats.StuckBits++
+	d.stats.FaultEvents++
+	return nil
+}
+
+// FailSegment fences the physical slot currently backing segment addr:
+// every subsequent Write to it returns ErrWornOut. Reads still serve the
+// stored content (the cells hold their last values; the controller just
+// refuses to program them).
+func (d *Device) FailSegment(addr int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if addr < 0 || addr >= d.cfg.NumSegments {
+		return fmt.Errorf("%w: %d", ErrBadAddress, addr)
+	}
+	if d.failedSeg == nil {
+		d.failedSeg = make([]bool, d.cfg.NumSegments+1)
+	}
+	phys := d.physIndex(addr)
+	if !d.failedSeg[phys] {
+		d.failedSeg[phys] = true
+		d.stats.FailedSegments++
+	}
+	return nil
+}
+
+// SegmentFaults reports the fault state of the physical slot currently
+// backing segment addr: how many of its cells are stuck, and whether the
+// whole segment has been fenced.
+func (d *Device) SegmentFaults(addr int) (stuckBits int, failed bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if addr < 0 || addr >= d.cfg.NumSegments {
+		return 0, false, fmt.Errorf("%w: %d", ErrBadAddress, addr)
+	}
+	phys := d.physIndex(addr)
+	if d.stuckMask != nil && d.stuckMask[phys] != nil {
+		for _, m := range d.stuckMask[phys] {
+			stuckBits += onesCount8(m)
+		}
+	}
+	failed = d.failedSeg != nil && d.failedSeg[phys]
+	return stuckBits, failed, nil
+}

@@ -1,0 +1,254 @@
+package nvm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func faultDevice(t *testing.T, cfg Config) *Device {
+	t.Helper()
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestInjectStuckAtNeverChangesStoredData(t *testing.T) {
+	d := faultDevice(t, DefaultConfig(32, 4))
+	data := bytes.Repeat([]byte{0xa5}, 32)
+	if _, err := d.Write(1, data); err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < 32*8; bit += 7 {
+		if err := d.InjectStuckAt(1, bit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := d.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("stuck-at injection changed stored data: %x != %x", got, data)
+	}
+}
+
+func TestStuckCellCorruptsLaterWrite(t *testing.T) {
+	d := faultDevice(t, DefaultConfig(32, 4))
+	zero := make([]byte, 32)
+	if _, err := d.Write(2, zero); err != nil {
+		t.Fatal(err)
+	}
+	// Bit 0 of byte 0 sticks at 0; writing a 1 there must not take.
+	if err := d.InjectStuckAt(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	ones := bytes.Repeat([]byte{0xff}, 32)
+	res, err := d.Write(2, ones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultyBits != 1 {
+		t.Fatalf("FaultyBits = %d, want 1", res.FaultyBits)
+	}
+	got, err := d.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xfe {
+		t.Fatalf("byte 0 = %#x, want 0xfe (bit 0 stuck at 0)", got[0])
+	}
+	if !bytes.Equal(got[1:], ones[1:]) {
+		t.Fatal("bytes beyond the stuck cell were corrupted")
+	}
+	if s := d.Stats(); s.FaultyWrites != 1 || s.StuckBits != 1 {
+		t.Fatalf("stats = %+v, want FaultyWrites=1 StuckBits=1", s)
+	}
+}
+
+func TestVerifyWritesReturnsWornOut(t *testing.T) {
+	cfg := DefaultConfig(32, 4)
+	cfg.VerifyWrites = true
+	d := faultDevice(t, cfg)
+	if _, err := d.Write(0, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectStuckAt(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Writing the same value back matches the stuck cell: no error.
+	if _, err := d.Write(0, make([]byte, 32)); err != nil {
+		t.Fatalf("write agreeing with stuck cell failed: %v", err)
+	}
+	res, err := d.Write(0, bytes.Repeat([]byte{0xff}, 32))
+	if !errors.Is(err, ErrWornOut) {
+		t.Fatalf("verify write err = %v, want ErrWornOut", err)
+	}
+	if res.FaultyBits != 1 {
+		t.Fatalf("FaultyBits = %d, want 1", res.FaultyBits)
+	}
+}
+
+func TestFailSegment(t *testing.T) {
+	d := faultDevice(t, DefaultConfig(32, 4))
+	data := bytes.Repeat([]byte{0x3c}, 32)
+	if _, err := d.Write(3, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailSegment(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Write(3, make([]byte, 32)); !errors.Is(err, ErrWornOut) {
+		t.Fatalf("write to failed segment err = %v, want ErrWornOut", err)
+	}
+	// Reads still serve the last stored content.
+	got, err := d.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("failed segment lost its content")
+	}
+	_, failed, err := d.SegmentFaults(3)
+	if err != nil || !failed {
+		t.Fatalf("SegmentFaults = (failed=%v, %v), want failed=true", failed, err)
+	}
+	if s := d.Stats(); s.FailedSegments != 1 || s.FaultyWrites != 1 {
+		t.Fatalf("stats = %+v, want FailedSegments=1 FaultyWrites=1", s)
+	}
+}
+
+func TestWearFaultsFireNearEndurance(t *testing.T) {
+	cfg := DefaultConfig(32, 2)
+	cfg.EnduranceWrites = 100
+	cfg.Fault = FaultConfig{Seed: 7, ProbPerWrite: 0.5, OnsetFraction: 0.5, BitsPerFault: 2}
+	d := faultDevice(t, cfg)
+	a := make([]byte, 32)
+	b := bytes.Repeat([]byte{0xff}, 32)
+	for i := 0; i < 200; i++ {
+		buf := a
+		if i%2 == 1 {
+			buf = b
+		}
+		if _, err := d.Write(0, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.FaultEvents == 0 || s.StuckBits == 0 {
+		t.Fatalf("no wear faults after 2x endurance: %+v", s)
+	}
+	if s.FaultyWrites == 0 {
+		t.Fatal("alternating writes over stuck cells never reported FaultyBits")
+	}
+	// The untouched segment stays pristine.
+	if stuck, failed, err := d.SegmentFaults(1); err != nil || stuck != 0 || failed {
+		t.Fatalf("idle segment has faults: stuck=%d failed=%v err=%v", stuck, failed, err)
+	}
+}
+
+func TestWearFaultsBeforeOnsetNeverFire(t *testing.T) {
+	cfg := DefaultConfig(32, 2)
+	cfg.EnduranceWrites = 1000
+	cfg.Fault = FaultConfig{Seed: 1, ProbPerWrite: 1, OnsetFraction: 0.9}
+	d := faultDevice(t, cfg)
+	for i := 0; i < 800; i++ { // stays below 0.9 * 1000
+		if _, err := d.Write(0, make([]byte, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := d.Stats(); s.FaultEvents != 0 {
+		t.Fatalf("faults fired below the onset fraction: %+v", s)
+	}
+}
+
+func TestWearFaultsDeterministicBySeed(t *testing.T) {
+	run := func() Stats {
+		cfg := DefaultConfig(32, 2)
+		cfg.EnduranceWrites = 50
+		cfg.Fault = FaultConfig{Seed: 42, ProbPerWrite: 0.3, OnsetFraction: 0.5}
+		d := faultDevice(t, cfg)
+		a := make([]byte, 32)
+		b := bytes.Repeat([]byte{0x55}, 32)
+		for i := 0; i < 120; i++ {
+			buf := a
+			if i%2 == 1 {
+				buf = b
+			}
+			if _, err := d.Write(i%2, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d.Stats()
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Fatalf("same seed, different fault streams:\n%+v\n%+v", s1, s2)
+	}
+	if s1.FaultEvents == 0 {
+		t.Fatal("determinism test exercised no faults")
+	}
+}
+
+func TestInjectionValidation(t *testing.T) {
+	d := faultDevice(t, DefaultConfig(32, 4))
+	if err := d.InjectStuckAt(-1, 0); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("InjectStuckAt(-1, 0) = %v, want ErrBadAddress", err)
+	}
+	if err := d.InjectStuckAt(0, 32*8); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("InjectStuckAt(0, 256) = %v, want ErrBadAddress", err)
+	}
+	if err := d.FailSegment(4); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("FailSegment(4) = %v, want ErrBadAddress", err)
+	}
+	if _, _, err := d.SegmentFaults(-2); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("SegmentFaults(-2) = %v, want ErrBadAddress", err)
+	}
+	bad := DefaultConfig(32, 4)
+	bad.Fault.ProbPerWrite = 1.5
+	if _, err := NewDevice(bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("ProbPerWrite=1.5 accepted: %v", err)
+	}
+	bad = DefaultConfig(32, 4)
+	bad.Fault.OnsetFraction = 1
+	bad.Fault.ProbPerWrite = 0.1
+	if _, err := NewDevice(bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("OnsetFraction=1 accepted: %v", err)
+	}
+}
+
+// TestWearLevelStatsConsistent pins the fix for the stats bug where
+// wear-leveling energy was added to res.EnergyPJ after the cumulative
+// accounting (undercounting Stats().EnergyPJ) and the start-gap move charged
+// no latency at all.
+func TestWearLevelStatsConsistent(t *testing.T) {
+	cfg := DefaultConfig(64, 4)
+	cfg.WearLevelPeriod = 1 // every write triggers a move
+	d := faultDevice(t, cfg)
+	var sumEnergy, sumLatency float64
+	for i := 0; i < 5; i++ {
+		res, err := d.Write(i%4, bytes.Repeat([]byte{byte(0x11 * i)}, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.WearLevelOps != 1 {
+			t.Fatalf("write %d: WearLevelOps = %d, want 1", i, res.WearLevelOps)
+		}
+		// The move itself costs a base write plus one line per segment line.
+		minWL := cfg.WriteBaseLatencyNs + cfg.WriteLineLatencyNs
+		if res.LatencyNs < cfg.WriteBaseLatencyNs+minWL {
+			t.Fatalf("write %d: LatencyNs = %v does not include the WL move", i, res.LatencyNs)
+		}
+		sumEnergy += res.EnergyPJ
+		sumLatency += res.LatencyNs
+	}
+	s := d.Stats()
+	if s.EnergyPJ != sumEnergy {
+		t.Fatalf("Stats().EnergyPJ = %v, sum of WriteResults = %v", s.EnergyPJ, sumEnergy)
+	}
+	if s.WriteLatencyNs != sumLatency {
+		t.Fatalf("Stats().WriteLatencyNs = %v, sum of WriteResults = %v", s.WriteLatencyNs, sumLatency)
+	}
+}

@@ -65,8 +65,18 @@ type Config struct {
 	TrackBitWear bool
 
 	// EnduranceWrites is the per-cell write endurance budget used by
-	// lifetime estimates (default 1e8).
+	// lifetime estimates and the wear-out fault model (default 1e8).
 	EnduranceWrites float64
+
+	// Fault configures probabilistic cell wear-out (see fault.go). The zero
+	// value disables it.
+	Fault FaultConfig
+
+	// VerifyWrites models a controller that reads back after programming:
+	// when a write leaves stuck cells disagreeing with the requested data,
+	// Write returns ErrWornOut (the WriteResult still reports the cost and
+	// FaultyBits). Without it, callers must inspect WriteResult.FaultyBits.
+	VerifyWrites bool
 }
 
 // DefaultConfig returns the cost-model defaults described in DESIGN.md §6
@@ -122,7 +132,7 @@ func (c *Config) validate() error {
 	if c.EnduranceWrites == 0 {
 		c.EnduranceWrites = 1e8
 	}
-	return nil
+	return c.Fault.validate()
 }
 
 // ErrBadAddress is returned for out-of-range segment addresses.
@@ -144,6 +154,7 @@ type WriteResult struct {
 	EnergyPJ     float64 // energy charged for this operation
 	LatencyNs    float64 // modeled device latency
 	WearLevelOps int     // segment moves triggered by the wear-leveling unit
+	FaultyBits   int     // stuck cells left disagreeing with the written data
 }
 
 // Stats is a snapshot of cumulative device activity.
@@ -161,6 +172,10 @@ type Stats struct {
 	WriteLatencyNs   float64
 	ReadLatencyNs    float64
 	MaxSegmentWrites uint64
+	FaultEvents      uint64 // wear-out events (probabilistic or injected)
+	StuckBits        uint64 // total cells currently stuck device-wide
+	FailedSegments   uint64 // segments fenced by FailSegment
+	FaultyWrites     uint64 // writes that left FaultyBits > 0 or hit a failed segment
 }
 
 // Device is a simulated PCM device.
@@ -179,6 +194,13 @@ type Device struct {
 	start         int
 	writesSinceWL int
 
+	// Fault state, all indexed by physical slot (NumSegments+1 entries) and
+	// lazily allocated so fault-free devices pay nothing. See fault.go.
+	rng       *rand.Rand // private fault RNG, nil when wear faults are off
+	stuckMask [][]byte   // per slot: bitmask of stuck cells (nil = none)
+	stuckVal  [][]byte   // per slot: the values those cells are stuck at
+	failedSeg []bool     // per slot: fenced by FailSegment
+
 	stats Stats
 }
 
@@ -195,6 +217,9 @@ func NewDevice(cfg Config) (*Device, error) {
 	}
 	if cfg.TrackBitWear {
 		d.bitWear = make([]uint32, cfg.NumSegments*cfg.SegmentSize*8)
+	}
+	if cfg.Fault.ProbPerWrite > 0 {
+		d.rng = rand.New(rand.NewSource(cfg.Fault.Seed))
 	}
 	return d, nil
 }
@@ -325,7 +350,12 @@ func (d *Device) write(addr int, data []byte, differential bool) (WriteResult, e
 	if len(data) != d.cfg.SegmentSize {
 		return res, fmt.Errorf("nvm: write of %d bytes to %d-byte segment: %w", len(data), d.cfg.SegmentSize, ErrSegmentSize)
 	}
-	dst := d.segBytes(d.physIndex(addr))
+	phys := d.physIndex(addr)
+	if d.failedSeg != nil && d.failedSeg[phys] {
+		d.stats.FaultyWrites++
+		return res, fmt.Errorf("nvm: write to failed segment %d: %w", addr, ErrWornOut)
+	}
+	dst := d.segBytes(phys)
 
 	cl := d.cfg.CacheLineSize
 	for off := 0; off < len(data); off += cl {
@@ -364,6 +394,14 @@ func (d *Device) write(addr int, data []byte, differential bool) (WriteResult, e
 	}
 	res.BitsWritten = len(data) * 8
 
+	// Stuck cells ignore the programming pulse and keep their value; any
+	// that now disagree with the requested data are the write's fault bits.
+	if d.stuckMask != nil {
+		if mask := d.stuckMask[phys]; mask != nil {
+			res.FaultyBits = applyStuck(dst, data, mask, d.stuckVal[phys])
+		}
+	}
+
 	res.EnergyPJ = float64(res.BitsFlipped)*d.cfg.WriteEnergyPerBitPJ + d.cfg.AccessOverheadPJ
 	res.LatencyNs = d.cfg.WriteBaseLatencyNs + float64(res.LinesWritten)*d.cfg.WriteLineLatencyNs
 
@@ -371,6 +409,24 @@ func (d *Device) write(addr int, data []byte, differential bool) (WriteResult, e
 	if d.segWrites[addr] > d.stats.MaxSegmentWrites {
 		d.stats.MaxSegmentWrites = d.segWrites[addr]
 	}
+	if d.rng != nil {
+		d.maybeWearFault(addr, phys, dst) // lint:allow hotpathalloc — fault events only fire on the end-of-life tail
+	}
+
+	// Wear leveling runs (and its costs are folded into res) before the
+	// cumulative counters are updated, so Stats() sees the same energy and
+	// latency the caller is charged.
+	if d.cfg.WearLevelPeriod > 0 {
+		d.writesSinceWL++
+		if d.writesSinceWL >= d.cfg.WearLevelPeriod {
+			d.writesSinceWL = 0
+			wlFlips := d.startGapMove()
+			res.WearLevelOps++
+			res.EnergyPJ += float64(wlFlips) * d.cfg.WriteEnergyPerBitPJ
+			res.LatencyNs += d.cfg.WriteBaseLatencyNs + float64(d.linesPerSegment())*d.cfg.WriteLineLatencyNs
+		}
+	}
+
 	d.stats.Writes++
 	d.stats.BitsFlipped += uint64(res.BitsFlipped)
 	d.stats.BitsWritten += uint64(res.BitsWritten)
@@ -379,13 +435,10 @@ func (d *Device) write(addr int, data []byte, differential bool) (WriteResult, e
 	d.stats.EnergyPJ += res.EnergyPJ
 	d.stats.WriteLatencyNs += res.LatencyNs
 
-	if d.cfg.WearLevelPeriod > 0 {
-		d.writesSinceWL++
-		if d.writesSinceWL >= d.cfg.WearLevelPeriod {
-			d.writesSinceWL = 0
-			wlFlips := d.startGapMove()
-			res.WearLevelOps++
-			res.EnergyPJ += float64(wlFlips) * d.cfg.WriteEnergyPerBitPJ
+	if res.FaultyBits > 0 {
+		d.stats.FaultyWrites++
+		if d.cfg.VerifyWrites {
+			return res, fmt.Errorf("nvm: verify failed at segment %d, %d stuck bits: %w", addr, res.FaultyBits, ErrWornOut)
 		}
 	}
 	return res, nil
@@ -415,26 +468,36 @@ func (d *Device) recordAllBitWear(addr, off, end int) {
 // copy incurred (charged as wear-leveling overhead).
 func (d *Device) startGapMove() int {
 	n := d.cfg.NumSegments + 1
-	victim := d.gapPos - 1
+	gap := d.gapPos
+	victim := gap - 1
 	if victim < 0 {
 		victim = n - 1
 	}
 	src := d.segBytes(victim)
-	dst := d.segBytes(d.gapPos)
+	dst := d.segBytes(gap)
 	flips := 0
 	for i := range src {
 		flips += onesCount8(src[i] ^ dst[i])
 		dst[i] = src[i]
+	}
+	// Stuck cells in the destination slot hold their values through the
+	// copy: the wear-leveling unit can silently corrupt relocated data,
+	// which only the CRC layer above will notice.
+	if d.stuckMask != nil {
+		if mask := d.stuckMask[gap]; mask != nil {
+			applyStuck(dst, src, mask, d.stuckVal[gap])
+		}
 	}
 	d.gapPos = victim
 	if d.gapPos == n-1 {
 		// Gap wrapped all the way around: rotate the start register.
 		d.start = (d.start + 1) % d.cfg.NumSegments
 	}
+	// Energy and latency for the move are charged by the caller (write)
+	// through the WriteResult, so Stats() and res stay consistent.
 	d.stats.WearLevelMoves++
 	d.stats.WearLevelFlips += uint64(flips)
 	d.stats.BitsFlipped += uint64(flips)
-	d.stats.EnergyPJ += float64(flips) * d.cfg.WriteEnergyPerBitPJ
 	return flips
 }
 

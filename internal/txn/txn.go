@@ -16,8 +16,17 @@
 //	  [1:5]   magic (distinguishes log headers from pre-use garbage)
 //	  [5:7]   entry count (uint16 LE)
 //	  [7:15]  transaction id (uint64 LE)
-//	  [15:..] per-entry target addresses (uint32 LE each)
+//	  [15:19] header CRC-32C over [1:15] and the entry table
+//	  [19:..] per-entry records: target address (uint32 LE) followed by
+//	          the CRC-32C of the staged image (uint32 LE)
 //	segments 1..n: the staged images, one per entry
+//
+// The checksums exist because the log lives on the same wear-prone medium
+// as the data: a worn-out log segment can corrupt the bits of a commit
+// record in place. Recovery trusts a header only if its CRC matches, and
+// replays an entry only if its staged image's CRC matches — checksum-
+// corrupt entries are skipped rather than replayed as garbage. Log slots
+// whose cells report stuck bits on write are retired and never reused.
 //
 // Crash injection is built in (FailAfter), and the tests drive
 // write-crash-recover cycles against a reference model.
@@ -27,6 +36,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 
 	"e2nvm/internal/nvm"
@@ -43,7 +53,24 @@ const (
 // region can never be mistaken for a transaction.
 var logMagic = [4]byte{'E', '2', 'T', 'X'}
 
-const hdrFixed = 15 // state + magic + count + id
+const (
+	hdrCRCOff = 15 // header checksum offset
+	hdrFixed  = 19 // state + magic + count + id + header CRC
+	entrySize = 8  // target address + image CRC
+)
+
+// crcTable is the Castagnoli polynomial table shared by header and image
+// checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// headerCRC computes the checksum over the header's stable bytes: magic,
+// count, id and the entry table. The state byte is excluded so the
+// staged → committed → free flips keep the checksum valid, and the CRC
+// field itself is excluded.
+func headerCRC(hdr []byte, count int) uint32 {
+	crc := crc32.Checksum(hdr[1:hdrCRCOff], crcTable)
+	return crc32.Update(crc, crcTable, hdr[hdrFixed:hdrFixed+entrySize*count])
+}
 
 // ErrCrashed is returned when an injected crash point fires; the device is
 // left exactly as the crash left it and Recover must be run.
@@ -60,7 +87,9 @@ var ErrAborted = errors.New("txn: transaction aborted")
 // ErrLogFull is returned by Commit when every log slot is occupied.
 var ErrLogFull = errors.New("txn: no free log slot")
 
-// ErrCorruptLog is returned by Recover when a log header is inconsistent.
+// ErrCorruptLog identifies a log slot whose header failed validation.
+// Recovery discards such slots rather than erroring, so this sentinel is
+// retained only for callers that classify historical errors.
 var ErrCorruptLog = errors.New("txn: corrupt log slot")
 
 // ErrBadConfig is returned by NewManager for an unusable log geometry.
@@ -73,9 +102,15 @@ type Manager struct {
 	logStart int // first log segment
 	slotSegs int // segments per slot (1 header + maxEntries)
 	maxEnt   int
+	slots    int // number of log slots
 
 	mu     sync.Mutex
 	nextID uint64
+
+	// badSlots marks log slots whose segments reported stuck bits on a
+	// write; they are skipped by findFreeSlotLocked forever after.
+	badSlots []bool
+	retired  int
 
 	// failAfter > 0 injects a crash after that many more device writes
 	// issued through this manager; -1 means disabled.
@@ -94,7 +129,7 @@ func NewManager(dev *nvm.Device, logSlots, maxEntries int) (*Manager, int, error
 	if logSlots <= 0 || maxEntries <= 0 {
 		return nil, 0, fmt.Errorf("txn: logSlots %d / maxEntries %d must be positive: %w", logSlots, maxEntries, ErrBadConfig)
 	}
-	headerNeeds := hdrFixed + 4*maxEntries
+	headerNeeds := hdrFixed + entrySize*maxEntries
 	if headerNeeds > dev.SegmentSize() {
 		return nil, 0, fmt.Errorf("txn: %d entries need a %d-byte header, segment is %d: %w",
 			maxEntries, headerNeeds, dev.SegmentSize(), ErrBadConfig)
@@ -109,9 +144,28 @@ func NewManager(dev *nvm.Device, logSlots, maxEntries int) (*Manager, int, error
 		logStart:  dev.NumSegments() - logSegs,
 		slotSegs:  slotSegs,
 		maxEnt:    maxEntries,
+		slots:     logSlots,
+		badSlots:  make([]bool, logSlots),
 		failAfter: -1,
 	}
 	return m, m.logStart, nil
+}
+
+// RetiredSlots returns how many log slots have been retired because their
+// segments wore out.
+func (m *Manager) RetiredSlots() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.retired
+}
+
+// retireSlotLocked permanently removes slot s from the free-slot rotation.
+// Callers hold m.mu.
+func (m *Manager) retireSlotLocked(s int) {
+	if !m.badSlots[s] {
+		m.badSlots[s] = true
+		m.retired++
+	}
 }
 
 // Format clears every log slot, discarding any pending transactions. Call
@@ -121,8 +175,7 @@ func (m *Manager) Format() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	zero := make([]byte, m.dev.SegmentSize())
-	slots := (m.dev.NumSegments() - m.logStart) / m.slotSegs
-	for s := 0; s < slots; s++ {
+	for s := 0; s < m.slots; s++ {
 		if err := m.dev.FillSegment(m.logStart+s*m.slotSegs, zero); err != nil {
 			return err
 		}
@@ -145,8 +198,9 @@ func (m *Manager) FailAfter(n int) {
 	m.mu.Unlock()
 }
 
-// write issues one device write, honoring crash injection. Callers hold
-// m.mu.
+// write issues one device write, honoring crash injection and surfacing
+// worn-out cells (stuck bits left the stored data different from the
+// intent) as an ErrWornOut-wrapped error. Callers hold m.mu.
 func (m *Manager) write(addr int, data []byte) error {
 	if m.failAfter >= 0 {
 		m.writes++
@@ -154,8 +208,14 @@ func (m *Manager) write(addr int, data []byte) error {
 			return ErrCrashed
 		}
 	}
-	_, err := m.dev.Write(addr, data)
-	return err
+	res, err := m.dev.Write(addr, data)
+	if err != nil {
+		return err
+	}
+	if res.FaultyBits > 0 {
+		return fmt.Errorf("txn: write left %d faulty bits at segment %d: %w", res.FaultyBits, addr, nvm.ErrWornOut)
+	}
+	return nil
 }
 
 // Tx is an open transaction. A Tx must not be used after a successful
@@ -252,6 +312,12 @@ func (t *Tx) Abort() { t.aborted = true }
 // invalidate. If an injected crash interrupts it, the device state is
 // recoverable by Recover, which either completes the transaction (commit
 // record persisted) or discards it entirely.
+//
+// A log slot whose segments report stuck bits during staging is retired
+// and the transaction moves to another slot; when the worn segment is one
+// of the transaction's home locations, the slot is invalidated (so
+// recovery will not replay into dead cells) and the ErrWornOut-wrapped
+// error is surfaced for the caller to place the data elsewhere.
 func (t *Tx) Commit() error {
 	if t.aborted {
 		return fmt.Errorf("txn: commit on aborted transaction: %w", ErrAborted)
@@ -264,44 +330,37 @@ func (t *Tx) Commit() error {
 		return nil
 	}
 
-	slot, err := m.findFreeSlotLocked()
-	if err != nil {
-		return err
-	}
-	base := m.logStart + slot*m.slotSegs
-
-	// 1. Stage the images into the slot's payload segments.
-	for i, img := range t.images {
-		if err := m.write(base+1+i, img); err != nil {
+	// 1+2. Stage the images and persist the commit record, retrying in a
+	// fresh slot when the current one's cells are worn out. Finite slots
+	// bound the loop: every worn slot is retired, and findFreeSlotLocked
+	// fails with ErrLogFull once none remain.
+	var base int
+	for {
+		slot, err := m.findFreeSlotLocked()
+		if err != nil {
 			return err
 		}
-	}
-	// 2. Persist the header in the staged state (addresses + count), then
-	// flip the state byte to committed with a second small write — the
-	// state byte is the atomic commit point.
-	if len(m.hdrBuf) != m.dev.SegmentSize() {
-		m.hdrBuf = make([]byte, m.dev.SegmentSize()) // lint:allow hotpathalloc — one-time scratch sized at first commit
+		base = m.logStart + slot*m.slotSegs
+		serr := m.stageSlotLocked(base, t)
+		if serr == nil {
+			break
+		}
+		if !errors.Is(serr, nvm.ErrWornOut) {
+			return serr
+		}
+		m.retireSlotLocked(slot)
 	}
 	hdr := m.hdrBuf
-	clear(hdr)
-	hdr[0] = slotStaged
-	copy(hdr[1:5], logMagic[:])
-	binary.LittleEndian.PutUint16(hdr[5:], uint16(len(t.addrs)))
-	binary.LittleEndian.PutUint64(hdr[7:], t.id)
-	for i, a := range t.addrs {
-		binary.LittleEndian.PutUint32(hdr[hdrFixed+4*i:], uint32(a))
-	}
-	if err := m.write(base, hdr); err != nil {
-		return err
-	}
-	hdr[0] = slotCommitted
-	if err := m.write(base, hdr); err != nil {
-		return err
-	}
 	// 3. Apply to home locations.
 	for i, a := range t.addrs {
-		if err := m.write(a, t.images[i]); err != nil {
-			return err
+		if aerr := m.write(a, t.images[i]); aerr != nil {
+			if errors.Is(aerr, nvm.ErrWornOut) {
+				hdr[0] = slotFree
+				if ierr := m.write(base, hdr); ierr != nil {
+					return fmt.Errorf("txn: slot invalidation after worn apply failed (%v): %w", ierr, aerr)
+				}
+			}
+			return aerr
 		}
 	}
 	// 4. Invalidate the slot.
@@ -313,12 +372,47 @@ func (t *Tx) Commit() error {
 	return nil
 }
 
+// stageSlotLocked writes the transaction's images into the slot at base and
+// persists its header: first in the staged state (addresses, image CRCs,
+// count, header CRC), then a second small write flips the state byte to
+// committed — the atomic commit point. On success m.hdrBuf holds the
+// committed header. Callers hold m.mu.
+func (m *Manager) stageSlotLocked(base int, t *Tx) error {
+	for i, img := range t.images {
+		if err := m.write(base+1+i, img); err != nil {
+			return err
+		}
+	}
+	if len(m.hdrBuf) != m.dev.SegmentSize() {
+		m.hdrBuf = make([]byte, m.dev.SegmentSize()) // lint:allow hotpathalloc — one-time scratch sized at first commit
+	}
+	hdr := m.hdrBuf
+	clear(hdr)
+	hdr[0] = slotStaged
+	copy(hdr[1:5], logMagic[:])
+	binary.LittleEndian.PutUint16(hdr[5:], uint16(len(t.addrs)))
+	binary.LittleEndian.PutUint64(hdr[7:], t.id)
+	for i, a := range t.addrs {
+		off := hdrFixed + entrySize*i
+		binary.LittleEndian.PutUint32(hdr[off:], uint32(a))
+		binary.LittleEndian.PutUint32(hdr[off+4:], crc32.Checksum(t.images[i], crcTable))
+	}
+	binary.LittleEndian.PutUint32(hdr[hdrCRCOff:], headerCRC(hdr, len(t.addrs)))
+	if err := m.write(base, hdr); err != nil {
+		return err
+	}
+	hdr[0] = slotCommitted
+	return m.write(base, hdr)
+}
+
 func (m *Manager) findFreeSlotLocked() (int, error) {
-	slots := (m.dev.NumSegments() - m.logStart) / m.slotSegs
 	if len(m.slotBuf) != m.dev.SegmentSize() {
 		m.slotBuf = make([]byte, m.dev.SegmentSize()) // lint:allow hotpathalloc — one-time scratch sized at first commit
 	}
-	for s := 0; s < slots; s++ {
+	for s := 0; s < m.slots; s++ {
+		if m.badSlots[s] {
+			continue
+		}
 		if err := m.dev.PeekInto(m.logStart+s*m.slotSegs, m.slotBuf); err != nil {
 			return 0, err
 		}
@@ -332,12 +426,18 @@ func (m *Manager) findFreeSlotLocked() (int, error) {
 // Recover scans the log and finishes crash recovery: committed slots are
 // re-applied (idempotent) and freed; staged (torn) slots are discarded.
 // It returns the number of transactions replayed and discarded.
+//
+// Wear corruption is handled conservatively: a committed header whose
+// checksum does not match is discarded rather than trusted, an entry whose
+// staged image fails its CRC is skipped rather than replayed as garbage,
+// and an entry whose home segment refuses the write is skipped (the data
+// is lost, but nothing wrong is written). A slot whose own header cells
+// are worn is retired from the rotation.
 func (m *Manager) Recover() (replayed, discarded int, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.failAfter = -1 // recovery itself is not crash-injected
-	slots := (m.dev.NumSegments() - m.logStart) / m.slotSegs
-	for s := 0; s < slots; s++ {
+	for s := 0; s < m.slots; s++ {
 		base := m.logStart + s*m.slotSegs
 		hdr, err := m.dev.Peek(base)
 		if err != nil {
@@ -355,28 +455,50 @@ func (m *Manager) Recover() (replayed, discarded int, err error) {
 			continue
 		case slotCommitted:
 			n := int(binary.LittleEndian.Uint16(hdr[5:]))
-			if n > m.maxEnt {
-				return replayed, discarded, fmt.Errorf("txn: slot %d entry count %d: %w", s, n, ErrCorruptLog)
+			if n > m.maxEnt || binary.LittleEndian.Uint32(hdr[hdrCRCOff:]) != headerCRC(hdr, n) {
+				// The commit record itself is checksum-corrupt: its entry
+				// table cannot be trusted, so the transaction is discarded.
+				discarded++
+				break
 			}
+			applied := 0
 			for i := 0; i < n; i++ {
-				addr := int(binary.LittleEndian.Uint32(hdr[hdrFixed+4*i:]))
+				off := hdrFixed + entrySize*i
+				addr := int(binary.LittleEndian.Uint32(hdr[off:]))
 				img, err := m.dev.Peek(base + 1 + i)
 				if err != nil {
 					return replayed, discarded, err
 				}
-				if _, err := m.dev.Write(addr, img); err != nil {
-					return replayed, discarded, err
+				if crc32.Checksum(img, crcTable) != binary.LittleEndian.Uint32(hdr[off+4:]) {
+					continue // checksum-corrupt staged image: skip the entry
 				}
+				if werr := m.write(addr, img); werr != nil {
+					if errors.Is(werr, nvm.ErrWornOut) {
+						continue // home segment is dead: the entry is lost
+					}
+					return replayed, discarded, werr
+				}
+				applied++
 			}
-			replayed++
+			if applied > 0 {
+				replayed++
+			} else {
+				discarded++
+			}
 		default: // staged or torn: discard
 			discarded++
 		}
-		clear := make([]byte, m.dev.SegmentSize())
-		copy(clear, hdr)
-		clear[0] = slotFree
-		if _, err := m.dev.Write(base, clear); err != nil {
-			return replayed, discarded, err
+		clearBuf := make([]byte, m.dev.SegmentSize())
+		copy(clearBuf, hdr)
+		clearBuf[0] = slotFree
+		if werr := m.write(base, clearBuf); werr != nil {
+			if errors.Is(werr, nvm.ErrWornOut) {
+				// The slot's own header cells are worn; take it out of the
+				// rotation instead of failing recovery.
+				m.retireSlotLocked(s)
+				continue
+			}
+			return replayed, discarded, werr
 		}
 	}
 	return replayed, discarded, nil

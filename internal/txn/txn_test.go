@@ -2,6 +2,7 @@ package txn
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -220,7 +221,7 @@ func TestCrashAfterCommitPointReplays(t *testing.T) {
 // pre-transaction or the post-transaction state, never a mix.
 func TestCrashRecoverRandomized(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
-	const segSize = 32
+	const segSize = 64
 	m, dev, dataSegs := newRig(t, segSize, 64, 2, 4)
 	shadow := make([][]byte, dataSegs)
 	for i := range shadow {
@@ -322,5 +323,144 @@ func TestSlotExhaustion(t *testing.T) {
 	}
 	if err := tx2.Commit(); err != nil {
 		t.Fatalf("commit after recovery: %v", err)
+	}
+}
+
+// TestWornLogSlotRetiredAndCommitRetries kills a log slot's header segment;
+// Commit must retire the slot, move to the next one, and eventually fail
+// with ErrLogFull when every slot is dead.
+func TestWornLogSlotRetiredAndCommitRetries(t *testing.T) {
+	m, dev, dataSegs := newRig(t, 64, 32, 2, 1)
+	// Slot layout: header segments at dataSegs and dataSegs+2.
+	if err := dev.FailSegment(dataSegs); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	if err := tx.Write(0, seg(64, 0xaa)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit with one worn slot: %v", err)
+	}
+	if got, _ := dev.Peek(0); got[0] != 0xaa {
+		t.Fatal("commit via fallback slot not applied")
+	}
+	if m.RetiredSlots() != 1 {
+		t.Fatalf("RetiredSlots = %d, want 1", m.RetiredSlots())
+	}
+	// Kill the remaining slot: the next commit has nowhere to log.
+	if err := dev.FailSegment(dataSegs + 2); err != nil {
+		t.Fatal(err)
+	}
+	tx = m.Begin()
+	if err := tx.Write(1, seg(64, 0xbb)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrLogFull) {
+		t.Fatalf("commit with all slots worn: %v, want ErrLogFull", err)
+	}
+	if m.RetiredSlots() != 2 {
+		t.Fatalf("RetiredSlots = %d, want 2", m.RetiredSlots())
+	}
+}
+
+// TestWornHomeSegmentSurfacesAndInvalidatesSlot wears out a data segment:
+// Commit must return an ErrWornOut-wrapped error AND invalidate its log
+// slot so recovery does not replay into the dead cells.
+func TestWornHomeSegmentSurfacesAndInvalidatesSlot(t *testing.T) {
+	m, dev, _ := newRig(t, 64, 32, 2, 1)
+	if err := dev.FailSegment(5); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	if err := tx.Write(5, seg(64, 0xcc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, nvm.ErrWornOut) {
+		t.Fatalf("commit into worn segment: %v, want ErrWornOut", err)
+	}
+	replayed, discarded, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 0 || discarded != 0 {
+		t.Fatalf("recover after invalidated slot: %d/%d, want 0/0", replayed, discarded)
+	}
+	if m.RetiredSlots() != 0 {
+		t.Fatalf("healthy log slot was retired: %d", m.RetiredSlots())
+	}
+	// The slot is free again for healthy traffic.
+	tx = m.Begin()
+	if err := tx.Write(6, seg(64, 0xdd)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverSkipsCorruptImage corrupts a committed-but-unapplied staged
+// image; Recover must skip the entry instead of replaying garbage.
+func TestRecoverSkipsCorruptImage(t *testing.T) {
+	m, dev, dataSegs := newRig(t, 64, 32, 2, 1)
+	if err := dev.FillSegment(0, seg(64, 0x77)); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	if err := tx.Write(0, seg(64, 0x99)); err != nil {
+		t.Fatal(err)
+	}
+	m.FailAfter(3) // crash after the commit record, before the apply
+	if err := tx.Commit(); err != ErrCrashed {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	// Rot the staged image behind the manager's back.
+	if err := dev.FillSegment(dataSegs+1, seg(64, 0x13)); err != nil {
+		t.Fatal(err)
+	}
+	replayed, discarded, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 0 || discarded != 1 {
+		t.Fatalf("recover = %d/%d, want 0 replayed / 1 discarded", replayed, discarded)
+	}
+	if got, _ := dev.Peek(0); got[0] != 0x77 {
+		t.Fatalf("corrupt image was replayed: segment 0 = %#x", got[0])
+	}
+}
+
+// TestRecoverDiscardsCorruptHeader flips bits in a committed header;
+// Recover must refuse to trust the entry table and discard the slot.
+func TestRecoverDiscardsCorruptHeader(t *testing.T) {
+	m, dev, dataSegs := newRig(t, 64, 32, 2, 1)
+	if err := dev.FillSegment(0, seg(64, 0x77)); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	if err := tx.Write(0, seg(64, 0x99)); err != nil {
+		t.Fatal(err)
+	}
+	m.FailAfter(3)
+	if err := tx.Commit(); err != ErrCrashed {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	hdr, err := dev.Peek(dataSegs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr[19] ^= 0xff // corrupt the entry table's target address
+	if err := dev.FillSegment(dataSegs, hdr); err != nil {
+		t.Fatal(err)
+	}
+	replayed, discarded, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 0 || discarded != 1 {
+		t.Fatalf("recover = %d/%d, want 0 replayed / 1 discarded", replayed, discarded)
+	}
+	if got, _ := dev.Peek(0); got[0] != 0x77 {
+		t.Fatalf("corrupt header was replayed: segment 0 = %#x", got[0])
 	}
 }

@@ -31,10 +31,7 @@ func OpenWithModel(cfg Config, model io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("e2nvm: model input %d bits, want %d for %d-byte segments",
 			m.InputBits(), cfg.SegmentSize*8, cfg.SegmentSize)
 	}
-	devCfg := nvm.DefaultConfig(cfg.SegmentSize, cfg.NumSegments)
-	devCfg.WearLevelPeriod = cfg.WearLevelPeriod
-	devCfg.TrackBitWear = cfg.TrackBitWear
-	dev, err := nvm.NewDevice(devCfg)
+	dev, err := nvm.NewDevice(cfg.deviceConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -54,11 +51,7 @@ func OpenWithModel(cfg Config, model io.Reader) (*Store, error) {
 	if cfg.Placement == PlacementArbitrary {
 		placement = kvstore.PlaceArbitrary
 	}
-	inner, err := kvstore.OpenWith(dev, m, kvstore.Options{
-		Placement:   placement,
-		AutoRetrain: cfg.AutoRetrain,
-		CrashSafe:   cfg.CrashSafe,
-	})
+	inner, err := kvstore.OpenWith(dev, m, cfg.storeOptions(placement))
 	if err != nil {
 		return nil, err
 	}

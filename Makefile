@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench fault
+.PHONY: all build test race stress lint vet bench fault
 
 all: build lint test
 
@@ -23,6 +23,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Concurrency stress: the multi-goroutine facade hammer (sharded and
+# unsharded) plus the kvstore/shard concurrency suites, under the race
+# detector.
+stress:
+	$(GO) test -race -run 'TestConcurrentStress|TestRetrainConcurrentPut|TestScanReentrant' \
+		. ./internal/kvstore ./internal/shard
+
 # Fault-injection pipeline under the race detector: the nvm fault model,
 # kvstore detect/retry/retire/scrub tests, the crash matrix, the txn worn-
 # slot tests, pool retirement, and the record-codec fuzz seeds (see
@@ -33,6 +40,7 @@ fault:
 	$(GO) test -race -run=NONE -fuzz FuzzRecordRoundTrip -fuzztime 10s ./internal/kvstore
 
 # Regenerate the committed micro-benchmark baseline (Put/Get/GetInto/Delete
-# ns/op, B/op, allocs/op plus bit-flip counters).
+# ns/op, B/op, allocs/op plus bit-flip counters, and the concurrent
+# shards×cpu throughput sweep).
 bench:
-	$(GO) run ./cmd/e2nvm-bench -kvbench -out BENCH_PR2.json
+	$(GO) run ./cmd/e2nvm-bench -kvbench -out BENCH_PR4.json

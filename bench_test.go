@@ -54,6 +54,7 @@ func BenchmarkFig18_RetrainCost(b *testing.B)       { runExperiment(b, "fig18") 
 func BenchmarkFig19_WearCDF(b *testing.B)           { runExperiment(b, "fig19") }
 
 func BenchmarkExtendedBaselines(b *testing.B)          { runExperiment(b, "exp-extended") }
+func BenchmarkShardParity(b *testing.B)                { runExperiment(b, "exp-shard") }
 func BenchmarkTable01_PaddingWalkthrough(b *testing.B) { runExperiment(b, "tbl01") }
 
 func BenchmarkAblation_IntraClusterSearch(b *testing.B) { runExperiment(b, "abl-search") }

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"e2nvm"
@@ -36,6 +38,11 @@ type kvBenchEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Concurrent scenarios: shard count, GOMAXPROCS during the run, and
+	// aggregate throughput.
+	Shards    int     `json:"shards,omitempty"`
+	CPU       int     `json:"cpu,omitempty"`
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
 	// Device counters over the measured run, normalized per operation.
 	BitsFlippedPerOp float64 `json:"bits_flipped_per_op"`
 	FlipsPerDataBit  float64 `json:"flips_per_data_bit"`
@@ -45,8 +52,13 @@ type kvBenchEntry struct {
 }
 
 type kvBenchDoc struct {
-	Schema    string         `json:"schema"`
-	GoVersion string         `json:"go_version"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	// HostCPUs is runtime.NumCPU() on the machine that produced the
+	// baseline. The shards×cpu sweep only shows real parallel speedup when
+	// HostCPUs > 1; on a single core the sharded rows measure reduced lock
+	// contention, not added parallelism.
+	HostCPUs  int            `json:"host_cpus"`
 	Geometry  string         `json:"geometry"`
 	Entries   []kvBenchEntry `json:"entries"`
 }
@@ -283,9 +295,71 @@ func runKVBench(out string) error {
 		})
 	}
 
+	// PUT/SHARDED: the sequential overwrite loop again, but with the
+	// keyspace hash-partitioned over 4 shards (same total capacity). The
+	// flips_per_data_bit delta vs kvstore.Put is the placement cost of
+	// per-shard models; it must stay within a few percent.
+	{
+		store, err := e2nvm.Open(e2nvm.Config{
+			SegmentSize: kvBenchSegSize,
+			NumSegments: kvBenchSegments,
+			Shards:      4,
+			Clusters:    kvBenchClusters,
+			TrainEpochs: kvBenchEpochs,
+			Seed:        kvBenchSeed,
+		})
+		if err != nil {
+			return err
+		}
+		val := make([]byte, kvBenchValue)
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			store.ResetMetrics()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				val[0] = byte(i)
+				if err := store.Put(uint64(i%kvBenchKeys), val); err != nil {
+					failed = err
+					b.FailNow()
+				}
+			}
+		})
+		if failed != nil {
+			return fmt.Errorf("kvbench put/sharded: %w", failed)
+		}
+		m := store.Metrics()
+		entries = append(entries, kvBenchEntry{
+			Name:             "kvstore.Put/sharded",
+			Note:             "same workload as kvstore.Put over 4 shards; the flips_per_data_bit delta is the placement cost of per-shard models",
+			Shards:           4,
+			Iterations:       r.N,
+			NsPerOp:          float64(r.NsPerOp()),
+			BytesPerOp:       r.AllocedBytesPerOp(),
+			AllocsPerOp:      r.AllocsPerOp(),
+			BitsFlippedPerOp: float64(m.BitsFlipped) / float64(r.N),
+			FlipsPerDataBit:  m.FlipsPerDataBit,
+		})
+	}
+
+	// CONCURRENT: a mixed Put+GetInto workload driven from GOMAXPROCS
+	// goroutines, swept over shard counts and -cpu style parallelism. The
+	// shards=4/cpu=N row vs shards=1/cpu=N is the serving-layer scaling win
+	// (on multi-core hosts; on a single core only the reduced lock
+	// contention shows).
+	for _, sc := range []struct{ shards, procs int }{
+		{1, 1}, {1, 2}, {1, 4}, {4, 1}, {4, 2}, {4, 4},
+	} {
+		e, err := concurrentKVBench(sc.shards, sc.procs)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, e)
+	}
+
 	doc := kvBenchDoc{
 		Schema:    "e2nvm-kvbench/1",
 		GoVersion: runtime.Version(),
+		HostCPUs:  runtime.NumCPU(),
 		Geometry: fmt.Sprintf("%dB segments x %d, K=%d, %d keys, %dB values, seed %d",
 			kvBenchSegSize, kvBenchSegments, kvBenchClusters, kvBenchKeys, kvBenchValue, kvBenchSeed),
 		Entries: entries,
@@ -300,4 +374,86 @@ func runKVBench(out string) error {
 		return err
 	}
 	return os.WriteFile(out, data, 0o644)
+}
+
+// concurrentKVBench measures an even Put+GetInto mix driven from one
+// goroutine per proc over a store with the given shard count. Workers share
+// the kvBenchKeys working set; each derives its key sequence from its own
+// stride so writers collide across goroutines (the contended case the
+// sharding tentpole targets) while the per-goroutine buffers keep the read
+// path allocation-free.
+func concurrentKVBench(shards, procs int) (kvBenchEntry, error) {
+	store, err := e2nvm.Open(e2nvm.Config{
+		SegmentSize: kvBenchSegSize,
+		NumSegments: kvBenchSegments,
+		Shards:      shards,
+		Clusters:    kvBenchClusters,
+		TrainEpochs: kvBenchEpochs,
+		Seed:        kvBenchSeed,
+	})
+	if err != nil {
+		return kvBenchEntry{}, err
+	}
+	val := make([]byte, kvBenchValue)
+	for k := uint64(0); k < kvBenchKeys; k++ {
+		val[0] = byte(k)
+		if err := store.Put(k, val); err != nil {
+			return kvBenchEntry{}, err
+		}
+	}
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	var (
+		failed   atomic.Value
+		workerID atomic.Uint64
+		setErr   sync.Once
+	)
+	r := testing.Benchmark(func(b *testing.B) {
+		store.ResetMetrics()
+		b.ReportAllocs()
+		b.SetParallelism(1) // procs goroutines total
+		b.RunParallel(func(pb *testing.PB) {
+			id := workerID.Add(1)
+			val := make([]byte, kvBenchValue)
+			buf := make([]byte, 0, kvBenchValue)
+			i := id * 0x9e3779b9 // de-correlate the workers' key sequences
+			for pb.Next() {
+				i++
+				k := i % kvBenchKeys
+				if i%2 == 0 {
+					val[0] = byte(i)
+					if err := store.Put(k, val); err != nil {
+						setErr.Do(func() { failed.Store(err) })
+						return
+					}
+				} else {
+					v, _, err := store.GetInto(k, buf)
+					if err != nil {
+						setErr.Do(func() { failed.Store(err) })
+						return
+					}
+					if v != nil {
+						buf = v[:0]
+					}
+				}
+			}
+		})
+	})
+	if err, ok := failed.Load().(error); ok {
+		return kvBenchEntry{}, fmt.Errorf("kvbench concurrent shards=%d cpu=%d: %w", shards, procs, err)
+	}
+	m := store.Metrics()
+	return kvBenchEntry{
+		Name:             fmt.Sprintf("kvstore.PutGet/shards=%d/cpu=%d", shards, procs),
+		Note:             "50/50 Put+GetInto from cpu goroutines over the shared working set",
+		Shards:           shards,
+		CPU:              procs,
+		Iterations:       r.N,
+		NsPerOp:          float64(r.NsPerOp()),
+		OpsPerSec:        1e9 / float64(r.NsPerOp()),
+		BytesPerOp:       r.AllocedBytesPerOp(),
+		AllocsPerOp:      r.AllocsPerOp(),
+		BitsFlippedPerOp: float64(m.BitsFlipped) / float64(r.N),
+		FlipsPerDataBit:  m.FlipsPerDataBit,
+	}, nil
 }

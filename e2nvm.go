@@ -29,13 +29,16 @@
 package e2nvm
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"e2nvm/internal/core"
 	"e2nvm/internal/kvstore"
 	"e2nvm/internal/nvm"
 	"e2nvm/internal/padding"
+	"e2nvm/internal/shard"
 )
 
 // Placement selects the write-placement policy.
@@ -82,8 +85,18 @@ type Config struct {
 	// SegmentSize is the NVM segment size in bytes (default 256, one
 	// Optane block).
 	SegmentSize int
-	// NumSegments is the size of the managed memory pool (default 1024).
+	// NumSegments is the size of the managed memory pool (default 1024),
+	// split across Shards.
 	NumSegments int
+
+	// Shards hash-partitions the keyspace across this many independent
+	// store instances, each owning its own device zone, model, address
+	// pool, index, and (in crash-safe mode) redo log, so operations on
+	// different shards never contend. Point operations route by key hash;
+	// Scan merges the shards' ordered streams; Metrics, Health, Scrub, and
+	// Retrain aggregate across shards. Default 1: a single store, the
+	// unsharded behaviour.
+	Shards int
 
 	// Clusters is the number of content clusters K; 0 selects K with the
 	// elbow method.
@@ -153,6 +166,9 @@ func (c Config) withDefaults() Config {
 	if c.NumSegments <= 0 {
 		c.NumSegments = 1024
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.TrainEpochs <= 0 {
 		c.TrainEpochs = 15
 	}
@@ -160,6 +176,22 @@ func (c Config) withDefaults() Config {
 		c.LatentDim = 10
 	}
 	return c
+}
+
+// shardStarts returns the global segment address where each shard's zone
+// begins, plus a final sentinel: shard i owns [starts[i], starts[i+1]).
+// The remainder segments go to the first NumSegments%Shards shards.
+func (c Config) shardStarts() []int {
+	per, rem := c.NumSegments/c.Shards, c.NumSegments%c.Shards
+	starts := make([]int, c.Shards+1)
+	for i := 0; i < c.Shards; i++ {
+		size := per
+		if i < rem {
+			size++
+		}
+		starts[i+1] = starts[i] + size
+	}
+	return starts
 }
 
 func (c Config) padLocation() padding.Location {
@@ -194,16 +226,47 @@ func (c Config) padType() padding.Type {
 	}
 }
 
-func (c Config) deviceConfig() nvm.Config {
-	devCfg := nvm.DefaultConfig(c.SegmentSize, c.NumSegments)
+// deviceConfig builds shard i's device configuration over numSegs
+// segments. The fault process seed is offset per shard so shards draw
+// independent wear-out sequences; shard 0 keeps the configured seed, so a
+// single-shard store is bit-identical to the pre-sharding behaviour.
+func (c Config) deviceConfig(shardIdx, numSegs int) nvm.Config {
+	devCfg := nvm.DefaultConfig(c.SegmentSize, numSegs)
 	devCfg.WearLevelPeriod = c.WearLevelPeriod
 	devCfg.TrackBitWear = c.TrackBitWear
 	if c.EnduranceWrites > 0 {
 		devCfg.EnduranceWrites = c.EnduranceWrites
 	}
 	devCfg.Fault = c.Fault.toInternal()
+	devCfg.Fault.Seed += int64(shardIdx)
 	devCfg.VerifyWrites = c.VerifyWrites
 	return devCfg
+}
+
+// newShardDevice creates and seeds shard shardIdx's device, which owns
+// global segments [start, start+numSegs). SeedContent callbacks receive
+// global addresses, so a seeded workload is independent of the shard
+// layout.
+func (c Config) newShardDevice(shardIdx, start, numSegs int) (*nvm.Device, error) {
+	dev, err := nvm.NewDevice(c.deviceConfig(shardIdx, numSegs))
+	if err != nil {
+		return nil, err
+	}
+	if c.SeedContent != nil {
+		buf := make([]byte, c.SegmentSize)
+		for a := 0; a < numSegs; a++ {
+			for i := range buf {
+				buf[i] = 0
+			}
+			c.SeedContent(start+a, buf)
+			if err := dev.FillSegment(a, buf); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		dev.Fill(rand.New(rand.NewSource(c.Seed + int64(shardIdx))))
+	}
+	return dev, nil
 }
 
 func (c Config) storeOptions(placement kvstore.Placement) kvstore.Options {
@@ -217,92 +280,131 @@ func (c Config) storeOptions(placement kvstore.Placement) kvstore.Options {
 	}
 }
 
-// Store is an E2-NVM-managed persistent key/value store over a simulated
-// PCM device. All methods are safe for concurrent use.
+// Store is an E2-NVM-managed persistent key/value store over one or more
+// simulated PCM devices. With Config.Shards > 1 the keyspace is
+// hash-partitioned across independent shards, each with its own device
+// zone, model, pool, index, and redo log. All methods are safe for
+// concurrent use.
 type Store struct {
-	inner *kvstore.Store
-	dev   *nvm.Device
+	router *shard.Router
+	shards []*kvstore.Store // router's stores, for per-shard inspection
+	devs   []*nvm.Device    // devs[i] backs shards[i]
+	starts []int            // global segment ranges: shard i owns [starts[i], starts[i+1])
 }
 
-// Open creates a simulated PCM device, seeds its contents, trains the
-// E2-NVM model on them, and returns a ready store.
+// Open creates the simulated PCM device(s), seeds their contents, trains
+// one E2-NVM model per shard, and returns a ready store. Shards open
+// concurrently; each shard's training set is its own device zone.
 func Open(cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
-	dev, err := nvm.NewDevice(cfg.deviceConfig())
-	if err != nil {
-		return nil, err
-	}
-	if cfg.SeedContent != nil {
-		buf := make([]byte, cfg.SegmentSize)
-		for a := 0; a < cfg.NumSegments; a++ {
-			for i := range buf {
-				buf[i] = 0
-			}
-			cfg.SeedContent(a, buf)
-			if err := dev.FillSegment(a, buf); err != nil {
-				return nil, err
-			}
+	return openShards(cfg, func(i int, dev *nvm.Device) (*kvstore.Store, error) {
+		modelCfg := core.Config{
+			K:           cfg.Clusters,
+			LatentDim:   cfg.LatentDim,
+			Epochs:      cfg.TrainEpochs,
+			Seed:        cfg.Seed + int64(i),
+			PadExplicit: true,
+			PadLocation: cfg.padLocation(),
+			PadType:     cfg.padType(),
 		}
-	} else {
-		dev.Fill(rand.New(rand.NewSource(cfg.Seed)))
-	}
-
-	modelCfg := core.Config{
-		K:           cfg.Clusters,
-		LatentDim:   cfg.LatentDim,
-		Epochs:      cfg.TrainEpochs,
-		Seed:        cfg.Seed,
-		PadExplicit: true,
-		PadLocation: cfg.padLocation(),
-		PadType:     cfg.padType(),
-	}
-	placement := kvstore.PlaceE2NVM
-	if cfg.Placement == PlacementArbitrary {
-		placement = kvstore.PlaceArbitrary
-	}
-	inner, err := kvstore.Open(dev, modelCfg, cfg.storeOptions(placement))
-	if err != nil {
-		return nil, err
-	}
-	return &Store{inner: inner, dev: dev}, nil
+		return kvstore.Open(dev, modelCfg, cfg.storeOptions(cfg.placement()))
+	})
 }
 
-// Put stores value under key (the paper's PUT/UPDATE write path).
-func (s *Store) Put(key uint64, value []byte) error { return s.inner.Put(key, value) }
+func (c Config) placement() kvstore.Placement {
+	if c.Placement == PlacementArbitrary {
+		return kvstore.PlaceArbitrary
+	}
+	return kvstore.PlaceE2NVM
+}
+
+// openShards builds every shard's device and store (concurrently when
+// sharded — model training dominates open time) and assembles the router.
+// cfg must already have defaults applied.
+func openShards(cfg Config, open func(i int, dev *nvm.Device) (*kvstore.Store, error)) (*Store, error) {
+	if cfg.Shards > cfg.NumSegments {
+		return nil, fmt.Errorf("e2nvm: %d shards over %d segments: at least one segment per shard required", cfg.Shards, cfg.NumSegments)
+	}
+	starts := cfg.shardStarts()
+	devs := make([]*nvm.Device, cfg.Shards)
+	stores := make([]*kvstore.Store, cfg.Shards)
+	errs := make([]error, cfg.Shards)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dev, err := cfg.newShardDevice(i, starts[i], starts[i+1]-starts[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			st, err := open(i, dev)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			devs[i], stores[i] = dev, st
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	router, err := shard.New(stores)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{router: router, shards: stores, devs: devs, starts: starts}, nil
+}
+
+// Put stores value under key (the paper's PUT/UPDATE write path), routed
+// to the key's shard.
+func (s *Store) Put(key uint64, value []byte) error { return s.router.Put(key, value) }
 
 // Get returns the value stored under key as a fresh caller-owned copy.
-func (s *Store) Get(key uint64) ([]byte, bool, error) { return s.inner.Get(key) }
+func (s *Store) Get(key uint64) ([]byte, bool, error) { return s.router.Get(key) }
 
 // GetInto is Get writing the value into dst's backing array (grown only
 // when too small), for callers that reuse one buffer across reads. It
 // returns the resulting slice, which may share storage with dst.
 func (s *Store) GetInto(key uint64, dst []byte) ([]byte, bool, error) {
-	return s.inner.GetInto(key, dst)
+	return s.router.GetInto(key, dst)
 }
 
-// Delete removes key, recycling its segment into the address pool.
-func (s *Store) Delete(key uint64) (bool, error) { return s.inner.Delete(key) }
+// Delete removes key, recycling its segment into its shard's address pool.
+func (s *Store) Delete(key uint64) (bool, error) { return s.router.Delete(key) }
 
-// Scan visits keys in [lo, hi] in ascending order until fn returns false.
+// Scan visits keys in [lo, hi] in ascending order until fn returns false,
+// merging shards' ordered streams when sharded. The callback runs with no
+// store lock held, so it may call back into the store; the value slice is
+// only valid during the callback — copy it to retain it.
 func (s *Store) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error {
-	return s.inner.Scan(lo, hi, fn)
+	return s.router.Scan(lo, hi, fn)
 }
 
-// Len returns the number of live keys.
-func (s *Store) Len() int { return s.inner.Len() }
+// Len returns the number of live keys across all shards.
+func (s *Store) Len() int { return s.router.Len() }
 
 // MaxValue returns the largest storable value in bytes.
-func (s *Store) MaxValue() int { return s.inner.MaxValue() }
+func (s *Store) MaxValue() int { return s.shards[0].MaxValue() }
 
-// Clusters returns the number of content clusters the model learned.
-func (s *Store) Clusters() int { return s.inner.Model().K() }
+// Shards returns the number of independent shards serving the keyspace.
+func (s *Store) Shards() int { return s.router.N() }
 
-// NeedsRetrain reports whether a cluster's free list is running low.
-func (s *Store) NeedsRetrain() bool { return s.inner.NeedsRetrain() }
+// Clusters returns the number of content clusters the model learned (the
+// first shard's; with elbow-selected K, shards may differ).
+func (s *Store) Clusters() int { return s.shards[0].Model().K() }
 
-// Retrain synchronously retrains the model on the device's current
-// contents and rebuilds the address pool.
-func (s *Store) Retrain() error { return s.inner.Retrain() }
+// NeedsRetrain reports whether any shard's cluster free list is running
+// low.
+func (s *Store) NeedsRetrain() bool { return s.router.NeedsRetrain() }
+
+// Retrain synchronously retrains every shard's model on its device zone's
+// current contents (concurrently across shards) and rebuilds the address
+// pools. Serving continues while a shard retrains; see the kvstore layer
+// for the exact snapshot contract.
+func (s *Store) Retrain() error { return s.router.Retrain() }
 
 // Metrics is a snapshot of device- and store-level activity.
 type Metrics struct {
@@ -339,10 +441,9 @@ type Metrics struct {
 	FlipsPerDataBit float64
 }
 
-// Metrics returns a snapshot of cumulative counters.
-func (s *Store) Metrics() Metrics {
-	ds := s.dev.Stats()
-	ss := s.inner.Stats()
+// metricsFrom derives one Metrics snapshot from raw device and store
+// counters.
+func metricsFrom(ds nvm.Stats, ss kvstore.Stats) Metrics {
 	m := Metrics{
 		Writes:           ds.Writes,
 		Reads:            ds.Reads,
@@ -370,19 +471,99 @@ func (s *Store) Metrics() Metrics {
 	return m
 }
 
-// ResetMetrics zeroes the cumulative counters (content and wear state are
-// preserved), so benchmarks can exclude setup costs.
-func (s *Store) ResetMetrics() { s.dev.ResetStats() }
+// Metrics returns a snapshot of cumulative counters, aggregated over all
+// shards: sums for the additive counters, the maximum for
+// MaxSegmentWrites, a write-count-weighted mean for AvgWriteLatencyNs, and
+// total-flips/total-bits for FlipsPerDataBit. Use ShardMetrics for the
+// per-shard breakdown.
+func (s *Store) Metrics() Metrics {
+	var ds nvm.Stats
+	var ss kvstore.Stats
+	for i, dev := range s.devs {
+		d := dev.Stats()
+		ds.Writes += d.Writes
+		ds.Reads += d.Reads
+		ds.BitsFlipped += d.BitsFlipped
+		ds.BitsWritten += d.BitsWritten
+		ds.EnergyPJ += d.EnergyPJ
+		ds.WriteLatencyNs += d.WriteLatencyNs
+		ds.LinesWritten += d.LinesWritten
+		ds.LinesSkipped += d.LinesSkipped
+		ds.WearLevelMoves += d.WearLevelMoves
+		ds.StuckBits += d.StuckBits
+		ds.FailedSegments += d.FailedSegments
+		if d.MaxSegmentWrites > ds.MaxSegmentWrites {
+			ds.MaxSegmentWrites = d.MaxSegmentWrites
+		}
+		st := s.shards[i].Stats()
+		ss.Fallbacks += st.Fallbacks
+		ss.Retrains += st.Retrains
+		ss.WornWrites += st.WornWrites
+		ss.Retired += st.Retired
+		ss.Relocations += st.Relocations
+	}
+	return metricsFrom(ds, ss)
+}
 
-// BitWear returns a copy of the per-bit flip counters, or nil when
-// Config.TrackBitWear was false.
-func (s *Store) BitWear() []uint32 { return s.dev.BitWear() }
+// ShardMetrics returns each shard's own counter snapshot, index-aligned
+// with the shard layout (shard i serves the keys hashing to it and owns
+// global segments [i's zone]).
+func (s *Store) ShardMetrics() []Metrics {
+	out := make([]Metrics, len(s.devs))
+	for i, dev := range s.devs {
+		out[i] = metricsFrom(dev.Stats(), s.shards[i].Stats())
+	}
+	return out
+}
 
-// SegmentWrites returns per-segment write-operation counts.
-func (s *Store) SegmentWrites() []uint64 { return s.dev.SegmentWrites() }
+// ResetMetrics zeroes the cumulative counters on every shard — both the
+// device counters and the store-level ones (Fallbacks, Retrains,
+// WornWrites, RetiredSegments, Relocations, ...), so benchmarks that reset
+// between phases measure only their own activity. Content and wear state
+// are preserved.
+func (s *Store) ResetMetrics() {
+	for _, dev := range s.devs {
+		dev.ResetStats()
+	}
+	s.router.ResetStats()
+}
+
+// BitWear returns a copy of the per-bit flip counters in global segment
+// order, or nil when Config.TrackBitWear was false.
+func (s *Store) BitWear() []uint32 {
+	if len(s.devs) == 1 {
+		return s.devs[0].BitWear()
+	}
+	var out []uint32
+	for _, dev := range s.devs {
+		w := dev.BitWear()
+		if w == nil {
+			return nil
+		}
+		out = append(out, w...)
+	}
+	return out
+}
+
+// SegmentWrites returns per-segment write-operation counts in global
+// segment order.
+func (s *Store) SegmentWrites() []uint64 {
+	if len(s.devs) == 1 {
+		return s.devs[0].SegmentWrites()
+	}
+	var out []uint64
+	for _, dev := range s.devs {
+		out = append(out, dev.SegmentWrites()...)
+	}
+	return out
+}
 
 // String summarizes the store configuration.
 func (s *Store) String() string {
-	return fmt.Sprintf("e2nvm.Store{segments: %d×%dB, k: %d}",
-		s.dev.NumSegments(), s.dev.SegmentSize(), s.Clusters())
+	if len(s.devs) == 1 {
+		return fmt.Sprintf("e2nvm.Store{segments: %d×%dB, k: %d}",
+			s.devs[0].NumSegments(), s.devs[0].SegmentSize(), s.Clusters())
+	}
+	return fmt.Sprintf("e2nvm.Store{shards: %d, segments: %d×%dB, k: %d}",
+		len(s.devs), s.starts[len(s.starts)-1], s.devs[0].SegmentSize(), s.Clusters())
 }

@@ -23,6 +23,9 @@ var (
 	ErrCorrupt = kvstore.ErrCorrupt
 	// ErrValueTooLarge is returned by Put for values over MaxValue.
 	ErrValueTooLarge = kvstore.ErrValueTooLarge
+	// ErrBadAddress is returned by InjectStuckAt and FailSegment for a
+	// global segment address outside the store.
+	ErrBadAddress = nvm.ErrBadAddress
 )
 
 // FaultConfig configures the simulated device's cell wear-out process. The
@@ -61,9 +64,7 @@ type Health struct {
 	Degraded     bool // retirement has crossed Config.DegradeThreshold
 }
 
-// Health reports the store's current capacity state.
-func (s *Store) Health() Health {
-	h := s.inner.Health()
+func healthFrom(h kvstore.Health) Health {
 	return Health{
 		DataSegments: h.DataSegments,
 		Retired:      h.Retired,
@@ -71,6 +72,23 @@ func (s *Store) Health() Health {
 		PoolFree:     h.PoolFree,
 		Degraded:     h.Degraded,
 	}
+}
+
+// Health reports the store's current capacity state, aggregated over all
+// shards. Degraded is true when any shard has crossed its threshold — keys
+// hashing to a degraded shard fail allocation even while others have room.
+func (s *Store) Health() Health {
+	return healthFrom(s.router.Health())
+}
+
+// ShardHealth returns each shard's own capacity snapshot.
+func (s *Store) ShardHealth() []Health {
+	per := s.router.HealthPerShard()
+	out := make([]Health, len(per))
+	for i, h := range per {
+		out[i] = healthFrom(h)
+	}
+	return out
 }
 
 // ScrubReport summarizes one incremental Scrub pass.
@@ -84,9 +102,11 @@ type ScrubReport struct {
 // Scrub examines up to n segments for latent cell faults, relocating live
 // records off failing segments and retiring them. Calling it periodically
 // (a media scrubber) turns silent wear into bounded capacity loss before
-// the next Put trips over it. It is a no-op when retirement is disabled.
+// the next Put trips over it. When sharded, the budget is split evenly
+// across shards and each shard keeps its own sweep cursor. It is a no-op
+// when retirement is disabled.
 func (s *Store) Scrub(n int) (ScrubReport, error) {
-	r, err := s.inner.Scrub(n)
+	r, err := s.router.Scrub(n)
 	return ScrubReport{
 		Scanned:   r.Scanned,
 		Relocated: r.Relocated,
@@ -95,10 +115,38 @@ func (s *Store) Scrub(n int) (ScrubReport, error) {
 	}, err
 }
 
+// shardOfSegment maps a global segment address to its owning device and
+// that device's local address.
+func (s *Store) shardOfSegment(addr int) (*nvm.Device, int, error) {
+	if addr < 0 || addr >= s.starts[len(s.starts)-1] {
+		return nil, 0, nvm.ErrBadAddress
+	}
+	for i := 1; i < len(s.starts); i++ {
+		if addr < s.starts[i] {
+			return s.devs[i-1], addr - s.starts[i-1], nil
+		}
+	}
+	return nil, 0, nvm.ErrBadAddress
+}
+
 // InjectStuckAt deterministically sticks one cell of a segment at its
-// current value, for fault-injection tests and experiments.
-func (s *Store) InjectStuckAt(addr, bit int) error { return s.dev.InjectStuckAt(addr, bit) }
+// current value, for fault-injection tests and experiments. addr is a
+// global segment address (shards partition the segment range in order).
+func (s *Store) InjectStuckAt(addr, bit int) error {
+	dev, local, err := s.shardOfSegment(addr)
+	if err != nil {
+		return err
+	}
+	return dev.InjectStuckAt(local, bit)
+}
 
 // FailSegment fences a whole segment: reads still serve its frozen
-// content, but every future write is refused with ErrWornOut.
-func (s *Store) FailSegment(addr int) error { return s.dev.FailSegment(addr) }
+// content, but every future write is refused with ErrWornOut. addr is a
+// global segment address.
+func (s *Store) FailSegment(addr int) error {
+	dev, local, err := s.shardOfSegment(addr)
+	if err != nil {
+		return err
+	}
+	return dev.FailSegment(local)
+}

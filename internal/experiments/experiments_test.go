@@ -3,6 +3,8 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -43,7 +45,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"fig18", "fig19",
 		"abl-search", "abl-joint", "abl-latent", "abl-diff", "abl-txn",
-		"exp-extended", "exp-fault", "tbl01",
+		"exp-extended", "exp-fault", "exp-shard", "tbl01",
 	}
 	ids := IDs()
 	got := map[string]bool{}
@@ -335,6 +337,26 @@ func TestFaultSweepShape(t *testing.T) {
 	for _, row := range rows {
 		if row[len(row)-1] != "0" {
 			t.Fatalf("mode %q served wrong reads: %v", row[0], row)
+		}
+	}
+}
+
+func TestShardParityFlat(t *testing.T) {
+	res := runExp(t, "exp-shard", 0.25)
+	rows := res.Table.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("exp-shard rows = %d, want 3 shard counts", len(rows))
+	}
+	for _, row := range rows {
+		delta, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("unparsable delta %q: %v", row[2], err)
+		}
+		// Sharding must not cost placement quality: flips/databit stays
+		// within a few percent of the unsharded store. The bound is looser
+		// than the 5% bench-scale acceptance bar because this runs tiny.
+		if math.Abs(delta) > 10 {
+			t.Fatalf("shards=%s flips/databit drifted %.1f%% from unsharded", row[0], delta)
 		}
 	}
 }

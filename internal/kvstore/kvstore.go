@@ -165,6 +165,16 @@ type Store struct {
 	indexed int    // segments [0, indexed) are under DAP management
 	seq     uint32 // next record sequence number
 
+	// retrainBase is the manager's completed-retrain count at the last
+	// ResetStats, so Stats.Retrains reports retrains since the reset.
+	retrainBase int
+
+	// poolK is the pool's live cluster count. A retrain swaps the model in
+	// before s.mu is taken to rebuild the pool, so for that window the
+	// model may predict clusters the pool does not have yet; predictions
+	// are clamped to poolK (see clampClusterLocked).
+	poolK int
+
 	// Serving-path scratch, reused under mu so steady-state operations do
 	// not allocate.
 	encBuf           []byte // encode() record staging
@@ -246,6 +256,7 @@ func openWith(dev *nvm.Device, model *core.Model, opts Options, recovering bool)
 		opts:     opts,
 		tree:     &index.RBTree{},
 		dataSegs: dev.NumSegments(),
+		poolK:    model.K(),
 	}
 	if opts.CrashSafe {
 		mgr, dataSegs, err := txn.NewManager(dev, 2, 1)
@@ -492,6 +503,7 @@ func (s *Store) putLocked(key uint64, value []byte) error {
 	if err != nil {
 		return err
 	}
+	cluster = s.clampClusterLocked(cluster)
 	for attempt := 0; ; attempt++ {
 		addr, servedBy, ok := s.pool.Get(cluster)
 		if !ok {
@@ -652,7 +664,20 @@ func (s *Store) recycleLocked(addr int) {
 	if err != nil {
 		return // segment unparsable under the live model; drop from pool
 	}
-	s.pool.Add(c, addr)
+	s.pool.Add(s.clampClusterLocked(c), addr)
+}
+
+// clampClusterLocked bounds a model prediction to the pool's live cluster
+// range. Between a retrain's model swap (done under the manager's lock,
+// not s.mu) and rebuildPoolLocked resizing the pool, the fresh model may
+// predict cluster ids the pool does not have yet — dap.Pool panics on
+// out-of-range ids. Clamped placements at worst take the nearest existing
+// cluster, exactly the pool's own fallback behaviour. Callers hold s.mu.
+func (s *Store) clampClusterLocked(c int) int {
+	if c >= s.poolK {
+		return s.poolK - 1
+	}
+	return c
 }
 
 // Get returns the value stored for key. The returned slice is a fresh
@@ -770,26 +795,105 @@ func (s *Store) shredLocked(addr int) {
 	}
 }
 
+// scanChunk bounds how many records one Scan critical section captures
+// before the lock is released and the callbacks run.
+const scanChunk = 128
+
 // Scan calls fn for each key in [lo, hi] in ascending key order with its
-// value, stopping early if fn returns false (the paper's SCAN). The value
-// slice is backed by a buffer reused between callbacks; fn must copy it to
-// retain it past the call.
+// value, stopping early if fn returns false (the paper's SCAN).
+//
+// The callback runs with no store lock held, so it may safely call back
+// into the store (Get, Put, Delete, even a nested Scan) — earlier versions
+// held the store mutex across fn and deadlocked on re-entry. Keys and
+// value copies are captured in bounded chunks under the lock, so a scan
+// concurrent with writers is not one atomic snapshot: a key inserted or
+// deleted after its chunk was captured may or may not be visited, but
+// every value delivered was current when its chunk was read. The value
+// slice is backed by a per-call buffer reused across callbacks; fn must
+// copy it to retain it past the callback.
 func (s *Store) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error {
+	err := s.scanChunks(lo, hi, fn)
+	if err == nil {
+		s.mu.Lock()
+		s.stats.Scans++
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// scanChunks alternates between capturing up to scanChunk records under
+// s.mu and delivering them to fn with the lock released.
+func (s *Store) scanChunks(lo, hi uint64, fn func(key uint64, value []byte) bool) error {
+	var (
+		keys [scanChunk]uint64
+		offs [scanChunk + 1]int
+		buf  []byte
+	)
+	cursor := lo
+	for {
+		n := 0
+		var readErr error
+		s.mu.Lock()
+		buf = buf[:0]
+		s.tree.Range(cursor, hi, func(k uint64, addrV int64) bool {
+			v, err := s.readValueLocked(int(addrV))
+			if err != nil {
+				readErr = err
+				return false
+			}
+			keys[n] = k
+			offs[n] = len(buf)
+			buf = append(buf, v...)
+			n++
+			return n < scanChunk
+		})
+		offs[n] = len(buf)
+		s.mu.Unlock()
+		for i := 0; i < n; i++ {
+			if !fn(keys[i], buf[offs[i]:offs[i+1]]) {
+				return nil
+			}
+		}
+		if readErr != nil {
+			return readErr
+		}
+		if n < scanChunk {
+			return nil // the range is exhausted
+		}
+		last := keys[n-1]
+		if last >= hi || last == ^uint64(0) {
+			return nil
+		}
+		cursor = last + 1
+	}
+}
+
+// NextInto returns the smallest live key in [lo, hi] with its value copied
+// into dst's backing array (grown only when too small). ok is false when
+// the range holds no live key. It is the primitive shard routers use to
+// merge ordered scans across independent stores.
+func (s *Store) NextInto(lo, hi uint64, dst []byte) (key uint64, value []byte, ok bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var scanErr error
-	s.tree.Range(lo, hi, func(k uint64, addrV int64) bool {
-		v, err := s.readValueLocked(int(addrV))
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		return fn(k, v)
+	found := false
+	var addrV int64
+	s.tree.Range(lo, hi, func(k uint64, a int64) bool {
+		key, addrV, found = k, a, true
+		return false
 	})
-	if scanErr == nil {
-		s.stats.Scans++
+	if !found {
+		return 0, dst[:0], false, nil
 	}
-	return scanErr
+	v, rerr := s.readValueLocked(int(addrV))
+	if rerr != nil {
+		return key, dst[:0], false, rerr
+	}
+	if cap(dst) < len(v) {
+		dst = make([]byte, len(v))
+	}
+	dst = dst[:len(v)]
+	copy(dst, v)
+	return key, dst, true, nil
 }
 
 // Len returns the number of live keys.
@@ -799,13 +903,27 @@ func (s *Store) Len() int {
 	return s.tree.Len()
 }
 
-// Stats returns a snapshot of store counters.
+// Stats returns a snapshot of store counters (cumulative since open or the
+// last ResetStats).
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
-	st.Retrains = s.mgr.Retrains()
+	st.Retrains = s.mgr.Retrains() - s.retrainBase
 	return st
+}
+
+// ResetStats zeroes the store-level operation counters (Puts, Gets,
+// Deletes, Scans, Fallbacks, WornWrites, Retired, Relocations) and rebases
+// the retrain counter, so benchmarks that reset between phases measure
+// only their own activity. Content, index, pool, and wear state are
+// untouched; the device's counters are reset separately via
+// Device().ResetStats.
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+	s.retrainBase = s.mgr.Retrains()
 }
 
 // Health is a live-capacity snapshot of the store.
@@ -919,16 +1037,24 @@ func (s *Store) NeedsRetrain() bool {
 }
 
 // Retrain synchronously retrains the model on the device's current
-// contents and rebuilds the pool from the currently free segments. It is
-// the paper's retraining step with writes paused (Figure 16 step 3).
+// contents and rebuilds the pool from the currently free segments — the
+// paper's Figure 16 step 3, without stopping the world.
+//
+// Writes are NOT paused: the snapshot reads segments one at a time through
+// the device's own lock, so a concurrent Put may interleave and the
+// training set is only loosely consistent. That is safe — the snapshot is
+// training data, not placement state. Placement stays correct because
+// rebuildPoolLocked re-reads every free segment's actual content under
+// s.mu after the new model is swapped in, and writes that land between the
+// model swap and the pool rebuild at worst take a fallback cluster (the
+// pool still reflects the old model's clustering), never a wrong segment.
+// Concurrent Retrain calls are serialized by the manager.
 func (s *Store) Retrain() error {
 	data, err := segmentImages(s.dev)
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
 	cfg := s.mgr.Current().Config()
-	s.mu.Unlock()
 	model, err := s.mgr.RetrainSync(data, cfg)
 	if err != nil {
 		return err
@@ -967,6 +1093,7 @@ func (s *Store) rebuildPoolLocked(model *core.Model) error {
 	if err := s.pool.Reset(model.K()); err != nil {
 		return err
 	}
+	s.poolK = model.K()
 	for addr := 0; addr < s.indexed; addr++ {
 		if used[addr] {
 			continue

@@ -1,0 +1,270 @@
+// Package shard hash-partitions the keyspace across N independent
+// kvstore.Store instances so that operations on different shards never
+// contend on a lock, a device, or a model.
+//
+// E2-NVM's placement state — VAE/K-means model, dynamic address pool,
+// RB-tree index, device zone, redo log — partitions cleanly by keyspace:
+// a key's placement depends only on its own value and the free segments of
+// the shard it hashes to, so per-shard models preserve every per-segment
+// bit-flip and endurance invariant while the aggregate store scales with
+// the shard count (the same observation Predict-and-Write exploits with
+// per-group clustering pools).
+//
+// The router itself is stateless apart from the shard table: routing is a
+// pure hash of the key, so Put/Get/GetInto/Delete add no locks and no
+// allocations on top of the per-shard serving path.
+package shard
+
+import (
+	"errors"
+	"sync"
+
+	"e2nvm/internal/kvstore"
+)
+
+// ErrNoStores reports a router constructed over an empty store list.
+var ErrNoStores = errors.New("shard: need at least one store")
+
+// Router routes operations across independent stores by key hash.
+type Router struct {
+	stores []*kvstore.Store
+}
+
+// New builds a router over the given stores. The slice is copied; len 1 is
+// valid and makes every method a thin delegation.
+func New(stores []*kvstore.Store) (*Router, error) {
+	if len(stores) == 0 {
+		return nil, ErrNoStores
+	}
+	return &Router{stores: append([]*kvstore.Store(nil), stores...)}, nil
+}
+
+// N returns the shard count.
+func (r *Router) N() int { return len(r.stores) }
+
+// Store returns shard i's store, for per-shard inspection.
+func (r *Router) Store(i int) *kvstore.Store { return r.stores[i] }
+
+// mix64 is the SplitMix64 finalizer: a full-avalanche permutation of the
+// key space, so dense sequential keys still spread uniformly over shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Of returns the shard index serving key.
+func (r *Router) Of(key uint64) int {
+	if len(r.stores) == 1 {
+		return 0
+	}
+	return int(mix64(key) % uint64(len(r.stores)))
+}
+
+// Put routes the write to key's shard.
+//
+// lint:hotpath
+func (r *Router) Put(key uint64, value []byte) error {
+	return r.stores[r.Of(key)].Put(key, value)
+}
+
+// Get routes the read to key's shard.
+//
+// lint:hotpath
+func (r *Router) Get(key uint64) ([]byte, bool, error) {
+	return r.stores[r.Of(key)].Get(key)
+}
+
+// GetInto routes the zero-alloc read to key's shard.
+//
+// lint:hotpath
+func (r *Router) GetInto(key uint64, dst []byte) ([]byte, bool, error) {
+	return r.stores[r.Of(key)].GetInto(key, dst)
+}
+
+// Delete routes the delete to key's shard.
+//
+// lint:hotpath
+func (r *Router) Delete(key uint64) (bool, error) {
+	return r.stores[r.Of(key)].Delete(key)
+}
+
+// Scan calls fn for each key in [lo, hi] in ascending global key order,
+// merging the shards' ordered streams. Each element is pulled from its
+// shard at visit time (kvstore.Store.NextInto), so like the single-store
+// Scan the result is not one atomic snapshot, the callback runs with no
+// store lock held, and the value slice is only valid during the callback.
+func (r *Router) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error {
+	if len(r.stores) == 1 {
+		return r.stores[0].Scan(lo, hi, fn)
+	}
+	type cursor struct {
+		key uint64
+		val []byte
+		ok  bool
+	}
+	curs := make([]cursor, len(r.stores))
+	for i, st := range r.stores {
+		k, v, ok, err := st.NextInto(lo, hi, nil)
+		if err != nil {
+			return err
+		}
+		curs[i] = cursor{key: k, val: v, ok: ok}
+	}
+	for {
+		best := -1
+		for i := range curs {
+			if curs[i].ok && (best < 0 || curs[i].key < curs[best].key) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		k := curs[best].key
+		if !fn(k, curs[best].val) {
+			return nil
+		}
+		if k >= hi || k == ^uint64(0) {
+			// k was the global minimum, so every other shard's next key is
+			// also past hi: the scan is complete.
+			return nil
+		}
+		nk, v, ok, err := r.stores[best].NextInto(k+1, hi, curs[best].val[:0])
+		if err != nil {
+			return err
+		}
+		curs[best] = cursor{key: nk, val: v, ok: ok}
+	}
+}
+
+// Len sums live keys over all shards.
+func (r *Router) Len() int {
+	n := 0
+	for _, st := range r.stores {
+		n += st.Len()
+	}
+	return n
+}
+
+// Stats sums the per-shard counters.
+func (r *Router) Stats() kvstore.Stats {
+	var agg kvstore.Stats
+	for _, st := range r.stores {
+		s := st.Stats()
+		agg.Puts += s.Puts
+		agg.Gets += s.Gets
+		agg.Deletes += s.Deletes
+		agg.Scans += s.Scans
+		agg.Fallbacks += s.Fallbacks
+		agg.Retrains += s.Retrains
+		agg.WornWrites += s.WornWrites
+		agg.Retired += s.Retired
+		agg.Relocations += s.Relocations
+	}
+	return agg
+}
+
+// StatsPerShard returns each shard's own counter snapshot.
+func (r *Router) StatsPerShard() []kvstore.Stats {
+	out := make([]kvstore.Stats, len(r.stores))
+	for i, st := range r.stores {
+		out[i] = st.Stats()
+	}
+	return out
+}
+
+// ResetStats resets every shard's store-level counters.
+func (r *Router) ResetStats() {
+	for _, st := range r.stores {
+		st.ResetStats()
+	}
+}
+
+// Health aggregates capacity over all shards. Degraded is true when ANY
+// shard has crossed its degradation threshold: keys hashing to a degraded
+// shard fail allocation even while other shards have room, so the
+// aggregate must surface the weakest shard, not the average.
+func (r *Router) Health() kvstore.Health {
+	var agg kvstore.Health
+	for _, st := range r.stores {
+		h := st.Health()
+		agg.DataSegments += h.DataSegments
+		agg.Retired += h.Retired
+		agg.LiveKeys += h.LiveKeys
+		agg.PoolFree += h.PoolFree
+		agg.Degraded = agg.Degraded || h.Degraded
+	}
+	return agg
+}
+
+// HealthPerShard returns each shard's own capacity snapshot.
+func (r *Router) HealthPerShard() []kvstore.Health {
+	out := make([]kvstore.Health, len(r.stores))
+	for i, st := range r.stores {
+		out[i] = st.Health()
+	}
+	return out
+}
+
+// Scrub examines up to n segments in total, splitting the budget evenly
+// across shards (the first n%N shards get one extra). Each shard keeps its
+// own round-robin cursor, so repeated calls sweep every shard's zone. The
+// aggregated report is returned; on error the partial report and the first
+// error are.
+func (r *Router) Scrub(n int) (kvstore.ScrubReport, error) {
+	var agg kvstore.ScrubReport
+	per, rem := n/len(r.stores), n%len(r.stores)
+	for i, st := range r.stores {
+		quota := per
+		if i < rem {
+			quota++
+		}
+		if quota == 0 {
+			continue
+		}
+		rep, err := st.Scrub(quota)
+		agg.Scanned += rep.Scanned
+		agg.Relocated += rep.Relocated
+		agg.Retired += rep.Retired
+		agg.Lost += rep.Lost
+		if err != nil {
+			return agg, err
+		}
+	}
+	return agg, nil
+}
+
+// NeedsRetrain reports whether any shard's pool is running low.
+func (r *Router) NeedsRetrain() bool {
+	for _, st := range r.stores {
+		if st.NeedsRetrain() {
+			return true
+		}
+	}
+	return false
+}
+
+// Retrain retrains every shard's model concurrently (each shard trains on
+// its own device zone only) and returns the joined errors, if any. Shards
+// keep serving while their retrain is in flight — see
+// kvstore.Store.Retrain for the per-shard contract.
+func (r *Router) Retrain() error {
+	if len(r.stores) == 1 {
+		return r.stores[0].Retrain()
+	}
+	errs := make([]error, len(r.stores))
+	var wg sync.WaitGroup
+	for i, st := range r.stores {
+		wg.Add(1)
+		go func(i int, st *kvstore.Store) {
+			defer wg.Done()
+			errs[i] = st.Retrain()
+		}(i, st)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

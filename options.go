@@ -1,6 +1,7 @@
 package e2nvm
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
@@ -12,18 +13,26 @@ import (
 
 // SaveModel serializes the store's trained model (encoder weights,
 // centroids, padding state) so a future Open can skip training by passing
-// the stream via OpenWithModel.
+// the stream via OpenWithModel. On a sharded store the first shard's model
+// is saved; OpenWithModel restores the same stream into every shard.
 func (s *Store) SaveModel(w io.Writer) error {
-	return s.inner.Model().Save(w)
+	return s.shards[0].Model().Save(w)
 }
 
 // OpenWithModel is Open, but restores a previously saved model instead of
 // training one. The model's input width must match the configured segment
-// size; the dynamic address pool is rebuilt by predicting the device's
-// seeded contents.
+// size; each shard's dynamic address pool is rebuilt by predicting its
+// device zone's seeded contents. When Config.Shards > 1, every shard loads
+// its own copy of the same model.
 func OpenWithModel(cfg Config, model io.Reader) (*Store, error) {
 	cfg = cfg.withDefaults()
-	m, err := core.Load(model)
+	data, err := io.ReadAll(model)
+	if err != nil {
+		return nil, err
+	}
+	// Validate once before fanning out, so a bad stream fails fast with one
+	// error instead of Shards copies of it.
+	m, err := core.Load(bytes.NewReader(data))
 	if err != nil {
 		return nil, err
 	}
@@ -31,31 +40,18 @@ func OpenWithModel(cfg Config, model io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("e2nvm: model input %d bits, want %d for %d-byte segments",
 			m.InputBits(), cfg.SegmentSize*8, cfg.SegmentSize)
 	}
-	dev, err := nvm.NewDevice(cfg.deviceConfig())
-	if err != nil {
-		return nil, err
-	}
-	if cfg.SeedContent != nil {
-		buf := make([]byte, cfg.SegmentSize)
-		for a := 0; a < cfg.NumSegments; a++ {
-			for i := range buf {
-				buf[i] = 0
-			}
-			cfg.SeedContent(a, buf)
-			if err := dev.FillSegment(a, buf); err != nil {
-				return nil, err
+	return openShards(cfg, func(i int, dev *nvm.Device) (*kvstore.Store, error) {
+		sm := m
+		if i > 0 {
+			// Each shard owns a mutable model (retrain replaces it
+			// per-shard), so shards past the first deserialize their own.
+			var lerr error
+			if sm, lerr = core.Load(bytes.NewReader(data)); lerr != nil {
+				return nil, lerr
 			}
 		}
-	}
-	placement := kvstore.PlaceE2NVM
-	if cfg.Placement == PlacementArbitrary {
-		placement = kvstore.PlaceArbitrary
-	}
-	inner, err := kvstore.OpenWith(dev, m, cfg.storeOptions(placement))
-	if err != nil {
-		return nil, err
-	}
-	return &Store{inner: inner, dev: dev}, nil
+		return kvstore.OpenWith(dev, sm, cfg.storeOptions(cfg.placement()))
+	})
 }
 
 // Batcher groups small writes into segment-sized batch records before they

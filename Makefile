@@ -43,4 +43,4 @@ fault:
 # ns/op, B/op, allocs/op plus bit-flip counters, and the concurrent
 # shards×cpu throughput sweep).
 bench:
-	$(GO) run ./cmd/e2nvm-bench -kvbench -out BENCH_PR4.json
+	$(GO) run ./cmd/e2nvm-bench -kvbench -out BENCH_PR5.json

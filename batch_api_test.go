@@ -1,0 +1,60 @@
+package e2nvm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestFacadeBatchRoundTrip: the public PutBatch/GetBatch must round-trip
+// through the sharded facade (shard grouping + per-shard batching) and
+// agree with the per-item API.
+func TestFacadeBatchRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.NumSegments = 64 * shards
+			cfg.Shards = shards
+			s, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 20
+			keys := make([]uint64, n)
+			vals := make([][]byte, n)
+			for i := range keys {
+				keys[i] = uint64(i * 11)
+				vals[i] = []byte(fmt.Sprintf("batch-%02d", i))
+			}
+			if err := s.PutBatch(keys, vals, nil); err != nil {
+				t.Fatalf("PutBatch: %v", err)
+			}
+			// Per-item reads see the batched writes…
+			for i := range keys {
+				got, ok, err := s.Get(keys[i])
+				if err != nil || !ok || !bytes.Equal(got, vals[i]) {
+					t.Fatalf("Get(%d) = %q ok=%v err=%v, want %q", keys[i], got, ok, err, vals[i])
+				}
+			}
+			// …and batched reads see per-item writes mixed with misses.
+			if err := s.Put(7777, []byte("solo")); err != nil {
+				t.Fatal(err)
+			}
+			qk := []uint64{keys[0], 7777, 424242}
+			dsts := make([][]byte, len(qk))
+			oks := make([]bool, len(qk))
+			if err := s.GetBatch(qk, dsts, oks, nil); err != nil {
+				t.Fatalf("GetBatch: %v", err)
+			}
+			if !oks[0] || !oks[1] || oks[2] {
+				t.Fatalf("oks = %v, want [true true false]", oks)
+			}
+			if string(dsts[1]) != "solo" {
+				t.Fatalf("dsts[1] = %q, want solo", dsts[1])
+			}
+			if s.Len() != n+1 {
+				t.Fatalf("Len = %d, want %d", s.Len(), n+1)
+			}
+		})
+	}
+}

@@ -10,6 +10,8 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"math/rand"
 	"os"
 	"runtime"
 	"sync"
@@ -17,6 +19,9 @@ import (
 	"testing"
 
 	"e2nvm"
+	"e2nvm/internal/infer"
+	"e2nvm/internal/mat"
+	"e2nvm/internal/nn"
 )
 
 // kvBenchGeometry pins the micro-benchmark store shape so numbers are
@@ -108,6 +113,54 @@ func runKVBench(out string) error {
 			BytesPerOp:       r.AllocedBytesPerOp(),
 			AllocsPerOp:      r.AllocsPerOp(),
 			BitsFlippedPerOp: float64(m.BitsFlipped) / float64(r.N),
+			FlipsPerDataBit:  m.FlipsPerDataBit,
+		})
+	}
+
+	// PUTBATCH: the same steady-state overwrite workload as PUT, but
+	// submitted 8 pairs at a time through the batched serving path (one
+	// lock acquisition and one blocked kernel prediction per batch).
+	// ns/op, B/op and allocs/op are normalized per ITEM so the row
+	// compares directly against kvstore.Put.
+	{
+		store, err := newKVBenchStore()
+		if err != nil {
+			return err
+		}
+		const batch = 8
+		keys := make([]uint64, batch)
+		vals := make([][]byte, batch)
+		for j := range vals {
+			vals[j] = make([]byte, kvBenchValue)
+		}
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			store.ResetMetrics()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j := range keys {
+					keys[j] = uint64((i*batch + j) % kvBenchKeys)
+					vals[j][0] = byte(i)
+				}
+				if err := store.PutBatch(keys, vals, nil); err != nil {
+					failed = err
+					b.FailNow()
+				}
+			}
+		})
+		if failed != nil {
+			return fmt.Errorf("kvbench putbatch: %w", failed)
+		}
+		m := store.Metrics()
+		items := float64(r.N) * batch
+		entries = append(entries, kvBenchEntry{
+			Name:             "kvstore.PutBatch/batch=8",
+			Note:             "8-pair batches through the batched serving path; ns/op, B/op, allocs/op and flips are per item (one benchmark op = 8 items), directly comparable to kvstore.Put",
+			Iterations:       r.N,
+			NsPerOp:          float64(r.NsPerOp()) / batch,
+			BytesPerOp:       r.AllocedBytesPerOp() / batch,
+			AllocsPerOp:      r.AllocsPerOp() / batch,
+			BitsFlippedPerOp: float64(m.BitsFlipped) / items,
 			FlipsPerDataBit:  m.FlipsPerDataBit,
 		})
 	}
@@ -341,6 +394,18 @@ func runKVBench(out string) error {
 		})
 	}
 
+	// INFER.FORWARD: the bit-native kernel alone (forward + assignment for
+	// one 64 B segment at the store's encoder geometry), next to the float
+	// encoder path it replaced — the per-Put inference cost before any
+	// store machinery. See DESIGN.md §11.
+	{
+		kernelE, naiveE, err := inferForwardBench()
+		if err != nil {
+			return err
+		}
+		entries = append(entries, kernelE, naiveE)
+	}
+
 	// CONCURRENT: a mixed Put+GetInto workload driven from GOMAXPROCS
 	// goroutines, swept over shard counts and -cpu style parallelism. The
 	// shards=4/cpu=N row vs shards=1/cpu=N is the serving-layer scaling win
@@ -374,6 +439,83 @@ func runKVBench(out string) error {
 		return err
 	}
 	return os.WriteFile(out, data, 0o644)
+}
+
+// inferForwardBench measures cluster prediction for one 64 B segment at
+// the kvbench store's encoder geometry (512 input bits → 128 hidden → 10
+// latent, K=8): once through the byte-LUT kernel, once through the float
+// path it replaced (bit expansion + Dense matvecs + full centroid scan).
+// The pair isolates the per-Put inference cost from the store machinery.
+func inferForwardBench() (kernel, naive kvBenchEntry, err error) {
+	const (
+		inBits = kvBenchSegSize * 8
+		hidden = inBits / 4 // vae default: max(32, InputDim/4)
+		latent = 10
+	)
+	rng := rand.New(rand.NewSource(kvBenchSeed))
+	encH := nn.NewDense(inBits, hidden, nn.ReLU, rng)
+	encMu := nn.NewDense(hidden, latent, nn.Identity, rng)
+	cents := make([][]float64, kvBenchClusters)
+	for c := range cents {
+		cents[c] = make([]float64, latent)
+		for i := range cents[c] {
+			cents[c][i] = rng.NormFloat64()
+		}
+	}
+	kern, err := infer.New(encH, encMu, cents)
+	if err != nil {
+		return kernel, naive, err
+	}
+	if kern == nil {
+		return kernel, naive, fmt.Errorf("kvbench infer: kernel declined %d×%d geometry", inBits, hidden)
+	}
+	seg := make([]byte, kvBenchSegSize)
+	rng.Read(seg)
+
+	h := make([]float64, kern.HiddenDim())
+	mu := make([]float64, kern.LatentDim())
+	rk := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			kern.Predict(seg, h, mu)
+		}
+	})
+	kernel = kvBenchEntry{
+		Name:        "infer.Forward",
+		Note:        fmt.Sprintf("byte-LUT kernel forward + assignment, one %dB segment (%d->%d->%d, K=%d, g=%d, table %d KiB)", kvBenchSegSize, inBits, hidden, latent, kvBenchClusters, kern.GroupBits(), kern.TableBytes()>>10),
+		Iterations:  rk.N,
+		NsPerOp:     float64(rk.NsPerOp()),
+		BytesPerOp:  rk.AllocedBytesPerOp(),
+		AllocsPerOp: rk.AllocsPerOp(),
+	}
+
+	x := make([]float64, inBits)
+	rn := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range x {
+				x[j] = float64(seg[j>>3] >> (uint(j) & 7) & 1)
+			}
+			encH.Apply(x, h)
+			encMu.Apply(h, mu)
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range cents {
+				if d := mat.SqDist(mu, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			_ = best
+		}
+	})
+	naive = kvBenchEntry{
+		Name:        "infer.Forward/naive",
+		Note:        "the replaced float path at the same geometry: bit expansion + Dense matvecs + full centroid scan",
+		Iterations:  rn.N,
+		NsPerOp:     float64(rn.NsPerOp()),
+		BytesPerOp:  rn.AllocedBytesPerOp(),
+		AllocsPerOp: rn.AllocsPerOp(),
+	}
+	return kernel, naive, nil
 }
 
 // concurrentKVBench measures an even Put+GetInto mix driven from one

@@ -362,6 +362,28 @@ func openShards(cfg Config, open func(i int, dev *nvm.Device) (*kvstore.Store, e
 // to the key's shard.
 func (s *Store) Put(key uint64, value []byte) error { return s.router.Put(key, value) }
 
+// PutBatch stores len(keys) key/value pairs in one call: keys group per
+// shard (SplitMix64, no extra allocations), each shard's lock is taken
+// once for its whole sub-batch, and model inference runs on the kernel's
+// blocked multi-sample path (DESIGN.md §11). values must be index-aligned
+// with keys. Pairs apply in index order — a later duplicate key wins,
+// exactly as sequential Puts would — and one pair's failure does not
+// abort the rest; the returned error is the first failure by index. Pass
+// errs (same length) to receive per-item outcomes, or nil to skip them.
+func (s *Store) PutBatch(keys []uint64, values [][]byte, errs []error) error {
+	return s.router.PutBatch(keys, values, errs)
+}
+
+// GetBatch reads len(keys) values in one call, grouping keys per shard so
+// each shard's lock is taken once. Value i lands in dsts[i]'s backing
+// array (grown only when too small, like GetInto) with its liveness in
+// oks[i] — a missing key is oks[i] = false, not an error. dsts and oks
+// must be index-aligned with keys; errs, when non-nil, receives per-item
+// read errors, and the returned error is the first failure by index.
+func (s *Store) GetBatch(keys []uint64, dsts [][]byte, oks []bool, errs []error) error {
+	return s.router.GetBatch(keys, dsts, oks, errs)
+}
+
 // Get returns the value stored under key as a fresh caller-owned copy.
 func (s *Store) Get(key uint64) ([]byte, bool, error) { return s.router.Get(key) }
 

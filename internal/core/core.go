@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"e2nvm/internal/bitvec"
+	"e2nvm/internal/infer"
 	"e2nvm/internal/kmeans"
 	"e2nvm/internal/padding"
 	"e2nvm/internal/vae"
@@ -118,6 +119,14 @@ type Model struct {
 	vae *vae.Model
 	km  *kmeans.Model
 
+	// kern is the bit-native inference kernel built from the trained
+	// encoder + centroids (nil when the geometry cannot be
+	// table-accelerated; prediction then stays on the float path). It is
+	// immutable and set before the model is published, so serving never
+	// observes a half-built table; a retrain produces a whole new Model
+	// with its own kernel at a fresh infer version.
+	kern *infer.Kernel
+
 	history   []vae.EpochLoss
 	sseCurve  []float64 // populated when K was chosen by the elbow method
 	trainedOn int
@@ -131,9 +140,16 @@ type Model struct {
 }
 
 // predictScratch holds the reusable buffers of one PredictBytes call: the
-// expanded bit image, the padded model input, and the encoder activations.
+// expanded bit image, the padded model input, the packed kernel input,
+// and the encoder activations.
 type predictScratch struct {
 	bits, padded, h, mu []float64
+	packed              []byte
+
+	// blocked-path staging: up to infer.BlockSamples padded images live in
+	// packBlk at segment-size stride, referenced through segBlk.
+	segBlk  [][]byte
+	packBlk []byte
 }
 
 // ErrBadSegment reports an item whose geometry does not match the model or
@@ -246,7 +262,21 @@ func Train(data [][]float64, cfg Config) (*Model, error) {
 		p.SetModel(net, c.LearnedPadWindow, c.LearnedPadPredict)
 	}
 	m.padder = p
+	m.kern = buildKernel(m.vae, m.km)
 	return m, nil
+}
+
+// buildKernel constructs the bit-native inference kernel for a trained
+// encoder + centroid set, or nil when the geometry cannot be
+// table-accelerated (input not byte-aligned, or no group width fits the
+// table budget) — the serving path then falls back to the float encoder.
+func buildKernel(v *vae.Model, km *kmeans.Model) *infer.Kernel {
+	encH, encMu := v.EncoderLayers()
+	k, err := infer.New(encH, encMu, km.Centroids)
+	if err != nil {
+		return nil
+	}
+	return k
 }
 
 // feasibleKs filters candidate K values to those not exceeding the sample
@@ -323,8 +353,11 @@ func (m *Model) PredictPadded(item []float64) (int, error) {
 }
 
 // PredictBytes maps a raw segment image to its cluster. It is the serving
-// path (Algorithm 1 step 4): bit expansion, padding, and the encoder pass
-// all run in pooled scratch buffers, so steady-state calls do not allocate.
+// path (Algorithm 1 step 4): full-width images go straight through the
+// bit-native inference kernel when one is available (DESIGN.md §11);
+// narrower items are bit-expanded, padded (§4), packed back to bytes and
+// then pushed through the kernel. All scratch is pooled, so steady-state
+// calls do not allocate.
 //
 // lint:hotpath
 func (m *Model) PredictBytes(b []byte) (int, error) {
@@ -332,10 +365,78 @@ func (m *Model) PredictBytes(b []byte) (int, error) {
 	if s == nil {
 		s = new(predictScratch) // lint:allow hotpathalloc — one scratch set per P, amortized by the pool
 	}
-	s.bits = bytesToBitsInto(s.bits, b)
-	c, err := m.predictScratched(s, s.bits)
+	c, err := m.predictBytesScratched(s, b)
 	m.scratch.Put(s)
 	return c, err
+}
+
+// predictBytesScratched routes one raw image through the kernel (packing
+// padded bits back to bytes when the item is undersized) or, when no
+// kernel fits the geometry, through the float encoder.
+func (m *Model) predictBytesScratched(s *predictScratch, b []byte) (int, error) {
+	kern := m.kern
+	if kern == nil {
+		s.bits = bytesToBitsInto(s.bits, b)
+		return m.predictScratched(s, s.bits)
+	}
+	seg := b
+	if len(b)*8 != m.cfg.InputBits {
+		m.mu.Lock()
+		packed, err := m.padPackedLocked(s, s.packed, b)
+		m.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		s.packed = packed
+		seg = packed
+	}
+	s.h = growFloats(s.h, kern.HiddenDim())
+	s.mu = growFloats(s.mu, kern.LatentDim())
+	return kern.Predict(seg, s.h, s.mu), nil
+}
+
+// padPackedLocked pads an undersized item to the model width in packed
+// byte form, writing into dst's backing array: directly in byte space
+// when the padder supports it (End placement — the common configuration),
+// otherwise expand, pad in bit space (§4) and pack the padded bits.
+// Either way the padder RNG draws the same values in the same order, so
+// the two routes produce the same image and the kernel consumes exactly
+// what the float encoder would see. Callers hold m.mu.
+func (m *Model) padPackedLocked(s *predictScratch, dst []byte, b []byte) ([]byte, error) {
+	if m.padder.CanPadBytes() {
+		packed, err := m.padder.PadBytesTo(dst, b, m.cfg.InputBits)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v: %w", err, ErrBadSegment)
+		}
+		return packed, nil
+	}
+	s.bits = bytesToBitsInto(s.bits, b)
+	padded, err := m.padder.PadCheckedTo(s.padded, s.bits, m.cfg.InputBits)
+	if err != nil {
+		return nil, fmt.Errorf("core: %v: %w", err, ErrBadSegment)
+	}
+	s.padded = padded
+	return packBitsInto(dst, padded), nil
+}
+
+// packBitsInto packs a {0,1} float vector into bytes (LSB-first, matching
+// bitvec's layout), reusing dst's backing array. Values threshold at 0.5
+// like bitvec.FromFloats; padders emit exact 0/1 bits, so nothing is lost.
+func packBitsInto(dst []byte, bits []float64) []byte {
+	n := (len(bits) + 7) / 8
+	if cap(dst) < n {
+		dst = make([]byte, n) // lint:allow hotpathalloc — scratch grows once to the segment width
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, v := range bits {
+		if v >= 0.5 {
+			dst[i>>3] |= 1 << (uint(i) & 7)
+		}
+	}
+	return dst
 }
 
 // predictScratched pads (when the item is narrower than the model) and
@@ -375,10 +476,111 @@ func (m *Model) MustPredictBytes(b []byte) int {
 	return c
 }
 
+// PredictBytesBlock predicts every image in imgs sequentially into out
+// (len(out) must be ≥ len(imgs)), reusing one pooled scratch set across
+// the block — the amortized multi-sample path batched writes ride on. A
+// failed item reports -1 in its slot and processing continues; the
+// returned error wraps the first failure with its index.
+//
+// lint:hotpath
+func (m *Model) PredictBytesBlock(imgs [][]byte, out []int) error {
+	idx, err := m.predictBlock(imgs, out, 0)
+	if err != nil {
+		return fmt.Errorf("core: batch item %d: %w", idx, err)
+	}
+	return nil
+}
+
+// predictBlock is the shared worker body of PredictBytesBlock and
+// PredictBytesBatch: it predicts imgs into out with one pooled scratch
+// set, marking failed items -1 and returning the absolute index (base+i)
+// of the first failure, or -1. With a kernel available it stages each
+// run of up to infer.BlockSamples images (padding undersized ones under
+// one padder lock) and pushes them through the kernel's interleaved
+// multi-sample forward, whose table lookups overlap in the memory system;
+// results are bit-identical to the per-item path.
+//
+// lint:hotpath
+func (m *Model) predictBlock(imgs [][]byte, out []int, base int) (int, error) {
+	s, _ := m.scratch.Get().(*predictScratch)
+	if s == nil {
+		s = new(predictScratch) // lint:allow hotpathalloc — one scratch set per P, amortized by the pool
+	}
+	kern := m.kern
+	firstIdx, firstErr := -1, error(nil)
+	if kern == nil {
+		for i, b := range imgs {
+			c, err := m.predictBytesScratched(s, b)
+			if err != nil {
+				out[i] = -1
+				if firstErr == nil {
+					firstIdx, firstErr = base+i, err
+				}
+				continue
+			}
+			out[i] = c
+		}
+		m.scratch.Put(s)
+		return firstIdx, firstErr
+	}
+
+	segBytes := m.cfg.InputBits / 8
+	if cap(s.packBlk) < infer.BlockSamples*segBytes {
+		s.packBlk = make([]byte, infer.BlockSamples*segBytes) // lint:allow hotpathalloc — staging sized once to a block of segments
+		s.segBlk = make([][]byte, infer.BlockSamples)         // lint:allow hotpathalloc — sized once with the staging buffer
+	}
+	s.h = growFloats(s.h, infer.BlockSamples*kern.HiddenDim())
+	s.mu = growFloats(s.mu, infer.BlockSamples*kern.LatentDim())
+	latent := kern.LatentDim()
+	for lo := 0; lo < len(imgs); lo += infer.BlockSamples {
+		hi := lo + infer.BlockSamples
+		if hi > len(imgs) {
+			hi = len(imgs)
+		}
+		// Stage the run: full-width images go in by reference, undersized
+		// ones pad into their own stride of packBlk — all under one padder
+		// lock. idxs maps staged slots back to caller indices.
+		var idxs [infer.BlockSamples]int
+		segs := s.segBlk[:infer.BlockSamples]
+		n := 0
+		m.mu.Lock()
+		for i := lo; i < hi; i++ {
+			b := imgs[i]
+			if len(b)*8 != m.cfg.InputBits {
+				stride := s.packBlk[n*segBytes : (n+1)*segBytes : (n+1)*segBytes]
+				packed, err := m.padPackedLocked(s, stride, b)
+				if err != nil {
+					out[i] = -1
+					if firstErr == nil {
+						firstIdx, firstErr = base+i, err
+					}
+					continue
+				}
+				b = packed
+			}
+			segs[n] = b
+			idxs[n] = i
+			n++
+		}
+		m.mu.Unlock()
+		if n == 0 {
+			continue
+		}
+		kern.ForwardBlock(segs[:n], s.h, s.mu)
+		for j := 0; j < n; j++ {
+			out[idxs[j]] = kern.Assign(s.mu[j*latent:][:latent])
+		}
+	}
+	m.scratch.Put(s)
+	return firstIdx, firstErr
+}
+
 // PredictBytesBatch predicts the clusters of many segment images in
 // parallel (prediction is thread-safe), preserving input order. It is the
 // bulk path used when populating or rebuilding the address pool over large
-// devices. The first geometry error aborts the batch.
+// devices. Every item is attempted: a failed item reports -1 in its slot
+// while the rest of the batch keeps its predictions, and the returned
+// error wraps the first failure (by input order) with its index.
 func (m *Model) PredictBytesBatch(imgs [][]byte) ([]int, error) {
 	out := make([]int, len(imgs))
 	workers := runtime.GOMAXPROCS(0)
@@ -386,16 +588,13 @@ func (m *Model) PredictBytesBatch(imgs [][]byte) ([]int, error) {
 		workers = len(imgs)
 	}
 	if workers <= 1 {
-		for i, b := range imgs {
-			c, err := m.PredictBytes(b)
-			if err != nil {
-				return nil, fmt.Errorf("core: batch item %d: %w", i, err)
-			}
-			out[i] = c
+		if idx, err := m.predictBlock(imgs, out, 0); err != nil {
+			return out, fmt.Errorf("core: batch item %d: %w", idx, err)
 		}
 		return out, nil
 	}
 	var wg sync.WaitGroup
+	idxs := make([]int, workers)
 	errs := make([]error, workers)
 	chunk := (len(imgs) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -410,27 +609,29 @@ func (m *Model) PredictBytesBatch(imgs [][]byte) ([]int, error) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				c, err := m.PredictBytes(imgs[i])
-				if err != nil {
-					errs[w] = fmt.Errorf("core: batch item %d: %w", i, err)
-					return
-				}
-				out[i] = c
-			}
+			idxs[w], errs[w] = m.predictBlock(imgs[lo:hi], out[lo:hi], lo)
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	firstIdx, firstErr := -1, error(nil)
+	for w, err := range errs {
+		if err != nil && (firstErr == nil || idxs[w] < firstIdx) {
+			firstIdx, firstErr = idxs[w], err
 		}
+	}
+	if firstErr != nil {
+		return out, fmt.Errorf("core: batch item %d: %w", firstIdx, firstErr)
 	}
 	return out, nil
 }
 
 // Encode exposes the latent embedding of a full-width item.
 func (m *Model) Encode(item []float64) []float64 { return m.vae.Encode(item) }
+
+// Kernel returns the model's bit-native inference kernel, or nil when the
+// geometry fell back to the float path. The kernel's Version identifies
+// the training generation serving predictions.
+func (m *Model) Kernel() *infer.Kernel { return m.kern }
 
 // Padder returns the model's padding front-end (used by experiments to
 // install memory-density callbacks).

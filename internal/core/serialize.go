@@ -87,5 +87,9 @@ func Load(r io.Reader) (*Model, error) {
 		p.SetModel(net, s.LSTMWindow, s.LSTMPredict)
 	}
 	m.padder = p
+	// Rebuild the inference kernel from the restored weights: the table is
+	// derived state, so it is never serialized, and the restored kernel
+	// gets a fresh version of its own.
+	m.kern = buildKernel(m.vae, m.km)
 	return m, nil
 }

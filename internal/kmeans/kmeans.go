@@ -188,11 +188,26 @@ func farthestPoint(data [][]float64, m *Model) int {
 	return best
 }
 
-// Predict returns the index of the nearest centroid to x.
+// Predict returns the index of the nearest centroid to x. The distance to
+// each centroid accumulates term by term — in the same ascending order as
+// mat.SqDist — and bails as soon as the running sum reaches the best seen:
+// squared terms only grow, and the winner update is strict-<, so the early
+// exit returns exactly the full scan's answer (first wins ties) while
+// skipping most of the arithmetic on far centroids.
 func (m *Model) Predict(x []float64) int {
+	if len(m.Centroids) > 0 && len(x) != len(m.Centroids[0]) {
+		panic(fmt.Sprintf("kmeans: Predict input %d wide, centroids %d", len(x), len(m.Centroids[0])))
+	}
 	best, bestD := 0, math.Inf(1)
 	for c, cent := range m.Centroids {
-		d := mat.SqDist(x, cent)
+		d := 0.0
+		for i, cv := range cent {
+			diff := x[i] - cv
+			d += diff * diff
+			if d >= bestD {
+				break
+			}
+		}
 		if d < bestD {
 			best, bestD = c, d
 		}

@@ -184,6 +184,14 @@ type Store struct {
 
 	scrubCursor int    // next segment Scrub will examine
 	scrubBuf    []byte // Scrub's own staging (putLocked reuses segBuf)
+
+	// Batched-path scratch (batch.go), reused under mu: one block of
+	// staged records (stride SegmentSize), the image and original-index
+	// views over it, and the blocked-prediction output.
+	batchBuf      []byte
+	batchImgs     [][]byte
+	batchIdx      []int
+	batchClusters []int
 }
 
 // densityRefreshEvery is the Put interval at which the MemoryBased-padding
@@ -354,13 +362,16 @@ func (s *Store) indexRange(lo, hi int) (int, error) {
 		imgs = append(imgs, img)
 	}
 	// Predict in parallel, then insert in address order so the pool's
-	// FIFO contents stay deterministic.
+	// FIFO contents stay deterministic. A failed item (-1, impossible for
+	// raw full-width segments in practice) skips only its own slot: the
+	// rest of the batch's work is kept and the watermark still advances,
+	// so a retry cannot double-add the successes.
 	clusters, err := model.PredictBytesBatch(imgs)
-	if err != nil {
-		return 0, err
-	}
 	added := 0
 	for i, c := range clusters {
+		if c < 0 {
+			continue
+		}
 		s.pool.Add(c, lo+i)
 		added++
 	}
@@ -372,7 +383,7 @@ func (s *Store) indexRange(lo, hi int) (int, error) {
 		}
 	}
 	s.mu.Unlock()
-	return added, nil
+	return added, err
 }
 
 // Indexed returns the number of device segments currently under DAP
@@ -503,7 +514,17 @@ func (s *Store) putLocked(key uint64, value []byte) error {
 	if err != nil {
 		return err
 	}
-	cluster = s.clampClusterLocked(cluster)
+	return s.placeLocked(key, record, s.clampClusterLocked(cluster), oldAddr)
+}
+
+// placeLocked writes record into a free segment of cluster (the pool
+// falls back across clusters when it is empty), retiring and retrying
+// around worn-out segments, then indexes the new copy and recycles the
+// superseded one. Shared by the single-op and batched put paths; callers
+// hold s.mu.
+//
+// lint:hotpath
+func (s *Store) placeLocked(key uint64, record []byte, cluster, oldAddr int) error {
 	for attempt := 0; ; attempt++ {
 		addr, servedBy, ok := s.pool.Get(cluster)
 		if !ok {

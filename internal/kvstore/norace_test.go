@@ -1,0 +1,7 @@
+//go:build !race
+
+package kvstore
+
+// raceEnabled lets alloc-count tests skip under the race detector, whose
+// sync.Pool deliberately drops Puts (so pooled paths allocate by design).
+const raceEnabled = false

@@ -40,6 +40,10 @@ func (a Activation) String() string {
 	}
 }
 
+// Apply computes σ(x). Exported so inference kernels outside this package
+// (internal/infer) can reproduce Dense.Apply's activation exactly.
+func (a Activation) Apply(x float64) float64 { return a.apply(x) }
+
 func (a Activation) apply(x float64) float64 {
 	switch a {
 	case ReLU:

@@ -21,6 +21,7 @@ package padding
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"math/rand"
 
 	"e2nvm/internal/lstm"
@@ -239,6 +240,103 @@ func (p *Padder) PadTo(dst, data []float64, w int) []float64 {
 		panic(fmt.Sprintf("padding: unknown location %d", int(p.Loc)))
 	}
 	return dst
+}
+
+// CanPadBytes reports whether this padder supports PadBytesTo, the
+// packed-byte fast path: End placement (the item stays byte-aligned at
+// offset 0) with any non-Learned type. Other placements shift the item to
+// bit offsets the byte path does not model, and Learned generation works
+// on float windows.
+func (p *Padder) CanPadBytes() bool {
+	return p.Loc == End && p.Kind != Learned
+}
+
+// PadBytesTo expands a packed byte item (LSB-first bit order, matching
+// bitvec) to w bits directly in byte form, writing into dst's backing
+// array: [data | pad], with the pad bits generated exactly as PadTo would
+// generate them — same RNG draws, in the same order — so a PadBytesTo
+// image packs bit-identical to the float path's. Only valid when
+// CanPadBytes; w must be a multiple of 8. In steady state it does not
+// allocate.
+func (p *Padder) PadBytesTo(dst, data []byte, w int) ([]byte, error) {
+	if !p.CanPadBytes() {
+		return nil, fmt.Errorf("padding: byte path unsupported for %v/%v", p.Loc, p.Kind)
+	}
+	if w%8 != 0 {
+		return nil, fmt.Errorf("padding: byte path needs byte-aligned width, got %d bits", w)
+	}
+	if len(data)*8 > w {
+		return nil, fmt.Errorf("padding: item of %d bits exceeds width %d", len(data)*8, w)
+	}
+	n := w / 8
+	if cap(dst) < n {
+		dst = make([]byte, n) // lint:allow hotpathalloc — grows once to the model width
+	}
+	dst = dst[:n]
+	copy(dst, data)
+	tail := dst[len(data):]
+	switch p.Kind {
+	case Zero:
+		for i := range tail {
+			tail[i] = 0
+		}
+	case One:
+		for i := range tail {
+			tail[i] = 0xFF
+		}
+	case Random:
+		for i := range tail {
+			b := byte(0)
+			for j := 0; j < 8; j++ {
+				b |= byte(p.rng.Intn(2)) << uint(j)
+			}
+			tail[i] = b
+		}
+	case InputBased:
+		p.bernoulliBytes(tail, byteDensity(data))
+	case DatasetBased:
+		d := 0.5
+		if p.dsBits > 0 {
+			d = float64(p.dsOnes) / float64(p.dsBits)
+		}
+		p.bernoulliBytes(tail, d)
+	case MemoryBased:
+		d := 0.5
+		if p.memoryDensity != nil {
+			d = p.memoryDensity() // lint:allow hotpathalloc — owner-supplied density callback, opaque to the call graph
+		}
+		p.bernoulliBytes(tail, d)
+	default:
+		return nil, fmt.Errorf("padding: unknown type %d", int(p.Kind))
+	}
+	return dst, nil
+}
+
+// bernoulliBytes fills tail with Bernoulli(d) bits, LSB-first — the same
+// per-bit draws bernoulli makes, packed as it goes.
+func (p *Padder) bernoulliBytes(tail []byte, d float64) {
+	for i := range tail {
+		b := byte(0)
+		for j := 0; j < 8; j++ {
+			if p.rng.Float64() < d {
+				b |= 1 << uint(j)
+			}
+		}
+		tail[i] = b
+	}
+}
+
+// byteDensity is density over a packed item: ones/bits via popcount,
+// arithmetically identical to the float version.
+func byteDensity(data []byte) float64 {
+	if len(data) == 0 {
+		return 0.5
+	}
+	ones := 0
+	for _, b := range data {
+		ones += mathbits.OnesCount8(b)
+	}
+	return float64(ones) / float64(len(data)*8)
 }
 
 // padBitsInto fills pad (a region of a possibly reused buffer — every slot

@@ -303,3 +303,62 @@ func BenchmarkPadIB(b *testing.B) {
 		p.Pad(data, 256)
 	}
 }
+
+// TestPadBytesToMatchesFloatPath: for every byte-capable type, PadBytesTo
+// from a fresh seed must produce exactly the bits PadTo produces from the
+// same seed — same RNG draws, same order, packed LSB-first.
+func TestPadBytesToMatchesFloatPath(t *testing.T) {
+	for _, kind := range []Type{Zero, One, Random, InputBased, DatasetBased, MemoryBased} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			data := make([]byte, 5)
+			for trial := 0; trial < 20; trial++ {
+				rng.Read(data)
+				pf := New(End, kind, 77)
+				pb := New(End, kind, 77)
+				pf.SetDatasetStats(13, 40)
+				pb.SetDatasetStats(13, 40)
+				pf.SetMemoryDensity(func() float64 { return 0.3 })
+				pb.SetMemoryDensity(func() float64 { return 0.3 })
+				if !pb.CanPadBytes() {
+					t.Fatalf("CanPadBytes false for End/%v", kind)
+				}
+				// Drain both padders twice so RNG state advances in lockstep.
+				for round := 0; round < 2; round++ {
+					bits := make([]float64, len(data)*8)
+					for i := range bits {
+						bits[i] = float64(data[i>>3] >> (uint(i) & 7) & 1)
+					}
+					want := pf.PadTo(nil, bits, 96)
+					got, err := pb.PadBytesTo(nil, data, 96)
+					if err != nil {
+						t.Fatalf("PadBytesTo: %v", err)
+					}
+					for i, wv := range want {
+						gv := got[i>>3] >> (uint(i) & 7) & 1
+						if byte(wv) != gv {
+							t.Fatalf("round %d bit %d: float path %v, byte path %d", round, i, wv, gv)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPadBytesToRejectsMisuse: unsupported shapes and strategies fail
+// with an error, never a wrong image.
+func TestPadBytesToRejectsMisuse(t *testing.T) {
+	if _, err := New(Begin, Zero, 1).PadBytesTo(nil, []byte{1}, 16); err == nil {
+		t.Fatal("Begin placement must be rejected")
+	}
+	if _, err := New(End, Learned, 1).PadBytesTo(nil, []byte{1}, 16); err == nil {
+		t.Fatal("Learned type must be rejected")
+	}
+	if _, err := New(End, Zero, 1).PadBytesTo(nil, []byte{1}, 12); err == nil {
+		t.Fatal("non-byte-aligned width must be rejected")
+	}
+	if _, err := New(End, Zero, 1).PadBytesTo(nil, []byte{1, 2, 3}, 16); err == nil {
+		t.Fatal("oversized item must be rejected")
+	}
+}

@@ -128,6 +128,14 @@ func (m *Model) HiddenDim() int { return m.cfg.HiddenDim }
 // InputDim returns the model input width in bits.
 func (m *Model) InputDim() int { return m.cfg.InputDim }
 
+// EncoderLayers exposes the deterministic encoder stack — the ReLU trunk
+// (InputDim → HiddenDim) and the identity mean head (HiddenDim →
+// LatentDim) — so inference kernels (internal/infer) can precompute
+// layer-specific tables from the trained weights. The returned layers are
+// the model's own: callers must treat them as frozen and never mutate or
+// train through them.
+func (m *Model) EncoderLayers() (encH, encMu *nn.Dense) { return m.encH, m.encMu }
+
 // ParamCount returns the number of trainable scalars.
 func (m *Model) ParamCount() int {
 	n := 0

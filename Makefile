@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race stress lint vet bench fault
+.PHONY: all build test race stress lint lint-self vet bench fault
 
 all: build lint test
 
@@ -9,10 +9,19 @@ build:
 
 # Repo-specific static analysis: per-function analyzers (lockdiscipline,
 # seededrand, floateq, nopanic) plus the inter-procedural ones
-# (hotpathalloc, errflow, deepdeterminism) — see DESIGN.md §8.
+# (hotpathalloc, errflow, deepdeterminism and the concurrency set
+# lockorder, atomicmix, goroutinelife, kernelpure) — see DESIGN.md §8 and
+# §12. -github makes each finding a ::error annotation under Actions; it
+# prints nothing extra when the tree is clean.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/e2nvm-lint ./...
+	$(GO) run ./cmd/e2nvm-lint -github ./...
+
+# The analyzers must satisfy their own invariants (lock discipline in the
+# engine's worklists, seeded randomness in fixtures, error flow in the
+# loader): run the suite over internal/analysis itself.
+lint-self:
+	$(GO) run ./cmd/e2nvm-lint -github ./internal/analysis/...
 
 vet:
 	$(GO) vet ./...

@@ -2,6 +2,7 @@ package e2nvm
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 )
@@ -56,5 +57,64 @@ func TestFacadeBatchRoundTrip(t *testing.T) {
 				t.Fatalf("Len = %d, want %d", s.Len(), n+1)
 			}
 		})
+	}
+}
+
+// TestFacadeBatchErrorsSurviveShardBoundary: a per-item failure inside one
+// shard's sub-batch must come back through the router's regroup machinery
+// still answering errors.Is against the public sentinel, and must not
+// abort the other items (including ones routed to other shards).
+func TestFacadeBatchErrorsSurviveShardBoundary(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.NumSegments = 64 * shards
+			cfg.Shards = shards
+			s, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys := []uint64{3, 17, 31, 45}
+			vals := [][]byte{
+				[]byte("ok-0"),
+				make([]byte, s.MaxValue()+1), // too large: per-item sentinel
+				[]byte("ok-2"),
+				[]byte("ok-3"),
+			}
+			errs := make([]error, len(keys))
+			err = s.PutBatch(keys, vals, errs)
+			if !errors.Is(err, ErrValueTooLarge) {
+				t.Fatalf("PutBatch returned %v, want errors.Is ErrValueTooLarge", err)
+			}
+			for i, e := range errs {
+				if i == 1 {
+					if !errors.Is(e, ErrValueTooLarge) {
+						t.Fatalf("errs[1] = %v, want errors.Is ErrValueTooLarge", e)
+					}
+					continue
+				}
+				if e != nil {
+					t.Fatalf("errs[%d] = %v, want nil", i, e)
+				}
+			}
+			// The failed item must not have blocked its siblings.
+			for _, i := range []int{0, 2, 3} {
+				got, ok, err := s.Get(keys[i])
+				if err != nil || !ok || !bytes.Equal(got, vals[i]) {
+					t.Fatalf("Get(%d) = %q ok=%v err=%v, want %q", keys[i], got, ok, err, vals[i])
+				}
+			}
+		})
+	}
+}
+
+// TestOpenConfigErrors: geometry mistakes at Open answer errors.Is
+// against ErrConfig.
+func TestOpenConfigErrors(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumSegments = 4
+	cfg.Shards = 8 // more shards than segments
+	if _, err := Open(cfg); !errors.Is(err, ErrConfig) {
+		t.Fatalf("Open = %v, want errors.Is ErrConfig", err)
 	}
 }

@@ -17,12 +17,17 @@
 //	nopanic         internal/core, internal/kvstore, internal/txn — the
 //	                storage packages behind the public Store API
 //
-// Three whole-program analyzers then run once over every loaded package,
+// Seven whole-program analyzers then run once over every loaded package,
 // following the call graph across package boundaries:
 //
 //	hotpathalloc     lint:hotpath roots must not reach heap allocations
-//	errflow          exported errors of core/kvstore/txn/nvm wrap sentinels
+//	errflow          exported errors of the storage packages wrap sentinels
 //	deepdeterminism  internal/experiments must stay bit-reproducible
+//	lockorder        the program-wide lock-acquisition graph must be acyclic
+//	atomicmix        each struct field sticks to one access discipline
+//	goroutinelife    every go statement has a provable join or shutdown edge
+//	kernelpure       lint:kernelpure roots reach no map iteration, global
+//	                 writes, float ==, or allocation
 package main
 
 import (
@@ -33,11 +38,15 @@ import (
 	"sort"
 
 	"e2nvm/internal/analysis"
+	"e2nvm/internal/analysis/atomicmix"
 	"e2nvm/internal/analysis/deepdeterminism"
 	"e2nvm/internal/analysis/errflow"
 	"e2nvm/internal/analysis/floateq"
+	"e2nvm/internal/analysis/goroutinelife"
 	"e2nvm/internal/analysis/hotpathalloc"
+	"e2nvm/internal/analysis/kernelpure"
 	"e2nvm/internal/analysis/lockdiscipline"
+	"e2nvm/internal/analysis/lockorder"
 	"e2nvm/internal/analysis/nopanic"
 	"e2nvm/internal/analysis/seededrand"
 )
@@ -54,13 +63,16 @@ var nopanicScope = map[string]bool{
 // reliable on this codebase (the full default set is run by CI separately).
 var vetPasses = []string{"-copylocks", "-lostcancel", "-printf", "-unreachable"}
 
-// errflowScope lists the storage packages (relative to the module root)
-// whose exported error contract errflow enforces.
+// errflowScope lists the packages (relative to the module root; "" is the
+// root facade package itself) whose exported error contract errflow
+// enforces.
 var errflowScope = []string{
+	"",
 	"internal/core",
 	"internal/kvstore",
 	"internal/txn",
 	"internal/nvm",
+	"internal/shard",
 }
 
 func main() {
@@ -98,10 +110,17 @@ func main() {
 	// Whole-program analyzers see every loaded package at once.
 	errflow.ScopePackages = nil
 	for _, rel := range errflowScope {
+		if rel == "" {
+			errflow.ScopePackages = append(errflow.ScopePackages, loader.ModPath)
+			continue
+		}
 		errflow.ScopePackages = append(errflow.ScopePackages, loader.ModPath+"/"+rel)
 	}
 	deepdeterminism.RootPackages = []string{loader.ModPath + "/internal/experiments"}
-	for _, a := range []*analysis.ProgramAnalyzer{hotpathalloc.Analyzer, errflow.Analyzer, deepdeterminism.Analyzer} {
+	for _, a := range []*analysis.ProgramAnalyzer{
+		hotpathalloc.Analyzer, errflow.Analyzer, deepdeterminism.Analyzer,
+		lockorder.Analyzer, atomicmix.Analyzer, goroutinelife.Analyzer, kernelpure.Analyzer,
+	} {
 		pass, err := analysis.NewProgramPass(a, pkgs, &diags)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)

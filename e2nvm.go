@@ -323,7 +323,7 @@ func (c Config) placement() kvstore.Placement {
 // cfg must already have defaults applied.
 func openShards(cfg Config, open func(i int, dev *nvm.Device) (*kvstore.Store, error)) (*Store, error) {
 	if cfg.Shards > cfg.NumSegments {
-		return nil, fmt.Errorf("e2nvm: %d shards over %d segments: at least one segment per shard required", cfg.Shards, cfg.NumSegments)
+		return nil, fmt.Errorf("%w: %d shards over %d segments: at least one segment per shard required", ErrConfig, cfg.Shards, cfg.NumSegments)
 	}
 	starts := cfg.shardStarts()
 	devs := make([]*nvm.Device, cfg.Shards)
@@ -427,6 +427,12 @@ func (s *Store) NeedsRetrain() bool { return s.router.NeedsRetrain() }
 // pools. Serving continues while a shard retrains; see the kvstore layer
 // for the exact snapshot contract.
 func (s *Store) Retrain() error { return s.router.Retrain() }
+
+// Quiesce blocks until every shard's in-flight background retrain (the
+// ones the write path launches on density drift) has finished and applied
+// its pool rebuild. Call it before tearing the store down, or in tests
+// that assert on post-retrain state.
+func (s *Store) Quiesce() { s.router.Quiesce() }
 
 // Metrics is a snapshot of device- and store-level activity.
 type Metrics struct {

@@ -1,9 +1,16 @@
 package e2nvm
 
 import (
+	"errors"
+
 	"e2nvm/internal/kvstore"
 	"e2nvm/internal/nvm"
 )
+
+// ErrConfig marks Open/Load failures caused by an invalid or inconsistent
+// Config (shard/segment geometry, model width mismatches). Test with
+// errors.Is.
+var ErrConfig = errors.New("e2nvm: invalid configuration")
 
 // Error sentinels surfaced by Store operations, re-exported so callers can
 // use errors.Is without importing internal packages.

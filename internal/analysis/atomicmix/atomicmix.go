@@ -1,0 +1,270 @@
+// Package atomicmix defines a whole-program Analyzer that checks every
+// struct field for one consistent synchronization discipline. For each
+// field it classifies every access in the program as
+//
+//   - atomic: the field's address is passed to a sync/atomic function
+//     (fields whose type itself comes from sync or sync/atomic are safe
+//     by construction and skipped entirely);
+//   - guarded: the access happens while the field's guarding mutex — the
+//     struct's "mu" sibling under the lockdiscipline convention — is
+//     held, either locally or in any calling context the inter-procedural
+//     lock propagation can construct (so a bare-looking access inside an
+//     unexported helper that is only ever called under the lock counts
+//     as guarded);
+//   - bare: anything else.
+//
+// Two mixes are reported, both the bug class behind the clampClusterLocked
+// fix and the kvstore atomic density cache:
+//
+//  1. a field with both atomic operations and plain accesses — the plain
+//     side tears or races the atomic side;
+//  2. a mu-guarded field (declared after its struct's mu) with both
+//     guarded and bare accesses — one discipline per field, or the lock
+//     proves nothing.
+//
+// Accesses through a function-local variable that is neither a parameter
+// nor a receiver are construction before publication and exempt. Suppress
+// a deliberate site with `lint:allow atomicmix`.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"e2nvm/internal/analysis"
+)
+
+// Analyzer reports struct fields accessed under mixed synchronization
+// disciplines.
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "atomicmix",
+	Doc: "every struct field gets one synchronization discipline: atomic, " +
+		"mutex-guarded, or plain — mixing atomic with plain access, or guarded " +
+		"with bare access, is a data race waiting for a schedule",
+	Run: run,
+}
+
+// accessKind classifies one field access.
+type accessKind int
+
+const (
+	accessAtomic accessKind = iota
+	accessGuarded
+	accessBare
+)
+
+type access struct {
+	pos  token.Pos
+	kind accessKind
+	fn   *analysis.FuncNode
+}
+
+func run(pass *analysis.ProgramPass) error {
+	li := analysis.CollectLockInfo(pass.Pkgs)
+	lg := li.BuildLockGraph(pass.Graph, func(_ *analysis.FuncNode, c analysis.Call) bool {
+		return pass.Allowed(c.Site)
+	})
+
+	byField := map[*types.Var][]access{}
+	fieldOrder := []*types.Var{}
+
+	for _, n := range pass.Graph.Nodes() {
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		info := n.Pkg.TypesInfo
+		entry := lg.EntryHeld[n]
+		// Selector expressions whose address feeds a sync/atomic call.
+		atomicSels := map[*ast.SelectorExpr]bool{}
+		li.WalkHeld(n, entry, analysis.HeldVisitor{
+			Node: func(x ast.Node, held analysis.LockSet) {
+				switch x := x.(type) {
+				case *ast.CallExpr:
+					if !isAtomicCall(info, x) {
+						return
+					}
+					for _, a := range x.Args {
+						if u, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && u.Op == token.AND {
+							if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+								atomicSels[sel] = true
+							}
+						}
+					}
+				case *ast.SelectorExpr:
+					f := fieldOf(info, x)
+					if f == nil || syncShielded(f.Type()) {
+						return
+					}
+					if localBase(info, x, body) {
+						return // construction before publication
+					}
+					kind := accessBare
+					switch {
+					case atomicSels[x]:
+						kind = accessAtomic
+					case li.GuardOf(f) != "" && held[li.GuardOf(f)]:
+						kind = accessGuarded
+					}
+					if _, seen := byField[f]; !seen {
+						fieldOrder = append(fieldOrder, f)
+					}
+					byField[f] = append(byField[f], access{pos: x.Pos(), kind: kind, fn: n})
+				}
+			},
+		})
+	}
+
+	sort.Slice(fieldOrder, func(i, j int) bool { return fieldOrder[i].Pos() < fieldOrder[j].Pos() })
+	for _, f := range fieldOrder {
+		accs := byField[f]
+		sort.Slice(accs, func(i, j int) bool { return accs[i].pos < accs[j].pos })
+		reportField(pass, li, f, accs)
+	}
+	return nil
+}
+
+// reportField checks one field's classified accesses for a mix.
+func reportField(pass *analysis.ProgramPass, li *analysis.LockInfo, f *types.Var, accs []access) {
+	var firstAtomic, firstPlain, firstGuarded, firstBare *access
+	for i := range accs {
+		a := &accs[i]
+		switch a.kind {
+		case accessAtomic:
+			if firstAtomic == nil {
+				firstAtomic = a
+			}
+		case accessGuarded:
+			if firstGuarded == nil {
+				firstGuarded = a
+			}
+			if firstPlain == nil {
+				firstPlain = a
+			}
+		case accessBare:
+			if firstBare == nil {
+				firstBare = a
+			}
+			if firstPlain == nil {
+				firstPlain = a
+			}
+		}
+	}
+	name := fieldName(f)
+	if firstAtomic != nil && firstPlain != nil {
+		// Every plain access is its own finding, so an allow on one site
+		// does not hide the others.
+		for i := range accs {
+			a := &accs[i]
+			if a.kind == accessAtomic {
+				continue
+			}
+			pass.Reportf(a.pos,
+				"field %s mixes sync/atomic operations (e.g. %s) with plain access in %s; pick one discipline",
+				name, pass.Fset.Position(firstAtomic.pos), a.fn.Name())
+		}
+		return
+	}
+	if guard := li.GuardOf(f); guard != "" && firstGuarded != nil && firstBare != nil {
+		for i := range accs {
+			a := &accs[i]
+			if a.kind != accessBare {
+				continue
+			}
+			pass.Reportf(a.pos,
+				"mu-guarded field %s is accessed without %s held in %s (guarded elsewhere, e.g. %s); lock it, move the field above mu, or lint:allow atomicmix with the reason",
+				name, guard, a.fn.Name(), pass.Fset.Position(firstGuarded.pos))
+		}
+	}
+}
+
+// fieldOf returns the struct field a selector expression reads or
+// writes, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// syncShielded reports whether the field's own type carries its
+// synchronization (anything defined in sync or sync/atomic).
+func syncShielded(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic")
+}
+
+// localBase reports whether the selector's base is a variable declared
+// inside body — a value under construction that no other goroutine can
+// see yet. Parameters and receivers are declared in the signature, before
+// the body, so they do not qualify.
+func localBase(info *types.Info, sel *ast.SelectorExpr, body *ast.BlockStmt) bool {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	return body.Pos() <= v.Pos() && v.Pos() < body.End()
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// fieldName renders a field as pkg.Type.field when its owner is known.
+func fieldName(f *types.Var) string {
+	name := f.Name()
+	if f.Pkg() != nil {
+		name = f.Pkg().Name() + "." + ownerName(f) + name
+	}
+	return name
+}
+
+// ownerName best-effort recovers the defining struct's type name.
+func ownerName(f *types.Var) string {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	scope := pkg.Scope()
+	for _, tn := range scope.Names() {
+		obj, ok := scope.Lookup(tn).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == f {
+				return obj.Name() + "."
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,11 @@
+package atomicmix
+
+import (
+	"testing"
+
+	"e2nvm/internal/analysis/analysistest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.RunProgram(t, "../testdata", Analyzer, "atomicmix")
+}

@@ -156,6 +156,9 @@ func (g *CallGraph) Nodes() []*FuncNode { return g.all }
 // NodeOf returns the graph node for a declared function object, or nil.
 func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode { return g.nodes[fn] }
 
+// LitNode returns the graph node for a function literal, or nil.
+func (g *CallGraph) LitNode(lit *ast.FuncLit) *FuncNode { return g.lits[lit] }
+
 // BuildCallGraph constructs the call graph over the given packages (one
 // loader's worth of type-checked packages sharing a FileSet).
 func BuildCallGraph(pkgs []*Package) *CallGraph {

@@ -1,0 +1,192 @@
+// Package goroutinelife defines a whole-program Analyzer that requires
+// every goroutine launch to carry a provable join or shutdown edge, so no
+// fire-and-forget goroutine can outlive the store that spawned it (and
+// keep mutating a swapped-out model, a closed device, or a drained pool).
+//
+// A launch is accepted when the goroutine's body — the function literal,
+// or the statically resolved callee of `go f()` — contains any of:
+//
+//   - a WaitGroup.Done whose WaitGroup is Wait()ed somewhere in the
+//     program (matched by the variable or field object, so the Add/Done
+//     and the Wait may live in different methods or packages);
+//   - a send on a channel some function receives from (a result handoff:
+//     the receiver blocks until the goroutine finishes);
+//   - a channel receive of its own — `<-ch`, `range ch`, or a select
+//     receive arm — which is a shutdown edge: the owner ends the
+//     goroutine by sending or closing.
+//
+// A launch whose target cannot be resolved (a function value) cannot be
+// verified and is flagged. Deliberately detached goroutines use
+// `lint:allow goroutinelife` on the launch line with the reason.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"e2nvm/internal/analysis"
+)
+
+// Analyzer flags goroutine launches with no provable join or shutdown.
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "goroutinelife",
+	Doc: "every go statement needs a provable join (WaitGroup.Wait, result-channel " +
+		"receive) or shutdown edge (channel receive in the body); fire-and-forget " +
+		"goroutines can outlive their owner",
+	Run: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := pass.Graph
+
+	// Program-wide signal collection: which WaitGroup objects are ever
+	// Wait()ed, and which channel objects are ever received from.
+	waited := map[*types.Var]bool{}
+	received := map[*types.Var]bool{}
+	for _, n := range g.Nodes() {
+		info := n.Pkg.TypesInfo
+		n.InspectOwn(func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.CallExpr:
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+					if v := resolveVar(info, sel.X); v != nil && isWaitGroup(v.Type()) {
+						waited[v] = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if x.Op == recvOp {
+					if v := resolveVar(info, x.X); v != nil {
+						received[v] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if t := info.Types[x.X].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						if v := resolveVar(info, x.X); v != nil {
+							received[v] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, n := range g.Nodes() {
+		info := n.Pkg.TypesInfo
+		n.InspectOwn(func(x ast.Node) bool {
+			gs, ok := x.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(g, info, gs)
+			if body == nil {
+				pass.Reportf(gs.Pos(),
+					"goroutine target is a function value the engine cannot resolve; "+
+						"its lifetime is unverifiable — launch a named function or literal, or lint:allow goroutinelife with the reason")
+				return true
+			}
+			if joined(info, body, waited, received) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine has no provable join or shutdown edge (no WaitGroup.Done matched by a Wait, "+
+					"no send on a received channel, no channel receive of its own); "+
+					"a fire-and-forget goroutine can outlive its owner — join it or lint:allow goroutinelife with the reason")
+			return true
+		})
+	}
+	return nil
+}
+
+// recvOp is the channel-receive operator token.
+const recvOp = token.ARROW
+
+// goBody resolves the launched goroutine's body: the literal's own body,
+// or the statically resolved in-program callee's.
+func goBody(g *analysis.CallGraph, info *types.Info, gs *ast.GoStmt) *ast.BlockStmt {
+	switch f := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return f.Body
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			if n := g.NodeOf(fn); n != nil {
+				return n.Body()
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			if n := g.NodeOf(fn); n != nil {
+				return n.Body()
+			}
+		}
+	}
+	return nil
+}
+
+// joined reports whether the body carries a join or shutdown edge.
+func joined(info *types.Info, body *ast.BlockStmt, waited, received map[*types.Var]bool) bool {
+	ok := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if sel, selOK := x.Fun.(*ast.SelectorExpr); selOK && sel.Sel.Name == "Done" {
+				if v := resolveVar(info, sel.X); v != nil && isWaitGroup(v.Type()) && waited[v] {
+					ok = true
+				}
+			}
+		case *ast.SendStmt:
+			if v := resolveVar(info, x.Chan); v != nil && received[v] {
+				ok = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == recvOp {
+				ok = true // shutdown edge: the owner can end this goroutine
+			}
+		case *ast.RangeStmt:
+			if t := info.Types[x.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					ok = true
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// resolveVar maps an identifier or field selection to its variable
+// object, unwrapping one level of selector (x.wg, p.done, wg, done).
+func resolveVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+			return nil
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -1,0 +1,11 @@
+package goroutinelife
+
+import (
+	"testing"
+
+	"e2nvm/internal/analysis/analysistest"
+)
+
+func TestGoroutineLife(t *testing.T) {
+	analysistest.RunProgram(t, "../testdata", Analyzer, "goroutinelife")
+}

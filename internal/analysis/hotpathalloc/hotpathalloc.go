@@ -64,18 +64,20 @@ func run(pass *analysis.ProgramPass) error {
 		if !ok {
 			continue
 		}
-		checkFunc(pass, n, step.Root, reach)
+		CheckFunc(pass, n, step.Root, reach, "hot path")
 	}
 	return nil
 }
 
-// checkFunc scans one reached function's own body for allocating
-// constructs and reports them against the hot-path root that reaches it.
-func checkFunc(pass *analysis.ProgramPass, n, root *analysis.FuncNode, reach map[*analysis.FuncNode]analysis.ReachStep) {
-	cold := coldRanges(n)
+// CheckFunc scans one reached function's own body for allocating
+// constructs and reports them against the root that reaches it, labelled
+// with kind ("hot path" here; the kernelpure analyzer reuses the scan
+// with its own label and root set).
+func CheckFunc(pass *analysis.ProgramPass, n, root *analysis.FuncNode, reach map[*analysis.FuncNode]analysis.ReachStep, kind string) {
+	cold := ColdRanges(n)
 	flag := func(site token.Pos, what string) {
 		for _, r := range cold {
-			if r.contains(site) {
+			if r.Contains(site) {
 				return
 			}
 		}
@@ -83,11 +85,11 @@ func checkFunc(pass *analysis.ProgramPass, n, root *analysis.FuncNode, reach map
 			return
 		}
 		if n == root {
-			pass.Reportf(site, "%s on hot path %s", what, root.Name())
+			pass.Reportf(site, "%s on %s %s", what, kind, root.Name())
 			return
 		}
-		pass.Reportf(root.Pos(), "hot path %s reaches %s in %s (%s) at %s",
-			root.Name(), what, n.Name(), analysis.PathTo(reach, n), pass.Fset.Position(site))
+		pass.Reportf(root.Pos(), "%s %s reaches %s in %s (%s) at %s",
+			kind, root.Name(), what, n.Name(), analysis.PathTo(reach, n), pass.Fset.Position(site))
 	}
 
 	info := n.Pkg.TypesInfo
@@ -237,16 +239,17 @@ func isPointerLike(t types.Type) bool {
 	return false
 }
 
-// posRange is a half-open source range.
-type posRange struct{ lo, hi token.Pos }
+// PosRange is a half-open source range.
+type PosRange struct{ lo, hi token.Pos }
 
-func (r posRange) contains(p token.Pos) bool { return r.lo <= p && p < r.hi }
+// Contains reports whether p falls within the range.
+func (r PosRange) Contains(p token.Pos) bool { return r.lo <= p && p < r.hi }
 
-// coldRanges collects blocks that end by returning a freshly constructed
+// ColdRanges collects blocks that end by returning a freshly constructed
 // error or panicking — cold error exits whose allocations (the error
 // itself, its formatting) are off the measured path.
-func coldRanges(n *analysis.FuncNode) []posRange {
-	var out []posRange
+func ColdRanges(n *analysis.FuncNode) []PosRange {
+	var out []PosRange
 	info := n.Pkg.TypesInfo
 	n.InspectOwn(func(x ast.Node) bool {
 		var list []ast.Stmt
@@ -269,12 +272,12 @@ func coldRanges(n *analysis.FuncNode) []posRange {
 		switch last := list[len(list)-1].(type) {
 		case *ast.ReturnStmt:
 			if len(last.Results) > 0 && isErrorConstruction(info, last.Results[len(last.Results)-1]) {
-				out = append(out, posRange{list[0].Pos(), last.End()})
+				out = append(out, PosRange{list[0].Pos(), last.End()})
 			}
 		case *ast.ExprStmt:
 			if call, ok := last.X.(*ast.CallExpr); ok {
 				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-					out = append(out, posRange{list[0].Pos(), last.End()})
+					out = append(out, PosRange{list[0].Pos(), last.End()})
 				}
 			}
 		}

@@ -1,0 +1,11 @@
+package kernelpure
+
+import (
+	"testing"
+
+	"e2nvm/internal/analysis/analysistest"
+)
+
+func TestKernelPure(t *testing.T) {
+	analysistest.RunProgram(t, "../testdata", Analyzer, "kernelpure")
+}

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -122,6 +124,9 @@ func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 	for _, e := range entries {
 		n := e.Name()
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		if !buildOK(filepath.Join(dir, n)) {
 			continue
 		}
 		names = append(names, n)
@@ -246,4 +251,32 @@ func packageDirs(base string) ([]string, error) {
 		return nil
 	})
 	return dirs, err
+}
+
+// buildOK reports whether the file's //go:build constraint (if any) is
+// satisfied by the default build configuration: GOOS, GOARCH and the gc
+// toolchain, with no extra tags. Files gated on a tag such as `race` are
+// excluded, mirroring what `go build` compiles.
+func buildOK(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return true // let the parser produce the real error
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if constraint.IsGoBuild(line) {
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc"
+			})
+		}
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		return true // reached the package clause: no constraint
+	}
+	return true
 }

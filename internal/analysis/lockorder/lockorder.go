@@ -1,0 +1,133 @@
+// Package lockorder defines a whole-program Analyzer that builds the
+// lock-acquisition graph — which mutexes may be held when each other
+// mutex is acquired, propagated inter-procedurally across package
+// boundaries (shard.Router → kvstore.Store → dap.Pool chains) — and
+// reports cycles: two locks ever taken in both orders on different code
+// paths, or one lock re-acquired while already held. Either is a
+// potential deadlock sync.Mutex turns into a certain one.
+//
+// The graph comes from the shared lock machinery in internal/analysis:
+// mutexes are tracked at type granularity (every kvstore.Store instance
+// is "kvstore.Store.mu"), goroutine bodies start with no inherited locks,
+// and closures conservatively inherit their creation-site held set. A
+// closure that provably runs after release (a completion callback
+// dispatched from a goroutine, say) declares so with `lint:allow
+// lockorder` on its creation line, which prunes the propagation edge.
+package lockorder
+
+import (
+	"fmt"
+	"strings"
+
+	"e2nvm/internal/analysis"
+)
+
+// Analyzer reports cycles in the program's lock-acquisition graph.
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "lockorder",
+	Doc: "mutex pairs must be acquired in one global order on every code path, " +
+		"and no path may re-acquire a mutex it already holds; cycles are potential deadlocks",
+	Run: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	li := analysis.CollectLockInfo(pass.Pkgs)
+	lg := li.BuildLockGraph(pass.Graph, func(_ *analysis.FuncNode, c analysis.Call) bool {
+		return pass.Allowed(c.Site)
+	})
+
+	// Report each elementary cycle once, keyed by its smallest LockID:
+	// BFS from every id in sorted order and keep only cycles whose
+	// minimum element is the start, so A -> B -> A and B -> A -> B are the
+	// same finding.
+	for _, start := range lg.Order {
+		cycle := shortestCycle(lg, start)
+		if cycle == nil {
+			continue
+		}
+		min := cycle[0]
+		for _, id := range cycle {
+			if id < min {
+				min = id
+			}
+		}
+		if min != start {
+			continue
+		}
+		report(pass, lg, cycle)
+	}
+	return nil
+}
+
+// shortestCycle returns the lock sequence of a shortest cycle through
+// start — [start, next, ..., last] with an edge last -> start — or nil.
+func shortestCycle(lg *analysis.LockGraph, start analysis.LockID) []analysis.LockID {
+	type hop struct {
+		id   analysis.LockID
+		prev int // index into visits, -1 for the start
+	}
+	visits := []hop{{id: start, prev: -1}}
+	seen := map[analysis.LockID]bool{start: true}
+	for i := 0; i < len(visits); i++ {
+		cur := visits[i]
+		inner := lg.Edges[cur.id]
+		for _, next := range sortedInner(inner) {
+			if next == start {
+				// Reconstruct start -> ... -> cur.id, then the closing edge.
+				var rev []analysis.LockID
+				for j := i; j != -1; j = visits[j].prev {
+					rev = append(rev, visits[j].id)
+				}
+				out := make([]analysis.LockID, 0, len(rev))
+				for j := len(rev) - 1; j >= 0; j-- {
+					out = append(out, rev[j])
+				}
+				return out
+			}
+			if !seen[next] {
+				seen[next] = true
+				visits = append(visits, hop{id: next, prev: i})
+			}
+		}
+	}
+	return nil
+}
+
+func sortedInner(m map[analysis.LockID]*analysis.LockEdge) []analysis.LockID {
+	out := make([]analysis.LockID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// report emits one diagnostic for the cycle, positioned at its first
+// edge's acquisition site and naming every edge's witness.
+func report(pass *analysis.ProgramPass, lg *analysis.LockGraph, cycle []analysis.LockID) {
+	if len(cycle) == 1 {
+		e := lg.Edges[cycle[0]][cycle[0]]
+		pass.Reportf(e.Site, "potential deadlock: %s acquired while already held in %s (%s)",
+			e.Inner, e.Fn.Name(), e.Chain)
+		return
+	}
+	var edges []*analysis.LockEdge
+	for i := range cycle {
+		edges = append(edges, lg.Edges[cycle[i]][cycle[(i+1)%len(cycle)]])
+	}
+	var seq, wit []string
+	for _, id := range cycle {
+		seq = append(seq, string(id))
+	}
+	seq = append(seq, string(cycle[0]))
+	for _, e := range edges {
+		wit = append(wit, fmt.Sprintf("%s acquired while %s held in %s (%s) at %s",
+			e.Inner, e.Outer, e.Fn.Name(), e.Chain, pass.Fset.Position(e.Site)))
+	}
+	pass.Reportf(edges[0].Site, "potential deadlock: lock-order cycle %s; %s",
+		strings.Join(seq, " -> "), strings.Join(wit, "; "))
+}

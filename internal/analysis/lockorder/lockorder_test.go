@@ -1,0 +1,11 @@
+package lockorder
+
+import (
+	"testing"
+
+	"e2nvm/internal/analysis/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.RunProgram(t, "../testdata", Analyzer, "lockorder")
+}

@@ -1,0 +1,699 @@
+package analysis
+
+// This file is the shared lock-tracking half of the inter-procedural
+// framework: it identifies the program's mutexes (mutex-typed struct
+// fields and package-level mutex variables), simulates which of them are
+// held along the statement paths of one function (the same conservative
+// structural walk lockdiscipline uses for its leaked-lock rule), and
+// propagates held-lock contexts across the call graph so whole-program
+// analyzers can ask two questions lockdiscipline cannot:
+//
+//   - which locks may be held when another lock is acquired (the
+//     lock-acquisition graph lockorder builds its deadlock-cycle check
+//     on), and
+//   - which locks are guaranteed held on entry to a function that never
+//     locks anything itself (the guard inference atomicmix needs to
+//     classify field accesses inside unexported helpers).
+//
+// Mutexes are identified at type granularity: every instance of
+// kvstore.Store shares the LockID "kvstore.Store.mu". That approximation
+// is what makes the analysis whole-program tractable, and it is exact for
+// this codebase, where no code path locks two instances of the same
+// struct type.
+//
+// Propagation semantics, chosen to match how the code actually runs:
+//
+//   - a static or dynamic call transfers the caller's held set to the
+//     callee as its entry context;
+//   - a go statement's target runs with an empty held set (a goroutine
+//     does not inherit its creator's locks);
+//   - creating a function literal transfers the creation-site held set
+//     (a closure built under a lock is conservatively assumed to run
+//     under it — suppressible with lint:allow on the creation line when
+//     the closure provably runs after release);
+//   - calls through unresolvable function values propagate nothing.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockID names one program mutex at type granularity: "pkg.Type.field"
+// for a mutex-typed struct field, "pkg.var" for a package-level mutex.
+type LockID string
+
+// LockSet is a set of held LockIDs. Treat values as immutable: with and
+// without return clones.
+type LockSet map[LockID]bool
+
+func (s LockSet) with(id LockID) LockSet {
+	if s[id] {
+		return s
+	}
+	out := make(LockSet, len(s)+1)
+	for k := range s {
+		out[k] = true
+	}
+	out[id] = true
+	return out
+}
+
+func (s LockSet) without(id LockID) LockSet {
+	if !s[id] {
+		return s
+	}
+	out := make(LockSet, len(s))
+	for k := range s {
+		if k != id {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (s LockSet) union(t LockSet) LockSet {
+	if len(t) == 0 {
+		return s
+	}
+	if len(s) == 0 {
+		return t
+	}
+	out := make(LockSet, len(s)+len(t))
+	for k := range s {
+		out[k] = true
+	}
+	for k := range t {
+		out[k] = true
+	}
+	return out
+}
+
+// key returns a canonical string for memoizing (function, held-set)
+// contexts.
+func (s LockSet) key() string {
+	if len(s) == 0 {
+		return ""
+	}
+	ids := make([]string, 0, len(s))
+	for id := range s {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, "+")
+}
+
+// Names returns the set's ids sorted, for deterministic diagnostics.
+func (s LockSet) Names() []string {
+	ids := make([]string, 0, len(s))
+	for id := range s {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// LockOp classifies a mutex method call.
+type LockOp int
+
+// Lock operations. RLock/RUnlock map to the same acquire/release pair:
+// the read/write distinction does not matter for ordering or guarding.
+const (
+	LockAcquire LockOp = iota
+	LockRelease
+)
+
+// LockInfo indexes the program's trackable mutexes by their defining
+// *types.Var (struct field or package-level variable).
+type LockInfo struct {
+	ids map[*types.Var]LockID
+	// guards maps each mutex field's LockID to the sibling fields it
+	// guards under the lockdiscipline convention (every non-mutex field
+	// declared after the mutex), keyed by field object.
+	guarded map[*types.Var]LockID
+}
+
+// CollectLockInfo finds every mutex-typed struct field and package-level
+// mutex variable across pkgs, and records — for struct fields named "mu"
+// — which sibling fields the lockdiscipline convention places under them.
+func CollectLockInfo(pkgs []*Package) *LockInfo {
+	li := &LockInfo{ids: map[*types.Var]LockID{}, guarded: map[*types.Var]LockID{}}
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			switch obj := scope.Lookup(name).(type) {
+			case *types.TypeName:
+				if obj.IsAlias() {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				var guardID LockID
+				for i := 0; i < st.NumFields(); i++ {
+					f := st.Field(i)
+					if isMutexType(f.Type()) {
+						id := LockID(pkg.Types.Name() + "." + obj.Name() + "." + f.Name())
+						li.ids[f] = id
+						if f.Name() == "mu" && guardID == "" {
+							guardID = id
+						}
+					} else if guardID != "" {
+						li.guarded[f] = guardID
+					}
+				}
+			case *types.Var:
+				if isMutexType(obj.Type()) {
+					li.ids[obj] = LockID(pkg.Types.Name() + "." + obj.Name())
+				}
+			}
+		}
+	}
+	return li
+}
+
+// GuardOf returns the LockID guarding a struct field under the
+// lockdiscipline convention (the field is declared after its struct's
+// "mu" mutex), or "" when the field is unguarded.
+func (li *LockInfo) GuardOf(field *types.Var) LockID { return li.guarded[field] }
+
+// VarOf returns the LockID of a mutex field or package-level mutex
+// variable, or "".
+func (li *LockInfo) VarOf(v *types.Var) LockID { return li.ids[v] }
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// LockOpAt classifies call as an acquire or release of a tracked mutex.
+func (li *LockInfo) LockOpAt(info *types.Info, call *ast.CallExpr) (LockID, LockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	var op LockOp
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = LockAcquire
+	case "Unlock", "RUnlock":
+		op = LockRelease
+	default:
+		return "", 0, false
+	}
+	v := li.resolveMutexExpr(info, sel.X)
+	if v == "" {
+		return "", 0, false
+	}
+	return v, op, true
+}
+
+// resolveMutexExpr maps the receiver expression of a Lock/Unlock call to
+// a tracked LockID: a field selection x.mu, or a (package-level) mutex
+// identifier.
+func (li *LockInfo) resolveMutexExpr(info *types.Info, e ast.Expr) LockID {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return li.ids[v]
+			}
+			return ""
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return li.ids[v]
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return li.ids[v]
+		}
+	}
+	return ""
+}
+
+// HeldVisitor receives WalkHeld's events.
+type HeldVisitor struct {
+	// Node is invoked for every visited AST node of the function's own
+	// body with the locks held at that point. A nested function literal
+	// is delivered once (its creation node) and not descended into.
+	Node func(n ast.Node, held LockSet)
+	// Spawn is invoked for each go statement with the locks held at the
+	// launch site. The goroutine's body runs with no inherited locks; the
+	// statement's call expression is not separately delivered to Node.
+	Spawn func(g *ast.GoStmt, held LockSet)
+}
+
+// WalkHeld simulates lock state through fn's own body starting from the
+// entry held-set, invoking v's callbacks with the set current at each
+// point. The walk mirrors lockdiscipline's structural return-path walk:
+// Lock/RLock adds, explicit Unlock/RUnlock removes, defer Unlock keeps
+// the lock held for the remainder of the body (it releases only at
+// return), and an if/else merge unions the branch exits, dropping
+// branches that terminate in return or panic.
+func (li *LockInfo) WalkHeld(fn *FuncNode, entry LockSet, v HeldVisitor) {
+	info := fn.Pkg.TypesInfo
+	if entry == nil {
+		entry = LockSet{}
+	}
+
+	visitExpr := func(e ast.Expr, held LockSet) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if lit, ok := n.(*ast.FuncLit); ok && lit != fn.Lit {
+				if v.Node != nil {
+					v.Node(lit, held)
+				}
+				return false
+			}
+			if v.Node != nil {
+				v.Node(n, held)
+			}
+			return true
+		})
+	}
+
+	var walkStmts func(stmts []ast.Stmt, held LockSet) LockSet
+	var walkStmt func(s ast.Stmt, held LockSet) LockSet
+
+	walkStmt = func(s ast.Stmt, held LockSet) LockSet {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			visitExpr(s.X, held)
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, op, ok := li.LockOpAt(info, call); ok {
+					if op == LockAcquire {
+						held = held.with(id)
+					} else {
+						held = held.without(id)
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			if _, op, ok := li.LockOpAt(info, s.Call); ok && op == LockRelease {
+				// The lock stays held for the rest of the body; the defer
+				// releases it only on the way out.
+				break
+			}
+			visitExpr(s.Call, held)
+		case *ast.GoStmt:
+			if v.Spawn != nil {
+				v.Spawn(s, held)
+			}
+			for _, a := range s.Call.Args {
+				visitExpr(a, held)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				visitExpr(r, held)
+			}
+		case *ast.BlockStmt:
+			held = walkStmts(s.List, held)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				held = walkStmt(s.Init, held)
+			}
+			visitExpr(s.Cond, held)
+			bodyExit := walkStmts(s.Body.List, held)
+			if s.Else != nil {
+				elseExit := walkStmt(s.Else, held)
+				held = mergeHeld(s.Body.List, bodyExit, flattenElse(s.Else), elseExit)
+			} else if !heldTerminates(s.Body.List) {
+				held = held.union(bodyExit)
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				held = walkStmt(s.Init, held)
+			}
+			visitExpr(s.Cond, held)
+			if s.Post != nil {
+				walkStmt(s.Post, held)
+			}
+			walkStmts(s.Body.List, held)
+		case *ast.RangeStmt:
+			visitExpr(s.X, held)
+			visitExpr(s.Key, held)
+			visitExpr(s.Value, held)
+			walkStmts(s.Body.List, held)
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				held = walkStmt(s.Init, held)
+			}
+			visitExpr(s.Tag, held)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, e := range cc.List {
+						visitExpr(e, held)
+					}
+					walkStmts(cc.Body, held)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			if s.Init != nil {
+				held = walkStmt(s.Init, held)
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body, held)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					if cc.Comm != nil {
+						walkStmt(cc.Comm, held)
+					}
+					walkStmts(cc.Body, held)
+				}
+			}
+		case *ast.LabeledStmt:
+			held = walkStmt(s.Stmt, held)
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				visitExpr(l, held)
+			}
+			for _, r := range s.Rhs {
+				visitExpr(r, held)
+			}
+		case *ast.IncDecStmt:
+			visitExpr(s.X, held)
+		case *ast.SendStmt:
+			visitExpr(s.Chan, held)
+			visitExpr(s.Value, held)
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, sp := range gd.Specs {
+					if vs, ok := sp.(*ast.ValueSpec); ok {
+						for _, val := range vs.Values {
+							visitExpr(val, held)
+						}
+					}
+				}
+			}
+		}
+		return held
+	}
+
+	walkStmts = func(stmts []ast.Stmt, held LockSet) LockSet {
+		for _, s := range stmts {
+			held = walkStmt(s, held)
+		}
+		return held
+	}
+
+	body := fn.Body()
+	if body == nil {
+		return
+	}
+	walkStmts(body.List, entry)
+}
+
+// flattenElse flattens an else arm into its statement list.
+func flattenElse(s ast.Stmt) []ast.Stmt {
+	if b, ok := s.(*ast.BlockStmt); ok {
+		return b.List
+	}
+	return []ast.Stmt{s}
+}
+
+// mergeHeld combines the exit sets of an if/else pair: a branch that
+// terminates (return or panic) does not flow out.
+func mergeHeld(body []ast.Stmt, bodyExit LockSet, els []ast.Stmt, elseExit LockSet) LockSet {
+	bt, et := heldTerminates(body), heldTerminates(els)
+	switch {
+	case bt && et:
+		return LockSet{}
+	case bt:
+		return elseExit
+	case et:
+		return bodyExit
+	default:
+		return bodyExit.union(elseExit)
+	}
+}
+
+// heldTerminates reports whether a statement list ends in return or panic.
+func heldTerminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// LockEdge is the first witness of one acquired-while-held pair: inner
+// was acquired at Site inside Fn while outer was held, reached from an
+// entry point via Chain.
+type LockEdge struct {
+	Outer, Inner LockID
+	Site         token.Pos
+	Fn           *FuncNode
+	Chain        string // "entry -> ... -> Fn" context provenance
+}
+
+// LockGraph is the program's lock-acquisition graph plus the per-function
+// guaranteed-entry-held sets the propagation computed on the way.
+type LockGraph struct {
+	// Edges[outer][inner] is the first witness of inner being acquired
+	// while outer was held.
+	Edges map[LockID]map[LockID]*LockEdge
+	// EntryHeld[fn] is the set of locks guaranteed held whenever fn runs:
+	// the intersection of every propagated entry context. Functions
+	// callable from outside the program (exported, or never called
+	// in-program) include the empty context, so their set is empty.
+	EntryHeld map[*FuncNode]LockSet
+	// Order lists every LockID that appears in Edges, sorted.
+	Order []LockID
+}
+
+// lockCtx is one propagation work item: fn analyzed under an entry
+// held-set, with provenance back to the context that created it.
+type lockCtx struct {
+	fn     *FuncNode
+	entry  LockSet
+	parent *lockCtx
+}
+
+func (c *lockCtx) chain() string {
+	var names []string
+	for cur := c; cur != nil; cur = cur.parent {
+		names = append(names, cur.fn.Name())
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}
+
+// BuildLockGraph runs the context-sensitive propagation over the whole
+// call graph. skip, when non-nil, prunes a propagation edge (the hook
+// analyzers use to honor lint:allow on a call or closure-creation site);
+// it receives the call-graph edge when one exists and a synthesized
+// CallRef for closure creations.
+func (li *LockInfo) BuildLockGraph(g *CallGraph, skip func(from *FuncNode, c Call) bool) *LockGraph {
+	lg := &LockGraph{
+		Edges:     map[LockID]map[LockID]*LockEdge{},
+		EntryHeld: map[*FuncNode]LockSet{},
+	}
+
+	// In-program callee set, to find entry points.
+	hasCaller := map[*FuncNode]bool{}
+	for _, n := range g.Nodes() {
+		for _, c := range n.Calls {
+			if c.Callee != nil {
+				hasCaller[c.Callee] = true
+			}
+			for _, t := range c.Targets {
+				hasCaller[t] = true
+			}
+		}
+	}
+
+	// callAt maps a node's call-site positions back to its resolved
+	// call-graph edges, so the AST walk can follow them.
+	type siteKey struct {
+		fn   *FuncNode
+		site token.Pos
+	}
+	callAt := map[siteKey]Call{}
+	for _, n := range g.Nodes() {
+		for _, c := range n.Calls {
+			callAt[siteKey{n, c.Site}] = c
+		}
+	}
+
+	ctxSeen := map[*FuncNode]map[string]bool{}
+	var queue []*lockCtx
+	enqueue := func(fn *FuncNode, entry LockSet, parent *lockCtx) {
+		if fn == nil {
+			return
+		}
+		if prev, ok := lg.EntryHeld[fn]; !ok {
+			lg.EntryHeld[fn] = entry
+		} else {
+			// Guaranteed-held is the intersection across contexts.
+			inter := LockSet{}
+			for id := range prev {
+				if entry[id] {
+					inter[id] = true
+				}
+			}
+			lg.EntryHeld[fn] = inter
+		}
+		byKey := ctxSeen[fn]
+		if byKey == nil {
+			byKey = map[string]bool{}
+			ctxSeen[fn] = byKey
+		}
+		k := entry.key()
+		if byKey[k] {
+			return
+		}
+		byKey[k] = true
+		queue = append(queue, &lockCtx{fn: fn, entry: entry, parent: parent})
+	}
+
+	// Seed: every function callable from outside the program runs with no
+	// locks held — exported declared functions, and any function with no
+	// in-program caller.
+	for _, n := range g.Nodes() {
+		if n.Obj != nil && (n.Obj.Exported() || !hasCaller[n]) {
+			enqueue(n, LockSet{}, nil)
+		}
+	}
+
+	for len(queue) > 0 {
+		ctx := queue[0]
+		queue = queue[1:]
+		fn := ctx.fn
+		info := fn.Pkg.TypesInfo
+		li.WalkHeld(fn, ctx.entry, HeldVisitor{
+			Node: func(n ast.Node, held LockSet) {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if id, op, ok := li.LockOpAt(info, n); ok && op == LockAcquire {
+						for outer := range held {
+							recordEdge(lg, outer, id, n.Pos(), fn, ctx)
+						}
+						return
+					}
+					c, ok := callAt[siteKey{fn, n.Pos()}]
+					if !ok {
+						return
+					}
+					if skip != nil && skip(fn, c) {
+						return
+					}
+					if c.Callee != nil {
+						enqueue(c.Callee, held, ctx)
+					}
+					for _, t := range c.Targets {
+						enqueue(t, held, ctx)
+					}
+				case *ast.FuncLit:
+					// Closure creation: conservatively assume it runs with
+					// the creation-site locks held.
+					ref := Call{Site: n.Pos(), Kind: CallRef, Callee: g.LitNode(n)}
+					if skip != nil && skip(fn, ref) {
+						return
+					}
+					enqueue(g.LitNode(n), held, ctx)
+				}
+			},
+			Spawn: func(s *ast.GoStmt, held LockSet) {
+				// A goroutine starts with no inherited locks.
+				switch f := ast.Unparen(s.Call.Fun).(type) {
+				case *ast.FuncLit:
+					enqueue(g.LitNode(f), LockSet{}, ctx)
+				default:
+					if c, ok := callAt[siteKey{fn, s.Call.Pos()}]; ok {
+						if skip != nil && skip(fn, c) {
+							return
+						}
+						if c.Callee != nil {
+							enqueue(c.Callee, LockSet{}, ctx)
+						}
+						for _, t := range c.Targets {
+							enqueue(t, LockSet{}, ctx)
+						}
+					}
+				}
+			},
+		})
+	}
+
+	// Functions the seeding and propagation never reached (e.g. helpers of
+	// dead code) still get walked once with an empty context so their own
+	// nested acquisitions contribute edges.
+	for _, n := range g.Nodes() {
+		if _, ok := lg.EntryHeld[n]; !ok {
+			enqueue(n, LockSet{}, nil)
+		}
+	}
+	for len(queue) > 0 {
+		ctx := queue[0]
+		queue = queue[1:]
+		info := ctx.fn.Pkg.TypesInfo
+		li.WalkHeld(ctx.fn, ctx.entry, HeldVisitor{
+			Node: func(n ast.Node, held LockSet) {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, op, ok := li.LockOpAt(info, call); ok && op == LockAcquire {
+						for outer := range held {
+							recordEdge(lg, outer, id, call.Pos(), ctx.fn, ctx)
+						}
+					}
+				}
+			},
+		})
+	}
+
+	ids := map[LockID]bool{}
+	for outer, inner := range lg.Edges {
+		ids[outer] = true
+		for id := range inner {
+			ids[id] = true
+		}
+	}
+	for id := range ids {
+		lg.Order = append(lg.Order, id)
+	}
+	sort.Slice(lg.Order, func(i, j int) bool { return lg.Order[i] < lg.Order[j] })
+	return lg
+}
+
+func recordEdge(lg *LockGraph, outer, inner LockID, site token.Pos, fn *FuncNode, ctx *lockCtx) {
+	m := lg.Edges[outer]
+	if m == nil {
+		m = map[LockID]*LockEdge{}
+		lg.Edges[outer] = m
+	}
+	if _, ok := m[inner]; ok {
+		return
+	}
+	m[inner] = &LockEdge{Outer: outer, Inner: inner, Site: site, Fn: fn, Chain: ctx.chain()}
+}

@@ -1,0 +1,68 @@
+// Package atomicmix is a golden fixture for the atomicmix analyzer: an
+// atomic/plain mixed field, a guarded/bare mixed field whose guarded side
+// is provable only inter-procedurally, the construction exemption, and
+// the allow escape.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter.n is updated atomically on the fast path but read plainly in
+// Snapshot: the classic torn-stats mix.
+type Counter struct {
+	n uint64
+}
+
+// Inc is the atomic side.
+func (c *Counter) Inc() { atomic.AddUint64(&c.n, 1) }
+
+// Snapshot is the plain side.
+func (c *Counter) Snapshot() uint64 {
+	return c.n // want "field atomicmix\.Counter\.n mixes sync/atomic operations"
+}
+
+// Store follows the mu convention. sizeLocked never locks, but every call
+// reaches it through Size's critical section, so the engine proves its
+// access guarded; Peek's read is the bare half of the mix.
+type Store struct {
+	mu   sync.Mutex
+	size int
+}
+
+// Grow locks locally.
+func (s *Store) Grow(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.size += n
+}
+
+// Size reaches the field through a helper — guarded only via the
+// inter-procedural held-set propagation.
+func (s *Store) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sizeLocked()
+}
+
+func (s *Store) sizeLocked() int { return s.size }
+
+// Peek reads the guarded field with no lock anywhere in its context.
+func (s *Store) Peek() int {
+	return s.size // want "mu-guarded field atomicmix\.Store\.size is accessed without atomicmix\.Store\.mu held"
+}
+
+// Hint reads bare too, but deliberately: the allow suppresses this site
+// without hiding Peek's finding.
+func (s *Store) Hint() int {
+	return s.size // lint:allow atomicmix — approximate read, a torn value is acceptable here
+}
+
+// NewStore mutates the field through a function-local value before any
+// other goroutine can see it: construction is exempt.
+func NewStore() *Store {
+	s := &Store{}
+	s.size = 1
+	return s
+}

@@ -1,0 +1,91 @@
+// Package goroutinelife is a golden fixture for the goroutinelife
+// analyzer. The Pool case is the inter-procedural positive ground: the
+// launch, the Done, and the Wait live in three different methods, so only
+// the program-wide signal collection can prove the join.
+package goroutinelife
+
+import "sync"
+
+// Joined is the classic fan-out/fan-in: negative.
+func Joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Fire launches with no join, no channel, nothing: positive.
+func Fire() {
+	go func() { // want "goroutine has no provable join or shutdown edge"
+		_ = 1 + 1
+	}()
+}
+
+// Pool joins across methods: Start launches run, run Done()s the field
+// WaitGroup, Close Waits it. Provable only program-wide.
+type Pool struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// Start launches the worker.
+func (p *Pool) Start() {
+	p.wg.Add(1)
+	go p.run()
+}
+
+func (p *Pool) run() {
+	defer p.wg.Done()
+	<-p.done
+}
+
+// Close shuts the worker down and joins it.
+func (p *Pool) Close() {
+	close(p.done)
+	p.wg.Wait()
+}
+
+// ResultChan hands the result back on a channel the caller receives:
+// the receive is the join. Negative.
+func ResultChan() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}
+
+// leakCh is sent to but never received from anywhere in the program.
+var leakCh = make(chan int, 1)
+
+// Leak's goroutine sends into the void: positive.
+func Leak() {
+	go func() { // want "goroutine has no provable join or shutdown edge"
+		leakCh <- 1
+	}()
+}
+
+// Worker ranges over a jobs channel: closing jobs shuts it down — a
+// shutdown edge without a join. Negative.
+func Worker(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+// Dynamic launches through a function value the engine cannot resolve.
+func Dynamic(f func()) {
+	go f() // want "goroutine target is a function value the engine cannot resolve"
+}
+
+// Detached is deliberately fire-and-forget, with the documented escape.
+func Detached() {
+	go func() { // lint:allow goroutinelife — demonstration of the escape hatch
+		_ = 1
+	}()
+}

@@ -1,0 +1,126 @@
+// Package lockorder is a golden fixture for the lockorder analyzer. The
+// headline positive is inter-procedural only: neither LockAB nor LockBA
+// acquires two locks in its own body — the A.mu -> B.mu and B.mu -> A.mu
+// edges exist only because the engine propagates the held set into
+// helperB and helperA.
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	x  int
+}
+
+type B struct {
+	mu sync.Mutex
+	y  int
+}
+
+// LockAB holds A.mu while (transitively) acquiring B.mu.
+func LockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	helperB(b)
+}
+
+func helperB(b *B) {
+	b.mu.Lock() // want "lock-order cycle lockorder\.A\.mu -> lockorder\.B\.mu -> lockorder\.A\.mu"
+	b.y++
+	b.mu.Unlock()
+}
+
+// LockBA holds B.mu while (transitively) acquiring A.mu: the reverse
+// order, closing the cycle.
+func LockBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	helperA(a)
+}
+
+func helperA(a *A) {
+	a.mu.Lock()
+	a.x++
+	a.mu.Unlock()
+}
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Outer holds S.mu across a helper that locks it again: a length-1 cycle,
+// the self-deadlock sync.Mutex guarantees.
+func (s *S) Outer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner()
+}
+
+func (s *S) inner() {
+	s.mu.Lock() // want "lockorder\.S\.mu acquired while already held in lockorder\.\(\*S\)\.inner \(lockorder\.\(\*S\)\.Outer -> lockorder\.\(\*S\)\.inner\)"
+	s.n++
+	s.mu.Unlock()
+}
+
+type C struct {
+	mu sync.Mutex
+	p  int
+}
+
+type D struct {
+	mu sync.Mutex
+	q  int
+}
+
+// Nested and NestedAgain take C.mu then D.mu on every path: a consistent
+// order is a plain edge, not a cycle — no findings.
+func Nested(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	d.q++
+	d.mu.Unlock()
+}
+
+func NestedAgain(c *C, d *D) {
+	c.mu.Lock()
+	c.p++
+	d.mu.Lock()
+	d.q++
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// SpawnReverse takes the locks in reverse order — but in a goroutine,
+// which starts with no inherited locks, so no D.mu -> C.mu edge forms.
+func SpawnReverse(c *C, d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	go lockC(c)
+}
+
+func lockC(c *C) {
+	c.mu.Lock()
+	c.p++
+	c.mu.Unlock()
+}
+
+type T struct {
+	mu sync.Mutex
+	n  int
+}
+
+// MakeCallback returns a closure that locks T.mu. Created under the lock,
+// it would be a self-deadlock edge — the allow on the creation line
+// declares it runs only after release, pruning the propagation.
+func MakeCallback(t *T) func() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n++
+	return func() { // lint:allow lockorder — the callback runs after Unlock
+		t.mu.Lock()
+		t.n++
+		t.mu.Unlock()
+	}
+}

@@ -685,6 +685,9 @@ func BitsToBytes(bits []float64) []byte {
 // continues on the old model while the new one trains; once ready, the new
 // model takes over.
 type Manager struct {
+	// wg tracks in-flight retrain goroutines so Quiesce can join them.
+	wg sync.WaitGroup
+
 	mu      sync.RWMutex
 	current *Model
 
@@ -734,7 +737,9 @@ func (g *Manager) RetrainAsync(data [][]float64, cfg Config, onDone func(*Model,
 	g.inFlight = true
 	g.mu.Unlock()
 
+	g.wg.Add(1)
 	go func() {
+		defer g.wg.Done()
 		m, err := Train(data, cfg)
 		g.mu.Lock()
 		if err == nil {
@@ -748,6 +753,14 @@ func (g *Manager) RetrainAsync(data [][]float64, cfg Config, onDone func(*Model,
 		}
 	}()
 	return true
+}
+
+// Quiesce blocks until every in-flight background retrain has finished
+// (including its onDone callback). It does not prevent new retrains from
+// starting; callers that need a hard stop should quiesce after the last
+// RetrainAsync they issue.
+func (g *Manager) Quiesce() {
+	g.wg.Wait()
 }
 
 // RetrainSync trains and swaps synchronously (used by experiments that

@@ -308,6 +308,12 @@ func TestManagerAsyncRetrain(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
+	// Quiesce joins every retrain goroutine — including the second request
+	// above if it was accepted — so nothing outlives the test.
+	mgr.Quiesce()
+	if mgr.Retraining() {
+		t.Fatal("retrain still in flight after Quiesce")
+	}
 	// Serving continued throughout; now the new model must be live.
 	if mgr.Retrains() < 1 {
 		t.Fatal("retrain did not complete")

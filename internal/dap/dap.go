@@ -105,12 +105,14 @@ type Option func(*Pool)
 // WithMaxEntries caps the total number of addresses the pool will hold —
 // the paper's option (1) for bounding the DRAM footprint of the table.
 func WithMaxEntries(n int) Option {
+	// lint:allow atomicmix — options run inside New before the pool is shared
 	return func(p *Pool) { p.maxSize = n }
 }
 
 // WithLowWater sets the per-cluster free-list threshold that marks a
 // cluster as needing retraining (default 0: never low).
 func WithLowWater(n int) Option {
+	// lint:allow atomicmix — options run inside New before the pool is shared
 	return func(p *Pool) { p.lowWater = n }
 }
 

@@ -178,6 +178,7 @@ func (k *Kernel) Version() uint64 { return k.ver }
 // scratch. Zero allocations.
 //
 // lint:hotpath
+// lint:kernelpure
 func (k *Kernel) Forward(seg []byte, h, mu []float64) []float64 {
 	if len(seg)*8 != k.inBits {
 		panic(fmt.Sprintf("infer: Forward input %d bits, want %d", len(seg)*8, k.inBits))
@@ -238,6 +239,7 @@ func (k *Kernel) Forward(seg []byte, h, mu []float64) []float64 {
 // Zero allocations.
 //
 // lint:hotpath
+// lint:kernelpure
 func (k *Kernel) Assign(mu []float64) int {
 	latent := k.latent
 	best, bestD := 0, math.Inf(1)
@@ -262,6 +264,7 @@ func (k *Kernel) Assign(mu []float64) int {
 // mu as scratch. Zero allocations.
 //
 // lint:hotpath
+// lint:kernelpure
 func (k *Kernel) Predict(seg []byte, h, mu []float64) int {
 	return k.Assign(k.Forward(seg, h, mu))
 }
@@ -281,6 +284,7 @@ const BlockSamples = 8
 // a single accumulator chain cannot express). Zero allocations.
 //
 // lint:hotpath
+// lint:kernelpure
 func (k *Kernel) ForwardBlock(segs [][]byte, h, mu []float64) {
 	n := len(segs)
 	if n > BlockSamples {
@@ -354,6 +358,7 @@ func (k *Kernel) ForwardBlock(segs [][]byte, h, mu []float64) {
 // bit-identical to per-image Predict calls. Zero allocations.
 //
 // lint:hotpath
+// lint:kernelpure
 func (k *Kernel) PredictBlock(segs [][]byte, out []int, h, mu []float64) {
 	latent := k.latent
 	for lo := 0; lo < len(segs); lo += BlockSamples {

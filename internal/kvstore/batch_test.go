@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+
+	"e2nvm/internal/testutil"
 )
 
 // TestPutBatchMatchesSequentialPut: a PutBatch must leave the store in
@@ -145,7 +147,7 @@ func TestGetBatch(t *testing.T) {
 // TestPutBatchZeroAlloc / TestGetBatchZeroAlloc: the batched paths carry
 // the same 0 allocs/op contract as Put/GetInto once scratch is warm.
 func TestPutBatchZeroAlloc(t *testing.T) {
-	if raceEnabled {
+	if testutil.RaceEnabled {
 		t.Skip("race-mode sync.Pool drops Puts, so the pooled predict scratch allocates by design")
 	}
 	s := openStore(t, 32, 128, Options{})

@@ -1085,6 +1085,14 @@ func (s *Store) Retrain() error {
 	return s.rebuildPoolLocked(model)
 }
 
+// Quiesce blocks until any in-flight background retrain (launched by the
+// write path when the density drift threshold trips) has completed and
+// its pool rebuild has been applied. Tests and orderly shutdown use it to
+// join the retrain goroutine instead of racing it.
+func (s *Store) Quiesce() {
+	s.mgr.Quiesce()
+}
+
 // retrainAsyncLocked launches a background retrain; the pool is rebuilt
 // under the new model once it is ready. Callers hold s.mu.
 func (s *Store) retrainAsyncLocked() {
@@ -1093,6 +1101,9 @@ func (s *Store) retrainAsyncLocked() {
 		return
 	}
 	cfg := s.mgr.Current().Config()
+	// The callback runs on the retrain goroutine after the launching Put
+	// released s.mu, so its Lock is a fresh acquisition, not a nested one.
+	// lint:allow lockorder — callback runs after the creation-site lock is released
 	s.mgr.RetrainAsync(data, cfg, func(m *core.Model, err error) {
 		if err != nil {
 			return

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
-	"time"
 
 	"e2nvm/internal/core"
 	"e2nvm/internal/index"
@@ -457,12 +456,11 @@ func TestAutoRetrainFires(t *testing.T) {
 	if err := s.Put(1, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for s.Stats().Retrains == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("background retrain never completed")
-		}
-		time.Sleep(10 * time.Millisecond)
+	// The first put scheduled the retrain synchronously, so Quiesce joins
+	// it deterministically — no polling.
+	s.Quiesce()
+	if s.Stats().Retrains == 0 {
+		t.Fatal("background retrain never completed")
 	}
 	// The store keeps serving during and after the swap.
 	v, ok, err := s.Get(1)

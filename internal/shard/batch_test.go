@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"e2nvm/internal/kvstore"
+	"e2nvm/internal/testutil"
 )
 
 // TestPutBatchGetBatchRoundTrip: the fan-out must deliver every item to
@@ -130,7 +131,7 @@ func TestBatchLengthMismatch(t *testing.T) {
 // steady-state batches must not allocate beyond the per-shard paths
 // (which are themselves 0-alloc).
 func TestRouterBatchZeroAlloc(t *testing.T) {
-	if raceEnabled {
+	if testutil.RaceEnabled {
 		t.Skip("race-mode sync.Pool drops Puts, so the pooled batch scratch allocates by design")
 	}
 	r := newRouter(t, 4, 32, 128, kvstore.Options{})

@@ -268,3 +268,11 @@ func (r *Router) Retrain() error {
 	wg.Wait()
 	return errors.Join(errs...)
 }
+
+// Quiesce blocks until every shard's in-flight background retrain has
+// completed; see kvstore.Store.Quiesce.
+func (r *Router) Quiesce() {
+	for _, st := range r.stores {
+		st.Quiesce()
+	}
+}

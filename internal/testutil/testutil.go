@@ -1,0 +1,7 @@
+// Package testutil holds tiny helpers shared by the repo's test suites.
+//
+// RaceEnabled lets alloc-count tests skip under the race detector, whose
+// sync.Pool deliberately drops Puts (so pooled paths allocate by design).
+// It replaces the per-package norace_test.go/race_test.go flag pairs that
+// kvstore and shard used to duplicate.
+package testutil

@@ -37,8 +37,8 @@ func OpenWithModel(cfg Config, model io.Reader) (*Store, error) {
 		return nil, err
 	}
 	if m.InputBits() != cfg.SegmentSize*8 {
-		return nil, fmt.Errorf("e2nvm: model input %d bits, want %d for %d-byte segments",
-			m.InputBits(), cfg.SegmentSize*8, cfg.SegmentSize)
+		return nil, fmt.Errorf("%w: model input %d bits, want %d for %d-byte segments",
+			ErrConfig, m.InputBits(), cfg.SegmentSize*8, cfg.SegmentSize)
 	}
 	return openShards(cfg, func(i int, dev *nvm.Device) (*kvstore.Store, error) {
 		sm := m

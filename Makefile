@@ -9,17 +9,27 @@ build:
 
 # Repo-specific static analysis: per-function analyzers (lockdiscipline,
 # seededrand, floateq, nopanic) plus the inter-procedural ones
-# (hotpathalloc, errflow, deepdeterminism and the concurrency set
-# lockorder, atomicmix, goroutinelife, kernelpure) — see DESIGN.md §8 and
-# §12. -github makes each finding a ::error annotation under Actions; it
-# prints nothing extra when the tree is clean.
+# (hotpathalloc, errflow, deepdeterminism, the concurrency set lockorder,
+# atomicmix, goroutinelife, kernelpure, and the compiler-feedback budgets
+# escapes, nobce, inlinebudget) — see DESIGN.md §8, §12 and §13. -github
+# makes each finding a ::error annotation under Actions; it prints nothing
+# extra when the tree is clean.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/e2nvm-lint -github ./...
 
+# Compiler-feedback budgets only (escapes/nobce/inlinebudget): each package
+# is compiled with -m=2 and the BCE debug flag and the diagnostics are
+# checked against the lint:hotpath/lint:nobce/lint:inline contracts. The
+# per-package compiler output is cached under ~/.cache/e2nvm-gcdiag keyed
+# on go version + source hash, so a warm run recompiles nothing.
+lint-perf:
+	$(GO) run ./cmd/e2nvm-lint -github -gcdiag-only ./...
+
 # The analyzers must satisfy their own invariants (lock discipline in the
 # engine's worklists, seeded randomness in fixtures, error flow in the
-# loader): run the suite over internal/analysis itself.
+# loader): run the suite over internal/analysis itself — gcdiag and the
+# three budget analyzers included, since they live under internal/analysis.
 lint-self:
 	$(GO) run ./cmd/e2nvm-lint -github ./internal/analysis/...
 
@@ -52,4 +62,4 @@ fault:
 # ns/op, B/op, allocs/op plus bit-flip counters, and the concurrent
 # shards×cpu throughput sweep).
 bench:
-	$(GO) run ./cmd/e2nvm-bench -kvbench -out BENCH_PR5.json
+	$(GO) run ./cmd/e2nvm-bench -kvbench -out BENCH_PR7.json

@@ -17,7 +17,7 @@
 //	nopanic         internal/core, internal/kvstore, internal/txn — the
 //	                storage packages behind the public Store API
 //
-// Seven whole-program analyzers then run once over every loaded package,
+// Ten whole-program analyzers then run once over every loaded package,
 // following the call graph across package boundaries:
 //
 //	hotpathalloc     lint:hotpath roots must not reach heap allocations
@@ -28,6 +28,18 @@
 //	goroutinelife    every go statement has a provable join or shutdown edge
 //	kernelpure       lint:kernelpure roots reach no map iteration, global
 //	                 writes, float ==, or allocation
+//	escapes          no compiler-verified heap escape is reachable from a
+//	                 lint:hotpath or lint:kernelpure root
+//	nobce            lint:nobce functions compile with zero bounds checks
+//	                 inside their loops
+//	inlinebudget     lint:inline leaf helpers stay inlinable
+//
+// The last three consume the compiler's own -m=2 / -d=ssa/check_bce
+// diagnostics via internal/analysis/gcdiag, which shells out to go build
+// per package and caches the raw output keyed on go version + source
+// hash (-gcdiag-cache; default under os.UserCacheDir). -gcdiag=false
+// skips them (e.g. when no go tool is available); -gcdiag-only runs only
+// them, for the fast `make lint-perf` loop.
 package main
 
 import (
@@ -41,12 +53,16 @@ import (
 	"e2nvm/internal/analysis/atomicmix"
 	"e2nvm/internal/analysis/deepdeterminism"
 	"e2nvm/internal/analysis/errflow"
+	"e2nvm/internal/analysis/escapes"
 	"e2nvm/internal/analysis/floateq"
+	"e2nvm/internal/analysis/gcdiag"
 	"e2nvm/internal/analysis/goroutinelife"
 	"e2nvm/internal/analysis/hotpathalloc"
+	"e2nvm/internal/analysis/inlinebudget"
 	"e2nvm/internal/analysis/kernelpure"
 	"e2nvm/internal/analysis/lockdiscipline"
 	"e2nvm/internal/analysis/lockorder"
+	"e2nvm/internal/analysis/nobce"
 	"e2nvm/internal/analysis/nopanic"
 	"e2nvm/internal/analysis/seededrand"
 )
@@ -78,6 +94,10 @@ var errflowScope = []string{
 func main() {
 	vet := flag.Bool("vet", false, "also run selected go vet passes on the same patterns")
 	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations for diagnostics")
+	useGcdiag := flag.Bool("gcdiag", true, "run the compiler-feedback analyzers (escapes, nobce, inlinebudget)")
+	gcdiagOnly := flag.Bool("gcdiag-only", false, "run only the compiler-feedback analyzers")
+	gcdiagCache := flag.String("gcdiag-cache", gcdiag.DefaultCacheDir(),
+		"directory caching raw compiler diagnostics keyed on go version + package hash (empty disables)")
 	flag.Parse()
 
 	patterns := flag.Args()
@@ -97,12 +117,14 @@ func main() {
 	}
 
 	var diags []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzersFor(loader, pkg) {
-			pass := analysis.NewPass(a, pkg, &diags)
-			if err := a.Run(pass); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %s: %v\n", a.Name, pkg.PkgPath, err)
-				os.Exit(2)
+	if !*gcdiagOnly {
+		for _, pkg := range pkgs {
+			for _, a := range analyzersFor(loader, pkg) {
+				pass := analysis.NewPass(a, pkg, &diags)
+				if err := a.Run(pass); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %s: %v\n", a.Name, pkg.PkgPath, err)
+					os.Exit(2)
+				}
 			}
 		}
 	}
@@ -117,10 +139,28 @@ func main() {
 		errflow.ScopePackages = append(errflow.ScopePackages, loader.ModPath+"/"+rel)
 	}
 	deepdeterminism.RootPackages = []string{loader.ModPath + "/internal/experiments"}
-	for _, a := range []*analysis.ProgramAnalyzer{
-		hotpathalloc.Analyzer, errflow.Analyzer, deepdeterminism.Analyzer,
-		lockorder.Analyzer, atomicmix.Analyzer, goroutinelife.Analyzer, kernelpure.Analyzer,
-	} {
+
+	var program []*analysis.ProgramAnalyzer
+	if !*gcdiagOnly {
+		program = append(program,
+			hotpathalloc.Analyzer, errflow.Analyzer, deepdeterminism.Analyzer,
+			lockorder.Analyzer, atomicmix.Analyzer, goroutinelife.Analyzer, kernelpure.Analyzer)
+	}
+	if *useGcdiag || *gcdiagOnly {
+		src, err := gcdiag.NewSource(loader.ModRoot, *gcdiagCache)
+		if err != nil {
+			// No go tool: compiler feedback is unavailable, so the gcdiag
+			// analyzers degrade to no-ops instead of failing the run.
+			fmt.Fprintf(os.Stderr, "warning: skipping escapes/nobce/inlinebudget: %v\n", err)
+		} else {
+			reports := func(pkg *analysis.Package) (*gcdiag.Report, error) { return src.For(pkg.Dir) }
+			escapes.Reports = reports
+			nobce.Reports = reports
+			inlinebudget.Reports = reports
+			program = append(program, escapes.Analyzer, nobce.Analyzer, inlinebudget.Analyzer)
+		}
+	}
+	for _, a := range program {
 		pass, err := analysis.NewProgramPass(a, pkgs, &diags)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)

@@ -104,3 +104,43 @@ func ExampleStore_NewBatcher() {
 	// value: 5
 	// device writes under 30: true
 }
+
+// ExampleStore_PutBatch shows the amortized batch write/read path: keys
+// group per shard so each shard's lock is taken once per call, and
+// inference runs on the kernel's blocked multi-sample path. The optional
+// errs/oks slices carry per-item outcomes without extra allocation.
+func ExampleStore_PutBatch() {
+	store, err := e2nvm.Open(e2nvm.Config{
+		SegmentSize: 64, NumSegments: 128, Clusters: 4, TrainEpochs: 4, Seed: 1,
+		Shards: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	keys := []uint64{1, 2, 3}
+	values := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	errs := make([]error, len(keys)) // per-item outcomes; nil to skip
+	if err := store.PutBatch(keys, values, errs); err != nil {
+		log.Fatal(err)
+	}
+
+	// GetBatch reuses dsts' backing arrays, like GetInto; a missing key
+	// is oks[i] = false, not an error.
+	lookup := []uint64{2, 3, 99}
+	dsts := make([][]byte, len(lookup))
+	oks := make([]bool, len(lookup))
+	if err := store.GetBatch(lookup, dsts, oks, nil); err != nil {
+		log.Fatal(err)
+	}
+	for i, k := range lookup {
+		if oks[i] {
+			fmt.Printf("%d=%s\n", k, dsts[i])
+		} else {
+			fmt.Printf("%d missing\n", k)
+		}
+	}
+	// Output:
+	// 2=bb
+	// 3=ccc
+	// 99 missing
+}

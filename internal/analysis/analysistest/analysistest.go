@@ -7,11 +7,13 @@
 package analysistest
 
 import (
+	"os"
 	"path/filepath"
 	"regexp"
 	"testing"
 
 	"e2nvm/internal/analysis"
+	"e2nvm/internal/analysis/gcdiag"
 )
 
 // wantRe extracts the quoted expectation regexes from a want comment; a
@@ -59,6 +61,45 @@ func RunProgram(t *testing.T, testdataDir string, a *analysis.ProgramAnalyzer, p
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
 	checkDiags(t, diags, wants)
+}
+
+// RunProgramExpectNone analyzes the fixture like RunProgram but demands
+// zero diagnostics, ignoring the fixture's want comments — the harness
+// for degraded modes (compiler feedback absent) where an analyzer must
+// fall silent rather than guess.
+func RunProgramExpectNone(t *testing.T, testdataDir string, a *analysis.ProgramAnalyzer, pkgName string) {
+	t.Helper()
+	pkg := loadFixture(t, testdataDir, pkgName)
+
+	var diags []analysis.Diagnostic
+	pass, err := analysis.NewProgramPass(a, []*analysis.Package{pkg}, &diags)
+	if err != nil {
+		t.Fatalf("building program pass for %s: %v", a.Name, err)
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		t.Errorf("diagnostic in degraded mode: %s", d)
+	}
+}
+
+// CannedReports returns a Reports hook for the gcdiag-backed analyzers
+// that parses the fixture package's sibling gcdiag.txt — canned compiler
+// output whose positions are relative to the fixture directory — and
+// rebases it so positions land in the fixture loader's FileSet. Golden
+// tests for escapes/nobce/inlinebudget install it in place of a real
+// compiler invocation.
+func CannedReports() func(pkg *analysis.Package) (*gcdiag.Report, error) {
+	return func(pkg *analysis.Package) (*gcdiag.Report, error) {
+		data, err := os.ReadFile(filepath.Join(pkg.Dir, "gcdiag.txt"))
+		if err != nil {
+			return nil, err
+		}
+		rep := gcdiag.Parse(string(data))
+		rep.Rebase(pkg.Dir)
+		return rep, nil
+	}
 }
 
 func loadFixture(t *testing.T, testdataDir, pkgName string) *analysis.Package {

@@ -1,0 +1,226 @@
+// Package escapes defines a whole-program Analyzer that enforces the
+// hot-path allocation contract with the compiler's own escape analysis.
+//
+// hotpathalloc walks the AST and flags allocating *constructs*; this
+// analyzer consumes the ground truth instead: every "escapes to heap" /
+// "moved to heap" diagnostic the compiler emits (via gcdiag) that falls
+// inside a function reachable from a `lint:hotpath` or `lint:kernelpure`
+// root is a finding. The two are complementary — the AST scan catches
+// constructs the compiler would stack-allocate today but a refactor could
+// regress silently, while the compiler catches escapes no syntactic scan
+// can see (spills, variables moved to heap by closures or pointer flow).
+//
+// The analyzer shares hotpathalloc's cold-exit rule (a block ending in a
+// panic or a fresh error return is off the measured path, so its escapes
+// — panic message spills, error construction — are ignored) and honors
+// `lint:allow hotpathalloc` suppressions in addition to its own
+// `lint:allow escapes`, so deliberately amortized allocations annotated
+// for the AST scan are not re-flagged.
+//
+// When no compiler feedback is wired up (Reports == nil, e.g. no go tool
+// on PATH), the analyzer degrades to a no-op rather than failing the run.
+package escapes
+
+import (
+	"go/token"
+	"strings"
+
+	"e2nvm/internal/analysis"
+	"e2nvm/internal/analysis/gcdiag"
+	"e2nvm/internal/analysis/hotpathalloc"
+	"e2nvm/internal/analysis/kernelpure"
+)
+
+// Reports supplies the per-package compiler diagnostics. The lint driver
+// wires it to a gcdiag.Source; golden tests substitute canned output; nil
+// disables the analyzer.
+var Reports func(pkg *analysis.Package) (*gcdiag.Report, error)
+
+// Analyzer flags compiler-verified heap escapes reachable from
+// lint:hotpath and lint:kernelpure roots.
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "escapes",
+	Doc: "no value may escape to the heap (per the compiler's escape analysis) in any " +
+		"function reachable from a lint:hotpath or lint:kernelpure root; " +
+		"suppress with lint:allow escapes (lint:allow hotpathalloc is honored too)",
+	Run: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	if Reports == nil {
+		return nil
+	}
+	g := pass.Graph
+	var roots []*analysis.FuncNode
+	for _, n := range g.Nodes() {
+		if n.DocContains(hotpathalloc.Marker) || n.DocContains(kernelpure.Marker) {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	reach := g.Reach(roots, func(_ *analysis.FuncNode, c analysis.Call) bool {
+		return pass.Allowed(c.Site) || pass.AllowedAs(c.Site, hotpathalloc.Analyzer.Name)
+	})
+
+	// One report per package that contains a reached function.
+	needed := map[*analysis.Package]bool{}
+	for n := range reach {
+		needed[n.Pkg] = true
+	}
+	resolver := gcdiag.NewResolver(pass.Fset)
+	for _, pkg := range pass.Pkgs {
+		if !needed[pkg] {
+			continue
+		}
+		rep, err := Reports(pkg)
+		if err != nil {
+			return err
+		}
+		if rep.Empty() {
+			continue // diagnostics absent: degrade, do not fabricate findings
+		}
+		checkPackage(pass, g, reach, resolver, rep, pkg)
+	}
+	return nil
+}
+
+func checkPackage(pass *analysis.ProgramPass, g *analysis.CallGraph,
+	reach map[*analysis.FuncNode]analysis.ReachStep, resolver *gcdiag.Resolver,
+	rep *gcdiag.Report, pkg *analysis.Package) {
+
+	cold := map[*analysis.FuncNode][]hotpathalloc.PosRange{}
+	allowedBody := map[*analysis.FuncNode]bool{}
+	for _, e := range rep.Escapes {
+		pos := resolver.Pos(e.Pos)
+		if !pos.IsValid() {
+			continue
+		}
+		// An escape reported at an inlined call site belongs to the callee's
+		// body: honor a lint:allow inside the callee (covering its allocation
+		// lines), which the caller-side position would otherwise hide.
+		callee := rep.InlinedAt(e.Pos)
+		if callee != "" {
+			if cn := findCallee(g, pkg, callee); cn != nil {
+				if ok, cached := allowedBody[cn]; cached && ok {
+					continue
+				} else if !cached {
+					ok = bodyHasAllow(pass, cn)
+					allowedBody[cn] = ok
+					if ok {
+						continue
+					}
+				}
+			}
+		}
+		n := enclosing(g, pos)
+		if n == nil {
+			continue // escape in an unanalyzed or unreached corner
+		}
+		step, reached := reach[n]
+		if !reached {
+			continue
+		}
+		if _, ok := cold[n]; !ok {
+			cold[n] = hotpathalloc.ColdRanges(n)
+		}
+		inCold := false
+		for _, r := range cold[n] {
+			if r.Contains(pos) {
+				inCold = true
+				break
+			}
+		}
+		if inCold || pass.Allowed(pos) || pass.AllowedAs(pos, hotpathalloc.Analyzer.Name) {
+			continue
+		}
+		report(pass, n, step.Root, reach, pos, e, callee)
+	}
+}
+
+// findCallee resolves a compiler-printed callee name to its node:
+// same-package callees come bare ("growFloats"), cross-package ones
+// package-qualified ("infer.(*Kernel).HiddenDim") — exactly how
+// FuncNode.Name qualifies everything.
+func findCallee(g *analysis.CallGraph, pkg *analysis.Package, name string) *analysis.FuncNode {
+	local := pkg.Types.Name() + "." + name
+	for _, n := range g.Nodes() {
+		if n.Name() == name || (n.Pkg == pkg && n.Name() == local) {
+			return n
+		}
+	}
+	return nil
+}
+
+// bodyHasAllow reports whether any line of n's body carries a lint:allow
+// for escapes or hotpathalloc — the signal that the function's
+// allocations are deliberate, so their inlined copies are too.
+func bodyHasAllow(pass *analysis.ProgramPass, n *analysis.FuncNode) bool {
+	body := n.Body()
+	if body == nil {
+		return false
+	}
+	f := pass.Fset.File(body.Pos())
+	if f == nil {
+		return false
+	}
+	last := f.Position(body.End()).Line
+	for line := f.Position(body.Pos()).Line; line <= last && line <= f.LineCount(); line++ {
+		p := f.LineStart(line)
+		if pass.Allowed(p) || pass.AllowedAs(p, hotpathalloc.Analyzer.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosing returns the narrowest function whose body contains pos, so a
+// diagnostic inside a function literal is charged to the literal's node
+// (which has its own reachability), not its enclosing declaration.
+func enclosing(g *analysis.CallGraph, pos token.Pos) *analysis.FuncNode {
+	var best *analysis.FuncNode
+	for _, n := range g.Nodes() {
+		body := n.Body()
+		if body == nil || pos < body.Pos() || pos >= body.End() {
+			continue
+		}
+		if best == nil || body.Pos() > best.Body().Pos() {
+			best = n
+		}
+	}
+	return best
+}
+
+func report(pass *analysis.ProgramPass, n, root *analysis.FuncNode,
+	reach map[*analysis.FuncNode]analysis.ReachStep, pos token.Pos, e gcdiag.Escape, callee string) {
+
+	kind := "hot path"
+	if !root.DocContains(hotpathalloc.Marker) {
+		kind = "kernel"
+	}
+	what := e.What
+	if len(what) > 60 {
+		what = what[:57] + "..."
+	}
+	verb := "escapes to heap"
+	if e.Moved {
+		verb = "moved to heap"
+	}
+	if callee != "" {
+		what += " (inlined from " + callee + ")"
+	}
+	// The last flow step names the sink that forced the escape.
+	sink := ""
+	for _, f := range e.Flow {
+		if strings.HasPrefix(f, "from ") {
+			sink = " (" + f + ")"
+		}
+	}
+	if n == root {
+		pass.Reportf(pos, "compiler: %s %s on %s %s%s", what, verb, kind, root.Name(), sink)
+		return
+	}
+	pass.Reportf(root.Pos(), "%s %s reaches compiler-verified escape (%s %s) in %s (%s) at %s%s",
+		kind, root.Name(), what, verb, n.Name(), analysis.PathTo(reach, n), pass.Fset.Position(pos), sink)
+}

@@ -1,0 +1,24 @@
+package escapes
+
+import (
+	"testing"
+
+	"e2nvm/internal/analysis/analysistest"
+)
+
+// TestEscapes drives the analyzer over canned compiler output: the
+// fixture's gcdiag.txt carries a deliberate hot-path heap escape, a
+// moved-to-heap in a reached helper, and escapes on cold, allowed, and
+// unreached lines that must stay silent.
+func TestEscapes(t *testing.T) {
+	Reports = analysistest.CannedReports()
+	defer func() { Reports = nil }()
+	analysistest.RunProgram(t, "../testdata", Analyzer, "escapes")
+}
+
+// TestEscapesDegraded: with no compiler feedback wired up the analyzer
+// must be a silent no-op, not an error.
+func TestEscapesDegraded(t *testing.T) {
+	Reports = nil
+	analysistest.RunProgramExpectNone(t, "../testdata", Analyzer, "escapes")
+}

@@ -1,0 +1,175 @@
+// Package gcdiag turns the Go compiler's own optimization diagnostics into
+// a position-indexed report the lint suite can enforce budgets against.
+//
+// The AST/callgraph analyzers (hotpathalloc, kernelpure) approximate what
+// the compiler decides; the compiler computes the ground truth — escape
+// analysis, bounds-check elimination, and inlining — and prints it under
+//
+//	go build -gcflags='-m=2 -d=ssa/check_bce/debug=1'
+//
+// This package invokes that build per package, parses the emitted
+// diagnostics into a Report (escapes with their full "flows to"
+// explanation chains, bounds/slice checks, inlining decisions with cost
+// and rejection reason), and caches the raw compiler output keyed on the
+// go version plus a hash of the package's source files, so repeated lint
+// runs do not pay for a compile. The parser is pure text over canned
+// output — tests need no compiler — and degrades gracefully: unknown
+// lines are skipped, an empty stream yields an empty Report.
+//
+// Three analyzers consume it (see DESIGN.md §13): escapes (no value
+// reachable from a lint:hotpath / lint:kernelpure root escapes to heap),
+// nobce (lint:nobce functions compile with no bounds checks inside
+// loops), and inlinebudget (lint:inline leaves stay under the inliner
+// cost threshold).
+package gcdiag
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// GCFlags is the exact -gcflags value whose diagnostics this package
+// parses. Exported so benchmarks and CI record the flag set a baseline
+// was produced under.
+const GCFlags = "-m=2 -d=ssa/check_bce/debug=1"
+
+// Position is one compiler-reported source coordinate. File is as emitted
+// by the compiler (relative to the build's working directory unless the
+// invoker absolutized it); Line and Col are 1-based.
+type Position struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Position) String() string { return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col) }
+
+// Escape is one value the compiler proved escapes to the heap: an
+// allocation whose storage outlives its frame ("escapes to heap") or a
+// stack variable forced into the heap ("moved to heap").
+type Escape struct {
+	Pos Position
+	// What is the compiler's subject: the escaping expression, or the
+	// variable name for a moved-to-heap diagnostic.
+	What string
+	// Moved distinguishes "moved to heap: x" from "<expr> escapes to
+	// heap".
+	Moved bool
+	// Flow is the -m=2 explanation chain ("flow: {heap} = &{storage
+	// ...}", "from ... at ...") in emission order; empty at -m=1 or for
+	// summary repeats.
+	Flow []string
+}
+
+// Bound is one bounds or slice check the BCE pass could not eliminate.
+type Bound struct {
+	Pos Position
+	// Kind is the SSA op the compiler reported: "IsInBounds" for an index
+	// check, "IsSliceInBounds" for a slice-expression check.
+	Kind string
+}
+
+// Inline is the inliner's verdict on one declared function.
+type Inline struct {
+	Pos Position
+	// Name is the function as the compiler prints it, e.g. "HammingBytes"
+	// or "(*Vector).Set".
+	Name string
+	// CanInline reports whether the function is inlinable.
+	CanInline bool
+	// Cost is the inliner's cost for the function body; -1 when the
+	// compiler did not report one (e.g. "marked go:noinline").
+	Cost int
+	// Budget is the threshold a rejected function exceeded; 0 unless the
+	// reason carried one.
+	Budget int
+	// Reason is the rejection explanation for CanInline == false
+	// ("function too complex: cost 109 exceeds budget 80", "marked
+	// go:noinline", ...); empty for inlinable functions.
+	Reason string
+}
+
+// InlinedCall is one call site the inliner expanded. Escapes and bounds
+// checks of the inlined body are reported at the call site's position, so
+// the mapping lets consumers attribute such diagnostics to the callee —
+// whose own annotations (lint:allow on the allocation line) would
+// otherwise be invisible at the caller.
+type InlinedCall struct {
+	Pos Position
+	// Name is the callee as the compiler prints it, e.g. "growFloats" or
+	// "(*Vector).check"; stdlib callees come package-qualified
+	// ("bits.OnesCount8").
+	Name string
+}
+
+// Report is the parsed diagnostic set of one package compilation,
+// position-indexed by the lookup helpers below.
+type Report struct {
+	Escapes []Escape
+	Bounds  []Bound
+	Inlines []Inline
+	Inlined []InlinedCall
+}
+
+// Empty reports whether the compiler emitted no diagnostics at all — the
+// degraded case (diagnostics absent, e.g. a cached empty output or a
+// toolchain that swallowed -m), which consumers treat as "nothing to
+// enforce" rather than an error.
+func (r *Report) Empty() bool {
+	return r == nil ||
+		(len(r.Escapes) == 0 && len(r.Bounds) == 0 && len(r.Inlines) == 0 && len(r.Inlined) == 0)
+}
+
+// Rebase joins every relative file position against root, so compiler
+// output (relative to the build's working directory) lines up with a
+// FileSet whose names are rooted elsewhere — the module root for real
+// builds, the fixture directory for canned golden output.
+func (r *Report) Rebase(root string) {
+	fix := func(p *Position) {
+		if !filepath.IsAbs(p.File) {
+			p.File = filepath.Join(root, filepath.FromSlash(p.File))
+		}
+	}
+	for i := range r.Escapes {
+		fix(&r.Escapes[i].Pos)
+	}
+	for i := range r.Bounds {
+		fix(&r.Bounds[i].Pos)
+	}
+	for i := range r.Inlines {
+		fix(&r.Inlines[i].Pos)
+	}
+	for i := range r.Inlined {
+		fix(&r.Inlined[i].Pos)
+	}
+}
+
+// InlinedAt returns the callee name inlined at exactly this position, or
+// "" when the position is not an inlined call site.
+func (r *Report) InlinedAt(p Position) string {
+	if r == nil {
+		return ""
+	}
+	for i := range r.Inlined {
+		if r.Inlined[i].Pos == p {
+			return r.Inlined[i].Name
+		}
+	}
+	return ""
+}
+
+// InlineFor returns the inlining decision reported for the function named
+// at file:line (the compiler positions the verdict on the declaration
+// line), or nil when none was reported.
+func (r *Report) InlineFor(file string, line int) *Inline {
+	if r == nil {
+		return nil
+	}
+	for i := range r.Inlines {
+		d := &r.Inlines[i]
+		if d.Pos.Line == line && d.Pos.File == file {
+			return d
+		}
+	}
+	return nil
+}

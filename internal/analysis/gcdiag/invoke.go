@@ -1,0 +1,171 @@
+package gcdiag
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Source produces per-package Reports by running the compiler, memoizing
+// in-process and (when CacheDir is set) persisting the raw compiler
+// output keyed on go version + package source hash, so a clean tree costs
+// one cache read per package instead of a compile.
+type Source struct {
+	// ModRoot is the module root the build runs in; compiler positions
+	// are absolutized against it.
+	ModRoot string
+	// CacheDir holds one file of raw compiler output per (go version,
+	// package hash) key; "" disables the on-disk cache.
+	CacheDir string
+
+	mu        sync.Mutex
+	goVersion string
+	memo      map[string]*Report
+}
+
+// NewSource builds a Source rooted at modRoot. cacheDir == "" disables
+// the on-disk cache (the in-process memo still applies). It fails when no
+// go tool is available — callers treat that as "compiler feedback
+// unavailable" and skip the gcdiag analyzers rather than erroring the
+// whole lint run.
+func NewSource(modRoot, cacheDir string) (*Source, error) {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return nil, fmt.Errorf("gcdiag: go tool unavailable: %w", err)
+	}
+	return &Source{
+		ModRoot:   modRoot,
+		CacheDir:  cacheDir,
+		goVersion: strings.TrimSpace(string(out)),
+		memo:      map[string]*Report{},
+	}, nil
+}
+
+// DefaultCacheDir returns the user-cache location for persisted compiler
+// output ("" when the platform reports no cache home).
+func DefaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "e2nvm-gcdiag")
+}
+
+// For returns the Report for the package in dir (an absolute directory
+// under ModRoot), compiling it if no cached output matches.
+func (s *Source) For(dir string) (*Report, error) {
+	rel, err := filepath.Rel(s.ModRoot, dir)
+	if err != nil {
+		return nil, fmt.Errorf("gcdiag: %s outside module %s: %w", dir, s.ModRoot, err)
+	}
+	key, err := s.packageKey(dir, rel)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	rep, ok := s.memo[key]
+	s.mu.Unlock()
+	if ok {
+		return rep, nil
+	}
+
+	raw, cached := s.readCache(key)
+	if !cached {
+		raw, err = s.compile(rel)
+		if err != nil {
+			return nil, err
+		}
+		s.writeCache(key, raw)
+	}
+	rep = Parse(raw)
+	rep.Rebase(s.ModRoot)
+
+	s.mu.Lock()
+	s.memo[key] = rep
+	s.mu.Unlock()
+	return rep, nil
+}
+
+// compile runs the diagnostic build for one package and returns the
+// compiler's combined output. The -gcflags value applies only to the
+// named package, so dependencies stay quiet; the go build cache replays
+// diagnostics on repeated identical invocations, so warm runs are cheap
+// even without the gcdiag cache.
+func (s *Source) compile(rel string) (string, error) {
+	tmp, err := os.MkdirTemp("", "gcdiag-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(tmp)
+	cmd := exec.Command("go", "build",
+		"-gcflags="+GCFlags,
+		"-o", filepath.Join(tmp, "out"),
+		"./"+filepath.ToSlash(rel))
+	cmd.Dir = s.ModRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("gcdiag: go build %s: %w\n%s", rel, err, out)
+	}
+	return string(out), nil
+}
+
+// packageKey hashes the go version, the package path, and every non-test
+// source file's name and contents, so edits and toolchain switches miss
+// the cache while mtime churn does not.
+func (s *Source) packageKey(dir, rel string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n%s\n", s.goVersion, GCFlags, rel)
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s %d\n", n, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func (s *Source) readCache(key string) (string, bool) {
+	if s.CacheDir == "" {
+		return "", false
+	}
+	data, err := os.ReadFile(filepath.Join(s.CacheDir, key+".txt"))
+	if err != nil {
+		return "", false
+	}
+	return string(data), true
+}
+
+func (s *Source) writeCache(key, raw string) {
+	if s.CacheDir == "" {
+		return
+	}
+	if err := os.MkdirAll(s.CacheDir, 0o755); err != nil {
+		return // cache is best-effort; the report was still produced
+	}
+	tmp := filepath.Join(s.CacheDir, key+".tmp")
+	if err := os.WriteFile(tmp, []byte(raw), 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(s.CacheDir, key+".txt"))
+}

@@ -1,0 +1,68 @@
+package gcdiag
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCompileEndToEnd compiles one real package of this module with the
+// diagnostic flags and checks the parsed report has the expected shape —
+// the one fixture that exercises the compiler for real (the parser tests
+// run on canned output). Skipped when no go tool is on PATH.
+func TestCompileEndToEnd(t *testing.T) {
+	modRoot, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := t.TempDir()
+	src, err := NewSource(modRoot, cache)
+	if err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+
+	dir := filepath.Join(modRoot, "internal", "bitvec")
+	rep, err := src.For(dir)
+	if err != nil {
+		t.Fatalf("For(%s): %v", dir, err)
+	}
+	// bitvec constructs vectors on the heap, has non-inlinable methods,
+	// and indexes slices in loops: all three diagnostic families must be
+	// present whatever the exact toolchain wording.
+	if len(rep.Escapes) == 0 || len(rep.Inlines) == 0 || len(rep.Bounds) == 0 {
+		t.Fatalf("thin report: %d escapes, %d inlines, %d bounds",
+			len(rep.Escapes), len(rep.Bounds), len(rep.Inlines))
+	}
+	for _, e := range rep.Escapes[:1] {
+		if !filepath.IsAbs(e.Pos.File) {
+			t.Errorf("position not absolutized: %v", e.Pos)
+		}
+	}
+
+	// The raw compiler output must have landed in the cache, keyed on go
+	// version + source hash.
+	entries, err := os.ReadDir(cache)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries = %v, %v", entries, err)
+	}
+
+	// A fresh Source over the same cache must reproduce the report from
+	// the persisted output (same counts), and the memoized second call
+	// must return the identical value.
+	if again, err := src.For(dir); err != nil || again != rep {
+		t.Errorf("memoized call: %p vs %p, %v", again, rep, err)
+	}
+	src2, err := NewSource(modRoot, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := src2.For(dir)
+	if err != nil {
+		t.Fatalf("cached For: %v", err)
+	}
+	if len(rep2.Escapes) != len(rep.Escapes) || len(rep2.Bounds) != len(rep.Bounds) || len(rep2.Inlines) != len(rep.Inlines) {
+		t.Errorf("cache replay diverged: %d/%d/%d vs %d/%d/%d",
+			len(rep2.Escapes), len(rep2.Bounds), len(rep2.Inlines),
+			len(rep.Escapes), len(rep.Bounds), len(rep.Inlines))
+	}
+}

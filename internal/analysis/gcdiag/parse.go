@@ -1,0 +1,122 @@
+package gcdiag
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// posRe splits one diagnostic line into position and message. The message
+// group keeps leading whitespace: -m=2 explanation chains are emitted as
+// indented continuation lines under the same position prefix.
+var posRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+var (
+	foundRe     = regexp.MustCompile(`^Found (IsInBounds|IsSliceInBounds)$`)
+	canRe       = regexp.MustCompile(`^can inline (\S+)(?: with cost (\d+))?(?: as:.*)?$`)
+	cannotRe    = regexp.MustCompile(`^cannot inline (\S+): (.+)$`)
+	costRe      = regexp.MustCompile(`cost (\d+) exceeds budget (\d+)`)
+	escapeRe    = regexp.MustCompile(`^(.*) escapes to heap:?$`)
+	movedRe     = regexp.MustCompile(`^moved to heap: (.+)$`)
+	inliningRe  = regexp.MustCompile(`^inlining (?:self-recursive )?call to (\S+)`)
+	noEscapeRe  = regexp.MustCompile(` does not escape$`)
+	leakParamRe = regexp.MustCompile(`^(?:leaking param|parameter .+ leaks)`)
+)
+
+// Parse reads compiler diagnostics (the combined stderr of a go build run
+// with GCFlags) into a Report. It is line-oriented and forgiving: lines
+// it does not recognize — package headers, "does not escape" notes,
+// "leaking param" flow summaries, wording drift between Go releases — are
+// skipped, so an unknown or empty stream degrades to an empty Report
+// instead of failing.
+func Parse(output string) *Report {
+	r := &Report{}
+	// Dedup: -m=2 prints each escape twice (the detailed chain, then a
+	// bare summary), and the BCE pass reports an inlined callee's checks
+	// once per inlined copy at the same source position.
+	type escKey struct {
+		pos  Position
+		what string
+	}
+	escSeen := map[escKey]int{}
+	boundSeen := map[Bound]bool{}
+	lastEsc := -1 // index into r.Escapes of the open explanation chain
+
+	for _, line := range strings.Split(output, "\n") {
+		m := posRe.FindStringSubmatch(line)
+		if m == nil {
+			lastEsc = -1
+			continue
+		}
+		line0, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		pos := Position{File: m[1], Line: line0, Col: col}
+		msg := m[4]
+
+		// Indented continuation: the flow chain of the escape above.
+		if strings.HasPrefix(msg, " ") || strings.HasPrefix(msg, "\t") {
+			if lastEsc >= 0 {
+				r.Escapes[lastEsc].Flow = append(r.Escapes[lastEsc].Flow, strings.TrimSpace(msg))
+			}
+			continue
+		}
+		lastEsc = -1
+
+		switch {
+		case foundRe.MatchString(msg):
+			b := Bound{Pos: pos, Kind: foundRe.FindStringSubmatch(msg)[1]}
+			if !boundSeen[b] {
+				boundSeen[b] = true
+				r.Bounds = append(r.Bounds, b)
+			}
+
+		case inliningRe.MatchString(msg):
+			// Inlined call sites are not findings, but escapes and bounds
+			// checks of the inlined body are reported at these positions, so
+			// consumers need the position → callee mapping to attribute them.
+			r.Inlined = append(r.Inlined, InlinedCall{Pos: pos, Name: inliningRe.FindStringSubmatch(msg)[1]})
+
+		case noEscapeRe.MatchString(msg), leakParamRe.MatchString(msg):
+			// Recognized but not enforced: proven non-escapes and
+			// parameter-flow summaries.
+
+		case movedRe.MatchString(msg):
+			what := movedRe.FindStringSubmatch(msg)[1]
+			k := escKey{pos, what}
+			if _, dup := escSeen[k]; !dup {
+				escSeen[k] = len(r.Escapes)
+				r.Escapes = append(r.Escapes, Escape{Pos: pos, What: what, Moved: true})
+				lastEsc = len(r.Escapes) - 1
+			}
+
+		case escapeRe.MatchString(msg):
+			what := escapeRe.FindStringSubmatch(msg)[1]
+			k := escKey{pos, what}
+			if i, dup := escSeen[k]; dup {
+				lastEsc = i // a repeat may still carry the chain
+				continue
+			}
+			escSeen[k] = len(r.Escapes)
+			r.Escapes = append(r.Escapes, Escape{Pos: pos, What: what})
+			lastEsc = len(r.Escapes) - 1
+
+		case canRe.MatchString(msg):
+			g := canRe.FindStringSubmatch(msg)
+			cost := -1
+			if g[2] != "" {
+				cost, _ = strconv.Atoi(g[2])
+			}
+			r.Inlines = append(r.Inlines, Inline{Pos: pos, Name: g[1], CanInline: true, Cost: cost})
+
+		case cannotRe.MatchString(msg):
+			g := cannotRe.FindStringSubmatch(msg)
+			d := Inline{Pos: pos, Name: g[1], Cost: -1, Reason: g[2]}
+			if cb := costRe.FindStringSubmatch(g[2]); cb != nil {
+				d.Cost, _ = strconv.Atoi(cb[1])
+				d.Budget, _ = strconv.Atoi(cb[2])
+			}
+			r.Inlines = append(r.Inlines, d)
+		}
+	}
+	return r
+}

@@ -1,0 +1,180 @@
+package gcdiag
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustParseFile(t *testing.T, name string) *Report {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("reading canned output: %v", err)
+	}
+	return Parse(string(data))
+}
+
+// TestParseCanned drives the parser over canned -m=2 + check_bce output
+// captured from two Go releases: the diagnostic wording drifts between
+// versions (cost-less "can inline ... as:", go:noinline rejections, PGO
+// budgets, chain-less escapes), and the parser must absorb all of it.
+func TestParseCanned(t *testing.T) {
+	cases := []struct {
+		file    string
+		escapes int // "escapes to heap" + "moved to heap", deduped
+		bounds  int // Found lines, deduped by position+kind
+		inlines int
+		inlined int // "inlining call to" sites, including self-recursive
+	}{
+		// go1.24: full flow chains, summary-line repeats, duplicated BCE
+		// reports for inlined copies.
+		{"go1.24-m2.txt", 4, 6, 5, 2},
+		// go1.22 flavor: no chains, a go:noinline rejection, a raised
+		// budget, a cost-less can-inline.
+		{"go1.22-m2.txt", 4, 3, 5, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			r := mustParseFile(t, tc.file)
+			if got := len(r.Escapes); got != tc.escapes {
+				t.Errorf("escapes: got %d, want %d: %+v", got, tc.escapes, r.Escapes)
+			}
+			if got := len(r.Bounds); got != tc.bounds {
+				t.Errorf("bounds: got %d, want %d: %+v", got, tc.bounds, r.Bounds)
+			}
+			if got := len(r.Inlines); got != tc.inlines {
+				t.Errorf("inlines: got %d, want %d: %+v", got, tc.inlines, r.Inlines)
+			}
+			if got := len(r.Inlined); got != tc.inlined {
+				t.Errorf("inlined calls: got %d, want %d: %+v", got, tc.inlined, r.Inlined)
+			}
+		})
+	}
+}
+
+func TestParseInlinedCalls(t *testing.T) {
+	r := mustParseFile(t, "go1.24-m2.txt")
+	if got := r.InlinedAt(Position{"internal/bitvec/bitvec.go", 75, 9}); got != "(*Vector).check" {
+		t.Errorf("InlinedAt(75:9) = %q, want (*Vector).check", got)
+	}
+	if got := r.InlinedAt(Position{"internal/bitvec/bitvec.go", 75, 10}); got != "" {
+		t.Errorf("InlinedAt at a non-call position = %q, want empty", got)
+	}
+}
+
+func TestParseEscapeDetails(t *testing.T) {
+	r := mustParseFile(t, "go1.24-m2.txt")
+
+	var vec *Escape
+	for i := range r.Escapes {
+		if r.Escapes[i].What == "&Vector{...}" {
+			vec = &r.Escapes[i]
+		}
+	}
+	if vec == nil {
+		t.Fatalf("no &Vector{...} escape parsed: %+v", r.Escapes)
+	}
+	if vec.Pos != (Position{"internal/bitvec/bitvec.go", 27, 9}) {
+		t.Errorf("escape position = %v", vec.Pos)
+	}
+	// The full flow chain rides along (flow header + two from-steps), and
+	// the bare summary repeat later in the stream must not duplicate or
+	// truncate it.
+	if len(vec.Flow) != 3 {
+		t.Errorf("flow chain: got %d steps %q, want 3", len(vec.Flow), vec.Flow)
+	}
+	if vec.Moved {
+		t.Errorf("&Vector{...} is an escape, not a moved variable")
+	}
+
+	moved := false
+	for _, e := range r.Escapes {
+		if e.Moved && e.What == "buf" {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Errorf("moved-to-heap diagnostic not parsed: %+v", r.Escapes)
+	}
+}
+
+func TestParseInlineDetails(t *testing.T) {
+	r := mustParseFile(t, "go1.22-m2.txt")
+
+	byName := map[string]Inline{}
+	for _, d := range r.Inlines {
+		byName[d.Name] = d
+	}
+
+	set := byName["(*Vector).Set"]
+	if set.CanInline || set.Cost != 109 || set.Budget != 80 {
+		t.Errorf("(*Vector).Set decision = %+v, want cost 109 budget 80", set)
+	}
+	if set.Reason != "function too complex: cost 109 exceeds budget 80" {
+		t.Errorf("(*Vector).Set reason = %q", set.Reason)
+	}
+
+	noin := byName["(*Vector).Floats"]
+	if noin.CanInline || noin.Reason != "marked go:noinline" || noin.Cost != -1 {
+		t.Errorf("go:noinline decision = %+v", noin)
+	}
+
+	pgo := byName["(*Vector).Invert"]
+	if pgo.Budget != 88 || pgo.Cost != 143 {
+		t.Errorf("raised-budget decision = %+v", pgo)
+	}
+
+	// Older toolchains omit the cost on inlinable functions.
+	lenD := byName["(*Vector).Len"]
+	if !lenD.CanInline || lenD.Cost != -1 {
+		t.Errorf("cost-less can-inline = %+v", lenD)
+	}
+
+	newD := byName["New"]
+	if !newD.CanInline || newD.Cost != 19 {
+		t.Errorf("can-inline with cost = %+v", newD)
+	}
+}
+
+func TestParseBoundsDedup(t *testing.T) {
+	r := mustParseFile(t, "go1.24-m2.txt")
+	// bitvec.go:190:21 appears three times in the stream (once per inlined
+	// copy): IsSliceInBounds + IsInBounds survive, the repeat collapses.
+	n := 0
+	for _, b := range r.Bounds {
+		if b.Pos.Line == 190 {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("inlined-copy dedup: got %d checks at line 190, want 2", n)
+	}
+	if r.Bounds[0].Kind != "IsSliceInBounds" {
+		t.Errorf("first bound kind = %q", r.Bounds[0].Kind)
+	}
+}
+
+// TestParseDegraded: when diagnostics are absent — an empty stream, or
+// output that carries no recognizable diagnostic at all — the parser must
+// yield an empty Report rather than fail, and lookups on it must be safe.
+func TestParseDegraded(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"# e2nvm/internal/bitvec\n",
+		"go: downloading something\nplain noise without positions\n",
+		"internal/x/x.go:3:1: some future diagnostic wording\n",
+	} {
+		r := Parse(in)
+		if !r.Empty() {
+			t.Errorf("Parse(%q) not empty: %+v", in, r)
+		}
+		if d := r.InlineFor("internal/x/x.go", 3); d != nil {
+			t.Errorf("InlineFor on empty report = %+v", d)
+		}
+	}
+	var nilRep *Report
+	if !nilRep.Empty() || nilRep.InlineFor("f.go", 1) != nil {
+		t.Errorf("nil Report must degrade gracefully")
+	}
+}

@@ -1,0 +1,48 @@
+package gcdiag
+
+import "go/token"
+
+// Resolver maps compiler-reported positions into a token.FileSet so
+// analyzers can reuse the framework's position machinery (lint:allow
+// lookup, cold-range containment) unchanged.
+type Resolver struct {
+	files map[string]*token.File
+}
+
+// NewResolver indexes fset's files by name. Names must match the File
+// field of resolved positions, i.e. absolute paths when the Source
+// absolutized its reports against the same tree the loader parsed.
+func NewResolver(fset *token.FileSet) *Resolver {
+	r := &Resolver{files: map[string]*token.File{}}
+	fset.Iterate(func(f *token.File) bool {
+		r.files[f.Name()] = f
+		return true
+	})
+	return r
+}
+
+// Pos translates p to a token.Pos, or token.NoPos when the file or line
+// is unknown to the set (a diagnostic for generated or out-of-program
+// code). Columns beyond the line's width clamp to the line start — the
+// compiler occasionally points one past a rewritten expression.
+func (r *Resolver) Pos(p Position) token.Pos {
+	f, ok := r.files[p.File]
+	if !ok || p.Line < 1 || p.Line > f.LineCount() {
+		return token.NoPos
+	}
+	start := f.LineStart(p.Line)
+	if p.Col <= 1 {
+		return start
+	}
+	pos := start + token.Pos(p.Col-1)
+	// Clamp to the file: LineStart of the next line (or file end) bounds
+	// the valid offsets for this line.
+	end := token.Pos(f.Base() + f.Size())
+	if p.Line < f.LineCount() {
+		end = f.LineStart(p.Line + 1)
+	}
+	if pos >= end {
+		return start
+	}
+	return pos
+}

@@ -1,0 +1,87 @@
+// Package inlinebudget defines an Analyzer enforcing that functions
+// annotated `lint:inline` stay within the compiler's inlining budget.
+//
+// Small leaf helpers on the serving path — bitvec.HammingBytes,
+// shard.Router.Of, the record codec's seqAfter — are written to be
+// inlined into their callers; the call overhead would otherwise dominate
+// their few-instruction bodies. But inlinability is an emergent property:
+// adding one bounds check or call can push the inliner cost estimate past
+// its budget (80 by default) and the compiler stops inlining with no
+// warning. This analyzer reads the inliner's decisions from `-m=2` output
+// (via gcdiag) and flags every annotated function the compiler declined
+// to inline, quoting the cost, budget, and reason so the fix is obvious.
+//
+// A missing decision for an annotated function when the package report is
+// otherwise populated is also flagged: it usually means the annotation
+// sits on a generic function or a name the toolchain reports differently,
+// and the contract is silently unverified.
+//
+// Like escapes and nobce, the analyzer degrades to a no-op when compiler
+// feedback is unavailable (Reports == nil or an empty Report).
+package inlinebudget
+
+import (
+	"e2nvm/internal/analysis"
+	"e2nvm/internal/analysis/gcdiag"
+)
+
+// Marker annotates a function that must remain inlinable.
+const Marker = "lint:inline"
+
+// Reports supplies the per-package compiler diagnostics. The lint driver
+// wires it to a gcdiag.Source; golden tests substitute canned output; nil
+// disables the analyzer.
+var Reports func(pkg *analysis.Package) (*gcdiag.Report, error)
+
+// Analyzer flags lint:inline functions the compiler declined to inline.
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "inlinebudget",
+	Doc: "functions marked lint:inline must be reported inlinable by the compiler " +
+		"(per -m=2 \"can inline\"); findings quote the inliner's cost, budget, and " +
+		"rejection reason; suppress with lint:allow inlinebudget",
+	Run: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	if Reports == nil {
+		return nil
+	}
+	marked := map[*analysis.Package][]*analysis.FuncNode{}
+	for _, n := range pass.Graph.Nodes() {
+		if n.Decl != nil && n.DocContains(Marker) {
+			marked[n.Pkg] = append(marked[n.Pkg], n)
+		}
+	}
+	if len(marked) == 0 {
+		return nil
+	}
+	for _, pkg := range pass.Pkgs {
+		nodes := marked[pkg]
+		if len(nodes) == 0 {
+			continue
+		}
+		rep, err := Reports(pkg)
+		if err != nil {
+			return err
+		}
+		if rep.Empty() {
+			continue // diagnostics absent: degrade, do not fabricate findings
+		}
+		for _, n := range nodes {
+			p := pass.Fset.Position(n.Decl.Pos())
+			d := rep.InlineFor(p.Filename, p.Line)
+			switch {
+			case d == nil:
+				pass.Reportf(n.Decl.Pos(),
+					"no inlining decision reported for lint:inline function %s: contract unverified", n.Name())
+			case !d.CanInline && d.Cost >= 0:
+				pass.Reportf(n.Decl.Pos(),
+					"lint:inline function %s is not inlinable: cost %d exceeds budget %d", n.Name(), d.Cost, d.Budget)
+			case !d.CanInline:
+				pass.Reportf(n.Decl.Pos(),
+					"lint:inline function %s is not inlinable: %s", n.Name(), d.Reason)
+			}
+		}
+	}
+	return nil
+}

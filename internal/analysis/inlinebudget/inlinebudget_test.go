@@ -1,0 +1,24 @@
+package inlinebudget
+
+import (
+	"testing"
+
+	"e2nvm/internal/analysis/analysistest"
+)
+
+// TestInlineBudget drives the analyzer over canned -m=2 inliner verdicts:
+// a cost-budget rejection, a go:noinline rejection, and a missing
+// decision are flagged; the inlinable function and an allowed rejection
+// stay silent.
+func TestInlineBudget(t *testing.T) {
+	Reports = analysistest.CannedReports()
+	defer func() { Reports = nil }()
+	analysistest.RunProgram(t, "../testdata", Analyzer, "inlinebudget")
+}
+
+// TestInlineBudgetDegraded: with no compiler feedback wired up the
+// analyzer must be a silent no-op, not an error.
+func TestInlineBudgetDegraded(t *testing.T) {
+	Reports = nil
+	analysistest.RunProgramExpectNone(t, "../testdata", Analyzer, "inlinebudget")
+}

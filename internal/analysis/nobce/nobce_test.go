@@ -1,0 +1,24 @@
+package nobce
+
+import (
+	"testing"
+
+	"e2nvm/internal/analysis/analysistest"
+)
+
+// TestNoBCE drives the analyzer over canned check_bce output: one
+// surviving in-loop check is flagged while prologue reslices, hint
+// lines, cold exits, lint:allow sites, and unannotated functions stay
+// silent.
+func TestNoBCE(t *testing.T) {
+	Reports = analysistest.CannedReports()
+	defer func() { Reports = nil }()
+	analysistest.RunProgram(t, "../testdata", Analyzer, "nobce")
+}
+
+// TestNoBCEDegraded: with no compiler feedback wired up the analyzer
+// must be a silent no-op, not an error.
+func TestNoBCEDegraded(t *testing.T) {
+	Reports = nil
+	analysistest.RunProgramExpectNone(t, "../testdata", Analyzer, "nobce")
+}

@@ -64,6 +64,15 @@ func (p *ProgramPass) Allowed(pos token.Pos) bool {
 	return p.allow.allowed(p.Fset.Position(pos), p.Analyzer.Name)
 }
 
+// AllowedAs reports whether a lint:allow comment for the given analyzer
+// name covers pos. Analyzers that enforce a stricter view of another
+// analyzer's invariant (escapes over hotpathalloc's root set) use it to
+// honor the weaker analyzer's existing suppressions instead of demanding
+// every site be annotated twice.
+func (p *ProgramPass) AllowedAs(pos token.Pos, name string) bool {
+	return p.allow.allowed(p.Fset.Position(pos), name)
+}
+
 // Reportf records a diagnostic at pos unless a lint:allow comment
 // suppresses it.
 func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {

@@ -1,0 +1,70 @@
+// Package escapes is the golden fixture for the escapes analyzer: the
+// sibling gcdiag.txt holds canned compiler output whose positions point
+// into this file, so the test exercises resolution, reachability,
+// cold-range and lint:allow handling without invoking a compiler.
+package escapes
+
+// Serve is the hot entry point; gcdiag.txt reports a deliberate heap
+// escape on its make call and a moved-to-heap in the helper it calls.
+// lint:hotpath
+func Serve(dst []byte, n int) int { // want "hot path escapes\.Serve reaches compiler-verified escape \(tmp moved to heap\) in escapes\.fill"
+	if n < 0 {
+		msg := make([]byte, 32) // cold: the block ends in panic, so this escape is exempt
+		panic(string(msg))
+	}
+	buf := make([]byte, n) // want "compiler: make\(\[\]byte, n\) escapes to heap on hot path escapes\.Serve"
+	scratch := make([]byte, 8) // lint:allow hotpathalloc — amortized via pool in real code
+	_ = scratch
+	spare := grow(nil, n) // inlined copy of grow's allowed make: silent
+	_ = spare
+	q := box(n) // want "compiler: n \(inlined from box\) moved to heap on hot path escapes\.Serve"
+	_ = q
+	return fill(dst, buf)
+}
+
+// grow is an amortized scratch helper: its make is allowed where it is
+// written, and that allow must carry to inlined copies at call sites.
+func grow(s []byte, n int) []byte {
+	if cap(s) < n {
+		return make([]byte, n) // lint:allow hotpathalloc — scratch grows once
+	}
+	return s[:n]
+}
+
+// box leaks its argument and carries no allow: the inlined copy at the
+// call site stays a finding, attributed back to the callee by name.
+func box(n int) *int {
+	return &n
+}
+
+// fill is reached from Serve; its moved-to-heap diagnostic is attributed
+// back to the root.
+func fill(dst, src []byte) int {
+	tmp := 0
+	for i := range src {
+		tmp += int(src[i])
+	}
+	p := &tmp // forces tmp to the heap in the canned output
+	_ = p
+	if len(dst) > 0 {
+		dst[0] = byte(tmp)
+	}
+	return tmp
+}
+
+// Quantize is a kernel root; its escape is reported with kernel wording.
+// lint:kernelpure
+func Quantize(v []float64) []float64 {
+	out := make([]float64, len(v)) // want "compiler: make\(\[\]float64, len\(v\)\) escapes to heap on kernel escapes\.Quantize"
+	copy(out, v)
+	return out
+}
+
+// Audit allocates freely but is unreachable from any root: no findings.
+func Audit(rows [][]byte) []byte {
+	joined := make([]byte, 0, 64)
+	for _, r := range rows {
+		joined = append(joined, r...)
+	}
+	return joined
+}

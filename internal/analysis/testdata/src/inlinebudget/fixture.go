@@ -1,0 +1,52 @@
+// Package inlinebudget is the golden fixture for the inlinebudget
+// analyzer: the sibling gcdiag.txt carries canned -m=2 inliner verdicts
+// for the annotated functions below — one inlinable (silent), one pushed
+// past the cost budget, one pinned by go:noinline, one with no decision
+// at all, and one rejected but explicitly allowed.
+package inlinebudget
+
+// Mix stays comfortably under the budget: no finding.
+// lint:inline
+func Mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	return x ^ x>>29
+}
+
+// Heavy regressed past the inliner budget.
+// lint:inline
+func Heavy(b []byte) int { // want "lint:inline function inlinebudget\.Heavy is not inlinable: cost 120 exceeds budget 80"
+	s := 0
+	for i := range b {
+		if b[i] > 0x7f {
+			s += 2
+		} else {
+			s++
+		}
+	}
+	return s
+}
+
+// Pinned is rejected for a reason with no cost attached.
+// lint:inline
+func Pinned() int { // want "lint:inline function inlinebudget\.Pinned is not inlinable: marked go:noinline"
+	return 1
+}
+
+// Ghost has no verdict in the canned stream — the contract is silently
+// unverified, which is itself a finding.
+// lint:inline
+func Ghost() int { // want "no inlining decision reported for lint:inline function inlinebudget\.Ghost: contract unverified"
+	return 2
+}
+
+// Waived is rejected like Heavy but the regression is accepted.
+// lint:inline
+// lint:allow inlinebudget — accepted regression pending codec refactor
+func Waived(b []byte) int {
+	s := 0
+	for i := range b {
+		s += int(b[i]) * 31
+	}
+	return s
+}

@@ -1,0 +1,53 @@
+// Package nobce is the golden fixture for the nobce analyzer: the
+// sibling gcdiag.txt carries canned -d=ssa/check_bce output with checks
+// in loops (flagged), on prologue reslices and hint lines (exempt), on
+// cold exits (exempt), under lint:allow (suppressed), and in an
+// unannotated function (ignored).
+package nobce
+
+// Sum carries the deliberate regression: a surviving in-loop check.
+// lint:nobce
+func Sum(b []byte, n int) int {
+	b = b[:n] // prologue reslice: one straight-line check per call, exempt
+	s := 0
+	for i := 0; i < n; i++ {
+		if s > 1<<30 {
+			panic(b[n-1]) // cold: the block ends in panic, its check is exempt
+		}
+		s += int(b[i]) // want "compiler: IsInBounds survives in loop of lint:nobce function nobce\.Sum"
+	}
+	return s
+}
+
+// Rows indexes by a variable stride the prove pass cannot reason about;
+// the check is structurally unavoidable and suppressed with a reason.
+// lint:nobce
+func Rows(t []byte, idx, w int) int {
+	s := 0
+	for i := 0; i < w; i++ {
+		row := t[idx*w+i] // lint:allow nobce — variable stride defeats prove
+		s += int(row)
+	}
+	return s
+}
+
+// Hinted concentrates its checks on a `_ = b[i+7]` hint so the loads
+// below it are check-free; the hint's own check is exempt.
+// lint:nobce
+func Hinted(b []byte) int {
+	s := 0
+	for i := 0; i+8 <= len(b); i += 8 {
+		_ = b[i+7] // bounds hint: one deliberate check covering the block
+		s += int(b[i]) + int(b[i+7])
+	}
+	return s
+}
+
+// Plain has the same surviving check but no annotation: ignored.
+func Plain(b []byte) int {
+	s := 0
+	for i := range b {
+		s += int(b[i])
+	}
+	return s
+}

@@ -197,6 +197,8 @@ func (p *Pool) pop(c int) int {
 
 func (p *Pool) checkCluster(c int) {
 	if c < 0 || c >= len(p.clusters) {
+		// lint:allow escapes — panic-message formatting on the guard branch;
+		// the escapes only materialize when the process is already dying
 		panic(fmt.Sprintf("dap: cluster %d out of range [0,%d)", c, len(p.clusters)))
 	}
 }

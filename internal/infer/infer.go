@@ -177,21 +177,29 @@ func (k *Kernel) Version() uint64 { return k.ver }
 // mu resliced to LatentDim. Safe for concurrent use with distinct
 // scratch. Zero allocations.
 //
+// Bounds discipline (lint:nobce): scratch and bias slices are resliced to
+// the same length expression before the loops so every indexed access is
+// provable, and the second-layer matvec consumes k.w2 from the front under
+// a loop condition instead of strided `i*hidden` slicing (which prove
+// cannot bound). The only checks left in loops are the table-row lookups,
+// whose offsets depend on the segment bytes themselves.
+//
 // lint:hotpath
 // lint:kernelpure
+// lint:nobce
 func (k *Kernel) Forward(seg []byte, h, mu []float64) []float64 {
 	if len(seg)*8 != k.inBits {
 		panic(fmt.Sprintf("infer: Forward input %d bits, want %d", len(seg)*8, k.inBits))
 	}
-	h = h[:k.hidden]
-	mu = mu[:k.latent]
-	hidden := k.hidden
+	hidden, latent := k.hidden, k.latent
+	h = h[:hidden]
+	mu = mu[:latent]
 	if k.groupBits == 8 {
 		// One table row per byte; seed h with the first row instead of
 		// zeroing.
 		copy(h, k.table[int(seg[0])*hidden:][:hidden])
 		for p := 1; p < len(seg); p++ {
-			row := k.table[(p<<8|int(seg[p]))*hidden:][:hidden]
+			row := k.table[(p<<8|int(seg[p]))*hidden:][:hidden] // lint:allow nobce — row offset is data-dependent (segment byte value)
 			for i, v := range row {
 				h[i] += v
 			}
@@ -207,7 +215,7 @@ func (k *Kernel) Forward(seg []byte, h, mu []float64) []float64 {
 		for _, by := range seg {
 			for q := 0; q < perByte; q++ {
 				val := int((by >> (uint(q) * g)) & mask)
-				row := k.table[(grp<<g|val)*hidden:][:hidden]
+				row := k.table[(grp<<g|val)*hidden:][:hidden] // lint:allow nobce — row offset is data-dependent (group bit value)
 				for i, v := range row {
 					h[i] += v
 				}
@@ -216,17 +224,21 @@ func (k *Kernel) Forward(seg []byte, h, mu []float64) []float64 {
 		}
 	}
 	act1 := k.act1
+	b1 := k.b1[:hidden]
 	for i := range h {
-		h[i] = act1.Apply(h[i] + k.b1[i])
+		h[i] = act1.Apply(h[i] + b1[i])
 	}
 	act2 := k.act2
-	for i := 0; i < k.latent; i++ {
-		row := k.w2[i*hidden : (i+1)*hidden]
+	b2 := k.b2[:latent]
+	w2 := k.w2
+	for i := 0; i < latent && len(w2) >= hidden; i++ {
+		row := w2[:hidden]
+		w2 = w2[hidden:]
 		s := 0.0
 		for j, v := range row {
 			s += v * h[j]
 		}
-		mu[i] = act2.Apply(s + k.b2[i])
+		mu[i] = act2.Apply(s + b2[i])
 	}
 	return mu
 }
@@ -240,11 +252,18 @@ func (k *Kernel) Forward(seg []byte, h, mu []float64) []float64 {
 //
 // lint:hotpath
 // lint:kernelpure
+// lint:nobce
 func (k *Kernel) Assign(mu []float64) int {
 	latent := k.latent
+	mu = mu[:latent]
 	best, bestD := 0, math.Inf(1)
-	for c := 0; c < k.k; c++ {
-		cent := k.cents[c*latent:][:latent]
+	// Walk the flat centroid matrix front-to-back: `len(cents) >= latent`
+	// proves the row slice (strided `c*latent` indexing would not), and the
+	// reslice above ties len(mu) to len(cent) for the inner loop.
+	cents := k.cents
+	for c := 0; c < k.k && len(cents) >= latent; c++ {
+		cent := cents[:latent]
+		cents = cents[latent:]
 		d := 0.0
 		for i, cv := range cent {
 			diff := mu[i] - cv
@@ -283,8 +302,17 @@ const BlockSamples = 8
 // back-to-back, so their cache misses overlap (memory-level parallelism
 // a single accumulator chain cannot express). Zero allocations.
 //
+// Bounds discipline (lint:nobce): the seed copies and the per-sample
+// finale consume h/mu front-to-back under loop conditions, so their slice
+// bounds are all compiler-provable. The interleaved lookup loops are the
+// exception: both the table row (data-dependent offset) and the per-sample
+// scratch window (strided by s inside the group loop) are beyond prove and
+// carry explicit allows — they are also the memory-bound part, where a
+// bounds check is noise next to the cache misses being overlapped.
+//
 // lint:hotpath
 // lint:kernelpure
+// lint:nobce
 func (k *Kernel) ForwardBlock(segs [][]byte, h, mu []float64) {
 	n := len(segs)
 	if n > BlockSamples {
@@ -299,13 +327,15 @@ func (k *Kernel) ForwardBlock(segs [][]byte, h, mu []float64) {
 	h = h[:n*hidden]
 	mu = mu[:n*latent]
 	if k.groupBits == 8 {
-		for s, seg := range segs {
-			copy(h[s*hidden:][:hidden], k.table[int(seg[0])*hidden:][:hidden])
+		hh := h
+		for s := 0; s < n && len(hh) >= hidden; s++ {
+			copy(hh[:hidden], k.table[int(segs[s][0])*hidden:][:hidden]) // lint:allow nobce — table row offset is data-dependent
+			hh = hh[hidden:]
 		}
 		for p := 1; p < k.inBits/8; p++ {
 			for s, seg := range segs {
-				row := k.table[(p<<8|int(seg[p]))*hidden:][:hidden]
-				hs := h[s*hidden:][:hidden]
+				row := k.table[(p<<8|int(seg[p]))*hidden:][:hidden] // lint:allow nobce — data-dependent row, prologue-checked seg[p]
+				hs := h[s*hidden:][:hidden]                         // lint:allow nobce — sample-strided scratch window inside the group loop
 				for i, v := range row {
 					hs[i] += v
 				}
@@ -322,9 +352,9 @@ func (k *Kernel) ForwardBlock(segs [][]byte, h, mu []float64) {
 			for q := 0; q < perByte; q++ {
 				grp := p*perByte + q
 				for s, seg := range segs {
-					val := int((seg[p] >> (uint(q) * g)) & mask)
-					row := k.table[(grp<<g|val)*hidden:][:hidden]
-					hs := h[s*hidden:][:hidden]
+					val := int((seg[p] >> (uint(q) * g)) & mask)       // lint:allow nobce — prologue-checked seg[p]
+					row := k.table[(grp<<g|val)*hidden:][:hidden]      // lint:allow nobce — data-dependent row offset
+					hs := h[s*hidden:][:hidden]                        // lint:allow nobce — sample-strided scratch window inside the group loop
 					for i, v := range row {
 						hs[i] += v
 					}
@@ -333,19 +363,25 @@ func (k *Kernel) ForwardBlock(segs [][]byte, h, mu []float64) {
 		}
 	}
 	act1, act2 := k.act1, k.act2
-	for s := 0; s < n; s++ {
-		hs := h[s*hidden:][:hidden]
+	b1, b2 := k.b1[:hidden], k.b2[:latent]
+	hrest, mrest := h, mu
+	for s := 0; s < n && len(hrest) >= hidden && len(mrest) >= latent; s++ {
+		hs := hrest[:hidden]
+		hrest = hrest[hidden:]
 		for i := range hs {
-			hs[i] = act1.Apply(hs[i] + k.b1[i])
+			hs[i] = act1.Apply(hs[i] + b1[i])
 		}
-		ms := mu[s*latent:][:latent]
-		for i := 0; i < latent; i++ {
-			row := k.w2[i*hidden : (i+1)*hidden]
+		ms := mrest[:latent]
+		mrest = mrest[latent:]
+		w2 := k.w2
+		for i := 0; i < latent && len(w2) >= hidden; i++ {
+			row := w2[:hidden]
+			w2 = w2[hidden:]
 			sum := 0.0
 			for j, v := range row {
 				sum += v * hs[j]
 			}
-			ms[i] = act2.Apply(sum + k.b2[i])
+			ms[i] = act2.Apply(sum + b2[i])
 		}
 	}
 }

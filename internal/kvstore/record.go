@@ -43,15 +43,21 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // recordCRC computes the checksum of a trimmed record (exactly
 // valueHeader+len(value) bytes): the header fields after flags, then the
 // value.
+//
+// lint:nobce
 func recordCRC(rec []byte) uint32 {
+	_ = rec[valueHeader-1] // one bounds check for the whole header
 	crc := crc32.Checksum(rec[recLenOff:recCRCOff], crcTable)
 	return crc32.Update(crc, crcTable, rec[valueHeader:])
 }
 
 // encodeRecord serializes a record into buf, which must be exactly
 // valueHeader+len(value) bytes.
+//
+// lint:nobce
 func encodeRecord(buf []byte, key uint64, seq uint32, value []byte) {
-	buf[0] = 1 // valid
+	_ = buf[valueHeader-1] // one bounds check for the whole header
+	buf[0] = 1             // valid
 	binary.LittleEndian.PutUint16(buf[recLenOff:], uint16(len(value)))
 	binary.LittleEndian.PutUint64(buf[recKeyOff:], key)
 	binary.LittleEndian.PutUint32(buf[recSeqOff:], seq)
@@ -62,6 +68,8 @@ func encodeRecord(buf []byte, key uint64, seq uint32, value []byte) {
 // parseRecord validates a segment image and returns its record fields. ok
 // is false when the image holds no trustworthy record: unset valid flag,
 // out-of-range length, or CRC mismatch. value aliases img.
+//
+// lint:nobce
 func parseRecord(img []byte) (key uint64, seq uint32, value []byte, ok bool) {
 	if len(img) < valueHeader || img[0]&1 == 0 {
 		return 0, 0, nil, false
@@ -80,5 +88,7 @@ func parseRecord(img []byte) (key uint64, seq uint32, value []byte, ok bool) {
 }
 
 // seqAfter reports whether sequence a is newer than b under serial-number
-// (wraparound-safe) arithmetic.
+// (wraparound-safe) arithmetic. Called per record during recovery scans.
+//
+// lint:inline
 func seqAfter(a, b uint32) bool { return int32(a-b) > 0 }

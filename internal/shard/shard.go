@@ -56,7 +56,10 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// Of returns the shard index serving key.
+// Of returns the shard index serving key. It sits inside every routed
+// operation, so it must stay inlinable (mix64 folds into it).
+//
+// lint:inline
 func (r *Router) Of(key uint64) int {
 	if len(r.stores) == 1 {
 		return 0

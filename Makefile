@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race stress lint lint-self vet bench fault
+.PHONY: all build test race stress lint lint-self vet bench fault chaos
 
 all: build lint test
 
@@ -58,8 +58,17 @@ fault:
 		./internal/nvm ./internal/kvstore ./internal/txn ./internal/dap ./internal/experiments .
 	$(GO) test -race -run=NONE -fuzz FuzzRecordRoundTrip -fuzztime 10s ./internal/kvstore
 
+# Replication chaos: the seeded kill-a-shard-mid-workload suite (leader
+# devices fenced at fixed points while concurrent writers run; zero lost
+# acknowledged writes), the follower-apply/migration crash matrices, and
+# the facade failover/migration lifecycle — all under the race detector.
+# Every seed is fixed in the tests, so a failure reproduces exactly.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestCrashMatrix|TestReplicatedFailoverAndMigration' \
+		./internal/replica .
+
 # Regenerate the committed micro-benchmark baseline (Put/Get/GetInto/Delete
-# ns/op, B/op, allocs/op plus bit-flip counters, and the concurrent
-# shards×cpu throughput sweep).
+# ns/op, B/op, allocs/op plus bit-flip counters, the replicated-write and
+# degraded-serving rows, and the concurrent shards×cpu throughput sweep).
 bench:
-	$(GO) run ./cmd/e2nvm-bench -kvbench -out BENCH_PR7.json
+	$(GO) run ./cmd/e2nvm-bench -kvbench -out BENCH_PR8.json

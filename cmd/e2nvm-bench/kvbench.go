@@ -55,6 +55,10 @@ type kvBenchEntry struct {
 	// Fault-pipeline counters (only set by the faulted scenario).
 	WornWrites      uint64 `json:"worn_writes,omitempty"`
 	RetiredSegments uint64 `json:"retired_segments,omitempty"`
+	// Replication counters (only set by the replicated scenarios).
+	ReplicationFactor int    `json:"replication_factor,omitempty"`
+	Failovers         uint64 `json:"failovers,omitempty"`
+	MigratedRecords   uint64 `json:"migrated_records,omitempty"`
 }
 
 type kvBenchDoc struct {
@@ -412,6 +416,116 @@ func runKVBench(out string) error {
 		})
 	}
 
+	// PUT/CRASHSAFE: the overwrite loop with the redo log on — the
+	// comparator that separates logging cost from replication cost in the
+	// two rows below (Put -> +crashsafe is the log, +crashsafe ->
+	// +replicated is the shipping).
+	{
+		store, err := e2nvm.Open(e2nvm.Config{
+			SegmentSize: kvBenchSegSize,
+			NumSegments: kvBenchSegments,
+			Clusters:    kvBenchClusters,
+			TrainEpochs: kvBenchEpochs,
+			Seed:        kvBenchSeed,
+			CrashSafe:   true,
+		})
+		if err != nil {
+			return err
+		}
+		val := make([]byte, kvBenchValue)
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			store.ResetMetrics()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				val[0] = byte(i)
+				if err := store.Put(uint64(i%kvBenchKeys), val); err != nil {
+					failed = err
+					b.FailNow()
+				}
+			}
+		})
+		if failed != nil {
+			return fmt.Errorf("kvbench put/crashsafe: %w", failed)
+		}
+		m := store.Metrics()
+		entries = append(entries, kvBenchEntry{
+			Name:             "kvstore.Put/crashsafe",
+			Note:             "same workload as kvstore.Put with the redo log on; the delta vs kvstore.Put is pure logging cost",
+			Iterations:       r.N,
+			NsPerOp:          float64(r.NsPerOp()),
+			BytesPerOp:       r.AllocedBytesPerOp(),
+			AllocsPerOp:      r.AllocsPerOp(),
+			BitsFlippedPerOp: float64(m.BitsFlipped) / float64(r.N),
+			FlipsPerDataBit:  m.FlipsPerDataBit,
+		})
+	}
+
+	// PUT/REPLICATED: acknowledged writes at ReplicationFactor 2 over 2
+	// shards. Every commit builds one ship entry and enqueues it to the
+	// follower, so allocs/op is expected to be nonzero here — that buffer
+	// is the price of the ack guarantee; the delta vs kvstore.Put/crashsafe
+	// is the full shipping cost. Flip counters aggregate leader and
+	// follower devices (the follower applies every image too).
+	{
+		store, err := e2nvm.Open(e2nvm.Config{
+			SegmentSize:       kvBenchSegSize,
+			NumSegments:       kvBenchSegments,
+			Shards:            2,
+			ReplicationFactor: 2,
+			Clusters:          kvBenchClusters,
+			TrainEpochs:       kvBenchEpochs,
+			Seed:              kvBenchSeed,
+		})
+		if err != nil {
+			return err
+		}
+		val := make([]byte, kvBenchValue)
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			store.ResetMetrics()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				val[0] = byte(i)
+				if err := store.Put(uint64(i%kvBenchKeys), val); err != nil {
+					failed = err
+					b.FailNow()
+				}
+			}
+		})
+		store.Close()
+		if failed != nil {
+			return fmt.Errorf("kvbench put/replicated: %w", failed)
+		}
+		m := store.Metrics()
+		entries = append(entries, kvBenchEntry{
+			Name:              "kvstore.Put/replicated",
+			Note:              "acknowledged writes at rf=2 over 2 shards; the delta vs kvstore.Put/crashsafe is the redo-stream shipping cost, and flips include the follower applies",
+			Shards:            2,
+			ReplicationFactor: 2,
+			Iterations:        r.N,
+			NsPerOp:           float64(r.NsPerOp()),
+			BytesPerOp:        r.AllocedBytesPerOp(),
+			AllocsPerOp:       r.AllocsPerOp(),
+			BitsFlippedPerOp:  float64(m.BitsFlipped) / float64(r.N),
+			FlipsPerDataBit:   m.FlipsPerDataBit,
+		})
+	}
+
+	// PUT/DRAINED: writes served after a shard's whole replica set died and
+	// its keyspace live-migrated away. Shard 0's devices are fenced (leader,
+	// then the promoted follower), the drain runs to completion, and the
+	// measured loop then writes the full working set — about half the keys
+	// re-route through the drained shard's redirect. The delta vs
+	// kvstore.Put/replicated is the redirect-chase cost of degraded serving.
+	{
+		e, err := drainedKVBench()
+		if err != nil {
+			return err
+		}
+		entries = append(entries, e)
+	}
+
 	// INFER.FORWARD: the bit-native kernel alone (forward + assignment for
 	// one 64 B segment at the store's encoder geometry), next to the float
 	// encoder path it replaced — the per-Put inference cost before any
@@ -535,6 +649,105 @@ func inferForwardBench() (kernel, naive kvBenchEntry, err error) {
 		AllocsPerOp: rn.AllocsPerOp(),
 	}
 	return kernel, naive, nil
+}
+
+// drainedKVBench builds the degraded-serving scenario: a 2-shard rf=2
+// store whose shard 0 loses both replicas — the first fence fails the
+// writes over to the follower, the second forces the live migration into
+// shard 1 — then measures steady-state Puts once the drain completes.
+func drainedKVBench() (kvBenchEntry, error) {
+	// Twice the standard geometry: after the drain the surviving shard
+	// holds the full working set, so it needs the whole standard pool to
+	// itself.
+	store, err := e2nvm.Open(e2nvm.Config{
+		SegmentSize:       kvBenchSegSize,
+		NumSegments:       2 * kvBenchSegments,
+		Shards:            2,
+		ReplicationFactor: 2,
+		Clusters:          kvBenchClusters,
+		TrainEpochs:       kvBenchEpochs,
+		Seed:              kvBenchSeed,
+	})
+	if err != nil {
+		return kvBenchEntry{}, err
+	}
+	defer store.Close()
+	val := make([]byte, kvBenchValue)
+	writeAll := func() error {
+		for k := uint64(0); k < kvBenchKeys; k++ {
+			val[0] = byte(k)
+			if err := store.Put(k, val); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fenceShard0 := func() error {
+		for a := 0; a < kvBenchSegments; a++ { // shard 0's zone
+			if err := store.FailSegment(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeAll(); err != nil {
+		return kvBenchEntry{}, fmt.Errorf("kvbench put/drained populate: %w", err)
+	}
+	// Kill the leader, then the promoted follower; each write pass drives
+	// the failure-driven failover for the keys that land on shard 0.
+	for round := 0; round < 2; round++ {
+		if err := fenceShard0(); err != nil {
+			return kvBenchEntry{}, err
+		}
+		if err := writeAll(); err != nil {
+			return kvBenchEntry{}, fmt.Errorf("kvbench put/drained round %d: %w", round, err)
+		}
+	}
+	drained := false
+	for try := 0; try < 100 && !drained; try++ {
+		store.Quiesce()
+		if err := store.CheckHealth(); err != nil {
+			return kvBenchEntry{}, fmt.Errorf("kvbench put/drained health: %w", err)
+		}
+		for _, sr := range store.Replication() {
+			if sr.State == e2nvm.ShardDrained {
+				drained = true
+			}
+		}
+	}
+	if !drained {
+		return kvBenchEntry{}, fmt.Errorf("kvbench put/drained: shard 0 never finished draining")
+	}
+	var failed error
+	r := testing.Benchmark(func(b *testing.B) {
+		store.ResetMetrics()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			val[0] = byte(i)
+			if err := store.Put(uint64(i%kvBenchKeys), val); err != nil {
+				failed = err
+				b.FailNow()
+			}
+		}
+	})
+	if failed != nil {
+		return kvBenchEntry{}, fmt.Errorf("kvbench put/drained: %w", failed)
+	}
+	m := store.Metrics()
+	return kvBenchEntry{
+		Name:              "kvstore.Put/drained",
+		Note:              "2-shard rf=2 store after shard 0 lost both replicas and live-migrated into shard 1; roughly half the keys re-route through the drained shard's redirect",
+		Shards:            2,
+		ReplicationFactor: 2,
+		Iterations:        r.N,
+		NsPerOp:           float64(r.NsPerOp()),
+		BytesPerOp:        r.AllocedBytesPerOp(),
+		AllocsPerOp:       r.AllocsPerOp(),
+		BitsFlippedPerOp:  float64(m.BitsFlipped) / float64(r.N),
+		FlipsPerDataBit:   m.FlipsPerDataBit,
+		Failovers:         m.Failovers,
+		MigratedRecords:   m.MigratedRecords,
+	}, nil
 }
 
 // concurrentKVBench measures an even Put+GetInto mix driven from one

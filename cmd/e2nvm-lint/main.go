@@ -89,6 +89,7 @@ var errflowScope = []string{
 	"internal/txn",
 	"internal/nvm",
 	"internal/shard",
+	"internal/replica",
 }
 
 func main() {

@@ -38,6 +38,7 @@ import (
 	"e2nvm/internal/kvstore"
 	"e2nvm/internal/nvm"
 	"e2nvm/internal/padding"
+	"e2nvm/internal/replica"
 	"e2nvm/internal/shard"
 )
 
@@ -97,6 +98,19 @@ type Config struct {
 	// Retrain aggregate across shards. Default 1: a single store, the
 	// unsharded behaviour.
 	Shards int
+
+	// ReplicationFactor replicates each shard across this many devices:
+	// one serving leader plus ReplicationFactor-1 followers that apply the
+	// leader's redo stream. A Put is acknowledged only once durable on the
+	// leader and applied-or-queued on every live follower; when a leader's
+	// device wears out, the shard fails over to a follower, and when a
+	// shard's last replica dies its keyspace live-migrates into the
+	// surviving shards (see Replication and Health). Follower devices are
+	// seeded with the same content as their leader but draw independent
+	// fault sequences. Replication needs the redo log, so CrashSafe is
+	// forced on when ReplicationFactor > 1. Default 1: no replication, the
+	// exact unreplicated write path.
+	ReplicationFactor int
 
 	// Clusters is the number of content clusters K; 0 selects K with the
 	// elbow method.
@@ -169,6 +183,12 @@ func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 1
+	}
+	if c.ReplicationFactor > 1 {
+		c.CrashSafe = true // replication ships the redo log; there must be one
+	}
 	if c.TrainEpochs <= 0 {
 		c.TrainEpochs = 15
 	}
@@ -226,11 +246,12 @@ func (c Config) padType() padding.Type {
 	}
 }
 
-// deviceConfig builds shard i's device configuration over numSegs
-// segments. The fault process seed is offset per shard so shards draw
-// independent wear-out sequences; shard 0 keeps the configured seed, so a
-// single-shard store is bit-identical to the pre-sharding behaviour.
-func (c Config) deviceConfig(shardIdx, numSegs int) nvm.Config {
+// deviceConfig builds a device configuration over numSegs segments. The
+// fault process seed is offset per device so every device draws an
+// independent wear-out sequence; offset 0 (shard 0's leader) keeps the
+// configured seed, so a single-shard store is bit-identical to the
+// pre-sharding behaviour.
+func (c Config) deviceConfig(faultOffset, numSegs int) nvm.Config {
 	devCfg := nvm.DefaultConfig(c.SegmentSize, numSegs)
 	devCfg.WearLevelPeriod = c.WearLevelPeriod
 	devCfg.TrackBitWear = c.TrackBitWear
@@ -238,20 +259,17 @@ func (c Config) deviceConfig(shardIdx, numSegs int) nvm.Config {
 		devCfg.EnduranceWrites = c.EnduranceWrites
 	}
 	devCfg.Fault = c.Fault.toInternal()
-	devCfg.Fault.Seed += int64(shardIdx)
+	devCfg.Fault.Seed += int64(faultOffset)
 	devCfg.VerifyWrites = c.VerifyWrites
 	return devCfg
 }
 
-// newShardDevice creates and seeds shard shardIdx's device, which owns
-// global segments [start, start+numSegs). SeedContent callbacks receive
-// global addresses, so a seeded workload is independent of the shard
-// layout.
-func (c Config) newShardDevice(shardIdx, start, numSegs int) (*nvm.Device, error) {
-	dev, err := nvm.NewDevice(c.deviceConfig(shardIdx, numSegs))
-	if err != nil {
-		return nil, err
-	}
+// fillShardContent seeds dev with shard shardIdx's initial content.
+// SeedContent callbacks receive global addresses, so a seeded workload is
+// independent of the shard layout; the fill depends only on shardIdx, so
+// a follower filled for the same shard starts byte-identical to its
+// leader.
+func (c Config) fillShardContent(dev *nvm.Device, shardIdx, start, numSegs int) error {
 	if c.SeedContent != nil {
 		buf := make([]byte, c.SegmentSize)
 		for a := 0; a < numSegs; a++ {
@@ -260,11 +278,40 @@ func (c Config) newShardDevice(shardIdx, start, numSegs int) (*nvm.Device, error
 			}
 			c.SeedContent(start+a, buf)
 			if err := dev.FillSegment(a, buf); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	} else {
 		dev.Fill(rand.New(rand.NewSource(c.Seed + int64(shardIdx))))
+	}
+	return nil
+}
+
+// newShardDevice creates and seeds shard shardIdx's leader device, which
+// owns global segments [start, start+numSegs).
+func (c Config) newShardDevice(shardIdx, start, numSegs int) (*nvm.Device, error) {
+	dev, err := nvm.NewDevice(c.deviceConfig(shardIdx, numSegs))
+	if err != nil {
+		return nil, err
+	}
+	if err := c.fillShardContent(dev, shardIdx, start, numSegs); err != nil {
+		return nil, err
+	}
+	return dev, nil
+}
+
+// newFollowerDevice creates follower number f (0-based) of shard
+// shardIdx: the leader's content seed, so the replica starts
+// byte-identical, but a fault seed offset past every leader's, so each
+// replica wears out independently.
+func (c Config) newFollowerDevice(shardIdx, f, start, numSegs int) (*nvm.Device, error) {
+	off := c.Shards + shardIdx*(c.ReplicationFactor-1) + f
+	dev, err := nvm.NewDevice(c.deviceConfig(off, numSegs))
+	if err != nil {
+		return nil, err
+	}
+	if err := c.fillShardContent(dev, shardIdx, start, numSegs); err != nil {
+		return nil, err
 	}
 	return dev, nil
 }
@@ -283,13 +330,16 @@ func (c Config) storeOptions(placement kvstore.Placement) kvstore.Options {
 // Store is an E2-NVM-managed persistent key/value store over one or more
 // simulated PCM devices. With Config.Shards > 1 the keyspace is
 // hash-partitioned across independent shards, each with its own device
-// zone, model, pool, index, and redo log. All methods are safe for
+// zone, model, pool, index, and redo log. With Config.ReplicationFactor >
+// 1 each shard is additionally a replica set with leader failover and
+// live keyspace migration (see Replication). All methods are safe for
 // concurrent use.
 type Store struct {
-	router *shard.Router
-	shards []*kvstore.Store // router's stores, for per-shard inspection
-	devs   []*nvm.Device    // devs[i] backs shards[i]
-	starts []int            // global segment ranges: shard i owns [starts[i], starts[i+1])
+	router  *shard.Router
+	cluster *replica.Cluster // non-nil iff ReplicationFactor > 1; replaces router
+	shards  []*kvstore.Store // the original leaders, for per-shard inspection
+	devs    []*nvm.Device    // devs[i] is shard i's original leader device
+	starts  []int            // global segment ranges: shard i owns [starts[i], starts[i+1])
 }
 
 // Open creates the simulated PCM device(s), seeds their contents, trains
@@ -351,6 +401,13 @@ func openShards(cfg Config, open func(i int, dev *nvm.Device) (*kvstore.Store, e
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
+	if cfg.ReplicationFactor > 1 {
+		cluster, err := cfg.newCluster(stores, starts)
+		if err != nil {
+			return nil, err
+		}
+		return &Store{cluster: cluster, shards: stores, devs: devs, starts: starts}, nil
+	}
 	router, err := shard.New(stores)
 	if err != nil {
 		return nil, err
@@ -359,8 +416,15 @@ func openShards(cfg Config, open func(i int, dev *nvm.Device) (*kvstore.Store, e
 }
 
 // Put stores value under key (the paper's PUT/UPDATE write path), routed
-// to the key's shard.
-func (s *Store) Put(key uint64, value []byte) error { return s.router.Put(key, value) }
+// to the key's shard. On a replicated store a nil return additionally
+// means the write is durable on the shard's leader and applied or queued
+// on every live follower.
+func (s *Store) Put(key uint64, value []byte) error {
+	if s.cluster != nil {
+		return s.cluster.Put(key, value)
+	}
+	return s.router.Put(key, value)
+}
 
 // PutBatch stores len(keys) key/value pairs in one call: keys group per
 // shard (SplitMix64, no extra allocations), each shard's lock is taken
@@ -371,6 +435,9 @@ func (s *Store) Put(key uint64, value []byte) error { return s.router.Put(key, v
 // abort the rest; the returned error is the first failure by index. Pass
 // errs (same length) to receive per-item outcomes, or nil to skip them.
 func (s *Store) PutBatch(keys []uint64, values [][]byte, errs []error) error {
+	if s.cluster != nil {
+		return s.clusterPutBatch(keys, values, errs)
+	}
 	return s.router.PutBatch(keys, values, errs)
 }
 
@@ -381,38 +448,67 @@ func (s *Store) PutBatch(keys []uint64, values [][]byte, errs []error) error {
 // must be index-aligned with keys; errs, when non-nil, receives per-item
 // read errors, and the returned error is the first failure by index.
 func (s *Store) GetBatch(keys []uint64, dsts [][]byte, oks []bool, errs []error) error {
+	if s.cluster != nil {
+		return s.clusterGetBatch(keys, dsts, oks, errs)
+	}
 	return s.router.GetBatch(keys, dsts, oks, errs)
 }
 
 // Get returns the value stored under key as a fresh caller-owned copy.
-func (s *Store) Get(key uint64) ([]byte, bool, error) { return s.router.Get(key) }
+func (s *Store) Get(key uint64) ([]byte, bool, error) {
+	if s.cluster != nil {
+		return s.cluster.Get(key)
+	}
+	return s.router.Get(key)
+}
 
 // GetInto is Get writing the value into dst's backing array (grown only
 // when too small), for callers that reuse one buffer across reads. It
 // returns the resulting slice, which may share storage with dst.
 func (s *Store) GetInto(key uint64, dst []byte) ([]byte, bool, error) {
+	if s.cluster != nil {
+		return s.cluster.GetInto(key, dst)
+	}
 	return s.router.GetInto(key, dst)
 }
 
 // Delete removes key, recycling its segment into its shard's address pool.
-func (s *Store) Delete(key uint64) (bool, error) { return s.router.Delete(key) }
+func (s *Store) Delete(key uint64) (bool, error) {
+	if s.cluster != nil {
+		return s.cluster.Delete(key)
+	}
+	return s.router.Delete(key)
+}
 
 // Scan visits keys in [lo, hi] in ascending order until fn returns false,
 // merging shards' ordered streams when sharded. The callback runs with no
 // store lock held, so it may call back into the store; the value slice is
 // only valid during the callback — copy it to retain it.
 func (s *Store) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) error {
+	if s.cluster != nil {
+		return s.cluster.Scan(lo, hi, fn)
+	}
 	return s.router.Scan(lo, hi, fn)
 }
 
 // Len returns the number of live keys across all shards.
-func (s *Store) Len() int { return s.router.Len() }
+func (s *Store) Len() int {
+	if s.cluster != nil {
+		return s.cluster.Len()
+	}
+	return s.router.Len()
+}
 
 // MaxValue returns the largest storable value in bytes.
 func (s *Store) MaxValue() int { return s.shards[0].MaxValue() }
 
 // Shards returns the number of independent shards serving the keyspace.
-func (s *Store) Shards() int { return s.router.N() }
+func (s *Store) Shards() int {
+	if s.cluster != nil {
+		return s.cluster.N()
+	}
+	return s.router.N()
+}
 
 // Clusters returns the number of content clusters the model learned (the
 // first shard's; with elbow-selected K, shards may differ).
@@ -420,19 +516,35 @@ func (s *Store) Clusters() int { return s.shards[0].Model().K() }
 
 // NeedsRetrain reports whether any shard's cluster free list is running
 // low.
-func (s *Store) NeedsRetrain() bool { return s.router.NeedsRetrain() }
+func (s *Store) NeedsRetrain() bool {
+	if s.cluster != nil {
+		return s.cluster.NeedsRetrain()
+	}
+	return s.router.NeedsRetrain()
+}
 
 // Retrain synchronously retrains every shard's model on its device zone's
 // current contents (concurrently across shards) and rebuilds the address
 // pools. Serving continues while a shard retrains; see the kvstore layer
 // for the exact snapshot contract.
-func (s *Store) Retrain() error { return s.router.Retrain() }
+func (s *Store) Retrain() error {
+	if s.cluster != nil {
+		return s.cluster.Retrain()
+	}
+	return s.router.Retrain()
+}
 
-// Quiesce blocks until every shard's in-flight background retrain (the
-// ones the write path launches on density drift) has finished and applied
-// its pool rebuild. Call it before tearing the store down, or in tests
-// that assert on post-retrain state.
-func (s *Store) Quiesce() { s.router.Quiesce() }
+// Quiesce blocks until in-flight background work — every shard's async
+// retrain, and on a replicated store any live keyspace migration — has
+// finished. Call it before tearing the store down, or in tests that
+// assert on post-retrain or post-migration state.
+func (s *Store) Quiesce() {
+	if s.cluster != nil {
+		s.cluster.Quiesce()
+		return
+	}
+	s.router.Quiesce()
+}
 
 // Metrics is a snapshot of device- and store-level activity.
 type Metrics struct {
@@ -467,6 +579,11 @@ type Metrics struct {
 	// FlipsPerDataBit is BitsFlipped / BitsWritten (0 when nothing was
 	// written) — Figure 12's metric.
 	FlipsPerDataBit float64
+	// Failovers counts leader promotions on a replicated store, and
+	// MigratedRecords counts records live-migrated out of shards whose
+	// replica sets died entirely. Both stay 0 when ReplicationFactor is 1.
+	Failovers       uint64
+	MigratedRecords uint64
 }
 
 // metricsFrom derives one Metrics snapshot from raw device and store
@@ -505,6 +622,9 @@ func metricsFrom(ds nvm.Stats, ss kvstore.Stats) Metrics {
 // total-flips/total-bits for FlipsPerDataBit. Use ShardMetrics for the
 // per-shard breakdown.
 func (s *Store) Metrics() Metrics {
+	if s.cluster != nil {
+		return s.clusterMetrics()
+	}
 	var ds nvm.Stats
 	var ss kvstore.Stats
 	for i, dev := range s.devs {
@@ -537,6 +657,9 @@ func (s *Store) Metrics() Metrics {
 // with the shard layout (shard i serves the keys hashing to it and owns
 // global segments [i's zone]).
 func (s *Store) ShardMetrics() []Metrics {
+	if s.cluster != nil {
+		return s.clusterShardMetrics()
+	}
 	out := make([]Metrics, len(s.devs))
 	for i, dev := range s.devs {
 		out[i] = metricsFrom(dev.Stats(), s.shards[i].Stats())
@@ -550,6 +673,15 @@ func (s *Store) ShardMetrics() []Metrics {
 // between phases measure only their own activity. Content and wear state
 // are preserved.
 func (s *Store) ResetMetrics() {
+	if s.cluster != nil {
+		for _, dev := range s.cluster.Devices() {
+			dev.ResetStats()
+		}
+		for _, st := range s.cluster.ServingStores() {
+			st.ResetStats()
+		}
+		return
+	}
 	for _, dev := range s.devs {
 		dev.ResetStats()
 	}
@@ -557,14 +689,17 @@ func (s *Store) ResetMetrics() {
 }
 
 // BitWear returns a copy of the per-bit flip counters in global segment
-// order, or nil when Config.TrackBitWear was false.
+// order, or nil when Config.TrackBitWear was false. On a replicated store
+// each shard's zone reports its current serving device (the original
+// leader once the shard has drained); follower wear is aggregated in
+// Metrics.
 func (s *Store) BitWear() []uint32 {
-	if len(s.devs) == 1 {
+	if s.cluster == nil && len(s.devs) == 1 {
 		return s.devs[0].BitWear()
 	}
 	var out []uint32
-	for _, dev := range s.devs {
-		w := dev.BitWear()
+	for i := range s.devs {
+		w := s.servingDevice(i).BitWear()
 		if w == nil {
 			return nil
 		}
@@ -574,20 +709,36 @@ func (s *Store) BitWear() []uint32 {
 }
 
 // SegmentWrites returns per-segment write-operation counts in global
-// segment order.
+// segment order (per serving device when replicated, like BitWear).
 func (s *Store) SegmentWrites() []uint64 {
-	if len(s.devs) == 1 {
+	if s.cluster == nil && len(s.devs) == 1 {
 		return s.devs[0].SegmentWrites()
 	}
 	var out []uint64
-	for _, dev := range s.devs {
-		out = append(out, dev.SegmentWrites()...)
+	for i := range s.devs {
+		out = append(out, s.servingDevice(i).SegmentWrites()...)
 	}
 	return out
 }
 
+// servingDevice returns the device currently backing shard i: the
+// original leader device, or — replicated — whichever replica serves the
+// shard now, falling back to the original leader once the shard drained.
+func (s *Store) servingDevice(i int) *nvm.Device {
+	if s.cluster != nil {
+		if dev := s.cluster.LeaderDevice(i); dev != nil {
+			return dev
+		}
+	}
+	return s.devs[i]
+}
+
 // String summarizes the store configuration.
 func (s *Store) String() string {
+	if s.cluster != nil {
+		return fmt.Sprintf("e2nvm.Store{shards: %d, rf: %d, segments: %d×%dB, k: %d}",
+			len(s.devs), s.ReplicationFactor(), s.starts[len(s.starts)-1], s.devs[0].SegmentSize(), s.Clusters())
+	}
 	if len(s.devs) == 1 {
 		return fmt.Sprintf("e2nvm.Store{segments: %d×%dB, k: %d}",
 			s.devs[0].NumSegments(), s.devs[0].SegmentSize(), s.Clusters())

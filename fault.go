@@ -5,6 +5,7 @@ import (
 
 	"e2nvm/internal/kvstore"
 	"e2nvm/internal/nvm"
+	"e2nvm/internal/replica"
 )
 
 // ErrConfig marks Open/Load failures caused by an invalid or inconsistent
@@ -33,6 +34,10 @@ var (
 	// ErrBadAddress is returned by InjectStuckAt and FailSegment for a
 	// global segment address outside the store.
 	ErrBadAddress = nvm.ErrBadAddress
+	// ErrShardDown is returned by writes to a replicated shard whose every
+	// replica has died with no healthy shards left to migrate into. Reads
+	// still serve the dead shard's surviving content.
+	ErrShardDown = replica.ErrGroupDown
 )
 
 // FaultConfig configures the simulated device's cell wear-out process. The
@@ -69,6 +74,15 @@ type Health struct {
 	LiveKeys     int  // records reachable through the index
 	PoolFree     int  // free segments available for placement
 	Degraded     bool // retirement has crossed Config.DegradeThreshold
+
+	// Replication state; zero values when ReplicationFactor is 1. State is
+	// the shard's lifecycle ("active", "draining", "drained", "down") in
+	// per-shard snapshots and empty in the aggregate; ReplicaLag is the
+	// worst follower backlog (entries acknowledged but not yet applied).
+	State         string
+	ReplicaLag    uint64
+	Failovers     uint64 // completed leader promotions
+	DrainedShards int    // shards whose keyspace migrated away entirely
 }
 
 func healthFrom(h kvstore.Health) Health {
@@ -84,12 +98,22 @@ func healthFrom(h kvstore.Health) Health {
 // Health reports the store's current capacity state, aggregated over all
 // shards. Degraded is true when any shard has crossed its threshold — keys
 // hashing to a degraded shard fail allocation even while others have room.
+// On a replicated store only the shards still serving contribute, and the
+// replication fields summarize failover and migration activity.
 func (s *Store) Health() Health {
+	if s.cluster != nil {
+		return s.clusterHealth()
+	}
 	return healthFrom(s.router.Health())
 }
 
-// ShardHealth returns each shard's own capacity snapshot.
+// ShardHealth returns each shard's own capacity snapshot. On a replicated
+// store each entry carries the shard's lifecycle state and follower lag; a
+// drained shard reports only those (its records now live on other shards).
 func (s *Store) ShardHealth() []Health {
+	if s.cluster != nil {
+		return s.clusterShardHealth()
+	}
 	per := s.router.HealthPerShard()
 	out := make([]Health, len(per))
 	for i, h := range per {
@@ -113,6 +137,15 @@ type ScrubReport struct {
 // across shards and each shard keeps its own sweep cursor. It is a no-op
 // when retirement is disabled.
 func (s *Store) Scrub(n int) (ScrubReport, error) {
+	if s.cluster != nil {
+		r, err := s.cluster.Scrub(n)
+		return ScrubReport{
+			Scanned:   r.Scanned,
+			Relocated: r.Relocated,
+			Retired:   r.Retired,
+			Lost:      r.Lost,
+		}, err
+	}
 	r, err := s.router.Scrub(n)
 	return ScrubReport{
 		Scanned:   r.Scanned,
@@ -122,15 +155,17 @@ func (s *Store) Scrub(n int) (ScrubReport, error) {
 	}, err
 }
 
-// shardOfSegment maps a global segment address to its owning device and
-// that device's local address.
+// shardOfSegment maps a global segment address to the device currently
+// backing its shard — on a replicated store, the shard's serving replica,
+// so fault injection lands on whichever device failover has put in charge
+// — and that device's local address.
 func (s *Store) shardOfSegment(addr int) (*nvm.Device, int, error) {
 	if addr < 0 || addr >= s.starts[len(s.starts)-1] {
 		return nil, 0, nvm.ErrBadAddress
 	}
 	for i := 1; i < len(s.starts); i++ {
 		if addr < s.starts[i] {
-			return s.devs[i-1], addr - s.starts[i-1], nil
+			return s.servingDevice(i - 1), addr - s.starts[i-1], nil
 		}
 	}
 	return nil, 0, nvm.ErrBadAddress

@@ -92,6 +92,17 @@ var ErrBadSegment = core.ErrBadSegment
 // errors.Is(err, ErrOutOfRange).
 var ErrOutOfRange = nvm.ErrBadAddress
 
+// Log geometry used by crash-safe stores: every record write is one
+// single-entry transaction, and two slots let a commit restage around one
+// worn slot without stalling. Exported so replication followers can build
+// a txn.Manager with the identical layout over their own devices — the
+// shipped home addresses only make sense if both logs reserve the same
+// tail segments.
+const (
+	LogSlots      = 2
+	LogMaxEntries = 1
+)
+
 // Options configures Open.
 type Options struct {
 	// Placement selects the placement policy (default PlaceE2NVM).
@@ -267,7 +278,7 @@ func openWith(dev *nvm.Device, model *core.Model, opts Options, recovering bool)
 		poolK:    model.K(),
 	}
 	if opts.CrashSafe {
-		mgr, dataSegs, err := txn.NewManager(dev, 2, 1)
+		mgr, dataSegs, err := txn.NewManager(dev, LogSlots, LogMaxEntries)
 		if err != nil {
 			return nil, err
 		}
@@ -494,6 +505,30 @@ func (s *Store) Put(key uint64, value []byte) error {
 		s.retrainAsyncLocked() // lint:allow hotpathalloc — retraining is the deliberate slow path (§4.1.4)
 	}
 	return nil
+}
+
+// PutIfAbsent writes the record only when no live record for key exists,
+// reporting whether it wrote. The existence check and the write happen
+// under one lock acquisition, which is what live migration needs for
+// duplicate safety: a migrator copying a stale source record can never
+// clobber a newer value a concurrent client already wrote to this store.
+func (s *Store) PutIfAbsent(key uint64, value []byte) (bool, error) {
+	if len(value) > s.MaxValue() {
+		return false, fmt.Errorf("%w: %d > %d", ErrValueTooLarge, len(value), s.MaxValue())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tree.Get(key); ok {
+		return false, nil
+	}
+	if err := s.putLocked(key, value); err != nil {
+		return false, err
+	}
+	s.stats.Puts++
+	if s.opts.AutoRetrain && s.pool.NeedsRetrain() {
+		s.retrainAsyncLocked()
+	}
+	return true, nil
 }
 
 // putLocked places and persists one record, retiring and retrying around

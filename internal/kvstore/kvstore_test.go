@@ -90,6 +90,33 @@ func TestPutTooLarge(t *testing.T) {
 	}
 }
 
+func TestPutIfAbsent(t *testing.T) {
+	s := openStore(t, 32, 64, Options{})
+	wrote, err := s.PutIfAbsent(5, []byte("new"))
+	if err != nil || !wrote {
+		t.Fatalf("PutIfAbsent on empty key = (%v,%v), want wrote", wrote, err)
+	}
+	wrote, err = s.PutIfAbsent(5, []byte("stale"))
+	if err != nil || wrote {
+		t.Fatalf("PutIfAbsent on live key = (%v,%v), want no write", wrote, err)
+	}
+	v, ok, err := s.Get(5)
+	if err != nil || !ok || !bytes.Equal(v, []byte("new")) {
+		t.Fatalf("Get = (%q,%v,%v), want the first value kept", v, ok, err)
+	}
+	// After a delete the key is absent again.
+	if ok, err := s.Delete(5); err != nil || !ok {
+		t.Fatalf("Delete = (%v,%v)", ok, err)
+	}
+	wrote, err = s.PutIfAbsent(5, []byte("back"))
+	if err != nil || !wrote {
+		t.Fatalf("PutIfAbsent after delete = (%v,%v), want wrote", wrote, err)
+	}
+	if _, err := s.PutIfAbsent(6, make([]byte, 30)); err == nil {
+		t.Fatal("expected ErrValueTooLarge")
+	}
+}
+
 func TestUpdateRecyclesOldSegment(t *testing.T) {
 	s := openStore(t, 32, 16, Options{})
 	if err := s.Put(1, []byte("aaaa")); err != nil {

@@ -1,0 +1,181 @@
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestChaosKillShardMidWorkload is the acceptance test for the
+// replication layer: concurrent writers run while the fault model fences
+// the victim group's serving device — twice, so the group first fails
+// over to its follower and then, with no replicas left, live-migrates its
+// keyspace into the survivors. The invariant is zero lost acknowledged
+// writes: after the dust settles, every key reads back a version at least
+// as new as the last Put that returned success (an unacknowledged Put may
+// or may not have landed; anything older than an ack is a lost write).
+//
+// The seed matrix is fixed so `make chaos` runs the same workloads every
+// time; the interleaving under -race still varies, which is the point.
+func TestChaosKillShardMidWorkload(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaos(t, seed)
+		})
+	}
+}
+
+func runChaos(t *testing.T, seed int64) {
+	const (
+		groups        = 3
+		rf            = 2
+		writers       = 4
+		keysPerWriter = 8
+		opsPerPhase   = 40
+	)
+	c := newCluster(t, groups, rf, 64, 128)
+	defer c.Close()
+
+	// Each writer owns a disjoint key range; within a key, versions are
+	// monotone, so "lost acknowledged write" is simply "read back an older
+	// version than the last acked one".
+	type keyState struct {
+		acked     int // highest version whose Put returned nil; -1 = never acked
+		attempted int // highest version ever attempted
+	}
+	states := make([]map[uint64]*keyState, writers)
+	for w := range states {
+		states[w] = make(map[uint64]*keyState)
+		for i := 0; i < keysPerWriter; i++ {
+			states[w][uint64(w*keysPerWriter+i)] = &keyState{acked: -1}
+		}
+	}
+	version := func(w int, k uint64, v int) []byte {
+		return []byte(fmt.Sprintf("w%d-k%d-v%06d", w, k, v))
+	}
+
+	// phase runs every writer for opsPerPhase random-key writes, then
+	// joins them — a deterministic barrier between chaos injections.
+	nextVer := make([]int, writers)
+	phase := func() {
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed*1000 + int64(w)))
+				for op := 0; op < opsPerPhase; op++ {
+					k := uint64(w*keysPerWriter + rng.Intn(keysPerWriter))
+					st := states[w][k]
+					nextVer[w]++
+					v := nextVer[w]
+					st.attempted = v
+					if err := c.Put(k, version(w, k, v)); err != nil {
+						t.Errorf("writer %d Put(%d): %v", w, k, err)
+						return
+					}
+					st.acked = v
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	victim := int(seed) % groups
+	phase()
+	// Kill the victim's leader: the group must fail over to its follower
+	// under live traffic.
+	fence(t, c.LeaderDevice(victim))
+	phase()
+	if got := c.Status()[victim]; got.State != StateActive || got.Failovers != 1 {
+		t.Fatalf("victim after first kill = %+v, want active with 1 failover", got)
+	}
+	// Kill the promoted leader too: no replicas remain, so the keyspace
+	// must live-migrate into the surviving groups under live traffic.
+	fence(t, c.LeaderDevice(victim))
+	phase()
+	c.Quiesce()
+	if err := c.CheckHealth(); err != nil { // relaunch the migrator if a target hiccuped
+		t.Fatal(err)
+	}
+	c.Quiesce()
+
+	if got := c.Status()[victim].State; got != StateDrained {
+		t.Fatalf("victim state = %s, want drained", got)
+	}
+	// Zero lost acknowledged writes: every acked key must be present with
+	// a version ≥ its last ack (a crash-straddling Put may have landed a
+	// newer, unacked version — at-least-once is allowed, rollback is not).
+	lost := 0
+	for w := 0; w < writers; w++ {
+		for k, st := range states[w] {
+			v, ok, err := c.Get(k)
+			if err != nil {
+				t.Fatalf("Get(%d): %v", k, err)
+			}
+			if st.acked < 0 {
+				continue // never acknowledged: any outcome is legal
+			}
+			if !ok {
+				t.Errorf("key %d: last acked version %d missing entirely", k, st.acked)
+				lost++
+				continue
+			}
+			var gw int
+			var gk uint64
+			var gv int
+			if _, err := fmt.Sscanf(string(v), "w%d-k%d-v%06d", &gw, &gk, &gv); err != nil {
+				t.Fatalf("key %d: unparsable value %q", k, v)
+			}
+			if gw != w || gk != k {
+				t.Fatalf("key %d: value %q belongs to another key", k, v)
+			}
+			if gv < st.acked {
+				t.Errorf("key %d: read version %d older than last acked %d", k, gv, st.acked)
+				lost++
+			}
+			if gv > st.attempted {
+				t.Fatalf("key %d: read version %d was never written (max attempted %d)", k, gv, st.attempted)
+			}
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("%d acknowledged writes lost", lost)
+	}
+	// The keyspace is fully served by the survivors: a full scan visits
+	// every live key exactly once, in order.
+	seen := make(map[uint64]bool)
+	last := int64(-1)
+	if err := c.Scan(0, ^uint64(0), func(k uint64, v []byte) bool {
+		if int64(k) <= last {
+			t.Fatalf("scan out of order: %d after %d", k, last)
+		}
+		last = int64(k)
+		seen[k] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		for k, st := range states[w] {
+			if st.acked >= 0 && !seen[k] {
+				t.Errorf("scan missed acked key %d", k)
+			}
+		}
+	}
+	// Writes keep flowing to every key after the migration.
+	for w := 0; w < writers; w++ {
+		for k := range states[w] {
+			if err := c.Put(k, version(w, k, 999999)); err != nil {
+				t.Fatalf("post-chaos Put(%d): %v", k, err)
+			}
+			v, ok, err := c.Get(k)
+			if err != nil || !ok || !bytes.Equal(v, version(w, k, 999999)) {
+				t.Fatalf("post-chaos Get(%d) = (%q,%v,%v)", k, v, ok, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"e2nvm/internal/kvstore"
+	"e2nvm/internal/nvm"
+	"e2nvm/internal/txn"
+)
+
+// These tests extend the kvstore crash matrix to the two log-write paths
+// replication added: the follower-side ApplyShipped cycle and the
+// migration copy path (PutIfAbsent through the target's redo log). The
+// guarantee is the same zero-wrong-reads contract: an injected crash at
+// ANY device write leaves every segment all-or-nothing and every key
+// readable as a pre- or post-state value, and redelivery after recovery
+// converges on the leader's exact state.
+
+type capturedEntry struct {
+	id     uint64
+	addrs  []int
+	images [][]byte
+}
+
+// TestCrashMatrixFollowerApply runs a leader workload once, capturing the
+// shipped redo stream, then sweeps an injected crash across every device
+// write of a follower applying that stream. After each crash the follower
+// recovers with its own log, the stream is redelivered from the
+// interrupted entry (at-least-once, as a restarted leader would re-ship),
+// and the follower must converge byte-for-byte on the leader.
+func TestCrashMatrixFollowerApply(t *testing.T) {
+	const segSize, numSegs = 32, 64
+	mkdev := func() *nvm.Device {
+		dev, err := nvm.NewDevice(nvm.DefaultConfig(segSize, numSegs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.Fill(rand.New(rand.NewSource(77)))
+		return dev
+	}
+	opts := kvstore.Options{CrashSafe: true}
+	ldev := mkdev()
+	leader, err := kvstore.Open(ldev, quickModelCfg(77), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []capturedEntry
+	leader.TxnManager().SetShipper(func(id uint64, addrs []int, images [][]byte) {
+		e := capturedEntry{id: id, addrs: append([]int(nil), addrs...)}
+		for _, img := range images {
+			e.images = append(e.images, append([]byte(nil), img...))
+		}
+		stream = append(stream, e)
+	})
+	// Mixed workload: inserts, updates, deletes, re-inserts.
+	for i := 0; i < 8; i++ {
+		if err := leader.Put(uint64(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := leader.Put(uint64(i), val(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if ok, err := leader.Delete(uint64(i)); err != nil || !ok {
+			t.Fatalf("Delete(%d) = (%v,%v)", i, ok, err)
+		}
+	}
+	if err := leader.Put(4, val(555)); err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) == 0 {
+		t.Fatal("workload shipped nothing")
+	}
+	// Legal content per address: the initial image or any shipped image
+	// targeting it — a crashed apply may leave nothing else.
+	legal := map[int][][]byte{}
+	initial := mkdev()
+	for _, e := range stream {
+		for i, a := range e.addrs {
+			if legal[a] == nil {
+				img, err := initial.Read(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				legal[a] = [][]byte{img}
+			}
+			legal[a] = append(legal[a], e.images[i])
+		}
+	}
+
+	completed := false
+	for failAt := 0; !completed; failAt++ {
+		fdev := mkdev()
+		mgr, _, err := txn.NewManager(fdev, kvstore.LogSlots, kvstore.LogMaxEntries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mgr.Format(); err != nil {
+			t.Fatal(err)
+		}
+		mgr.FailAfter(failAt)
+		crashedAt := -1
+		for i, e := range stream {
+			if err := mgr.ApplyShipped(e.id, e.addrs, e.images); err != nil {
+				if !errors.Is(err, txn.ErrCrashed) {
+					t.Fatalf("failAt=%d: apply entry %d: %v", failAt, i, err)
+				}
+				crashedAt = i
+				break
+			}
+		}
+		if crashedAt < 0 {
+			completed = true
+		} else {
+			// Zero wrong reads at the crash point: recovery replays or
+			// discards, and every touched segment is all-or-nothing.
+			if _, _, err := mgr.Recover(); err != nil {
+				t.Fatalf("failAt=%d: recover: %v", failAt, err)
+			}
+			for a, imgs := range legal {
+				got, err := fdev.Read(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				found := false
+				for _, want := range imgs {
+					if bytes.Equal(got, want) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("failAt=%d: segment %d holds a torn image after crash+recover", failAt, a)
+				}
+			}
+			// Redeliver from the interrupted entry: applying an entry the
+			// recovery already replayed must be idempotent.
+			for _, e := range stream[crashedAt:] {
+				if err := mgr.ApplyShipped(e.id, e.addrs, e.images); err != nil {
+					t.Fatalf("failAt=%d: redeliver: %v", failAt, err)
+				}
+			}
+		}
+		// The follower converges on the leader's exact data zone.
+		for a := 0; a < numSegs-logSegs; a++ {
+			lb, err := ldev.Read(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb, err := fdev.Read(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(lb, fb) {
+				t.Fatalf("failAt=%d: segment %d differs after redelivery", failAt, a)
+			}
+		}
+		// And a store recovered over it serves the leader's keys.
+		st, err := kvstore.RecoverWith(fdev, leader.Model(), opts)
+		if err != nil {
+			t.Fatalf("failAt=%d: RecoverWith: %v", failAt, err)
+		}
+		if st.Len() != leader.Len() {
+			t.Fatalf("failAt=%d: follower Len = %d, leader %d", failAt, st.Len(), leader.Len())
+		}
+		if failAt > 400 {
+			t.Fatal("matrix never completed; crash injection is not advancing")
+		}
+	}
+}
+
+// TestCrashMatrixMigrationCopy sweeps an injected crash across every
+// redo-log write of a migration target while records drain into it via
+// PutIfAbsent. After each crash the target recovers from its device
+// alone; no key may read a torn or foreign value, and resuming the
+// migration (PutIfAbsent dedups what already landed) completes the drain.
+func TestCrashMatrixMigrationCopy(t *testing.T) {
+	const segSize, numSegs = 32, 64
+	mkdev := func(seed int64) *nvm.Device {
+		dev, err := nvm.NewDevice(nvm.DefaultConfig(segSize, numSegs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.Fill(rand.New(rand.NewSource(seed)))
+		return dev
+	}
+	// The draining source: a healthy store with a known keyspace.
+	src, err := kvstore.Open(mkdev(11), quickModelCfg(11), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 16
+	for i := 0; i < keys; i++ {
+		if err := src.Put(uint64(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One model serves every target iteration (identical device seeds).
+	tmpl, err := kvstore.Open(mkdev(12), quickModelCfg(12), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := kvstore.Options{CrashSafe: true}
+
+	completed := false
+	for failAt := 0; !completed; failAt++ {
+		tdev := mkdev(12)
+		target, err := kvstore.OpenWith(tdev, tmpl.Model(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target.TxnManager().FailAfter(failAt)
+		crashed := false
+		migrated := 0
+		for i := 0; i < keys; i++ {
+			if _, err := target.PutIfAbsent(uint64(i), val(i)); err != nil {
+				if !errors.Is(err, txn.ErrCrashed) {
+					t.Fatalf("failAt=%d: migrate key %d: %v", failAt, i, err)
+				}
+				crashed = true
+				break
+			}
+			migrated++
+		}
+		if !crashed {
+			completed = true
+			continue
+		}
+		// Recover the target from its device alone: zero wrong reads.
+		rec, err := kvstore.RecoverWith(tdev, tmpl.Model(), opts)
+		if err != nil {
+			t.Fatalf("failAt=%d: recover: %v", failAt, err)
+		}
+		for i := 0; i < keys; i++ {
+			got, ok, err := rec.Get(uint64(i))
+			if err != nil {
+				t.Fatalf("failAt=%d: Get(%d): %v", failAt, i, err)
+			}
+			if ok && !bytes.Equal(got, val(i)) {
+				t.Fatalf("failAt=%d: key %d = %q, want %q or absent", failAt, i, got, val(i))
+			}
+			if i < migrated && !ok {
+				t.Fatalf("failAt=%d: fully migrated key %d vanished", failAt, i)
+			}
+		}
+		// Resume the drain: PutIfAbsent skips what already landed, the
+		// rest completes, and the full keyspace is served.
+		for i := 0; i < keys; i++ {
+			if _, err := rec.PutIfAbsent(uint64(i), val(i)); err != nil {
+				t.Fatalf("failAt=%d: resume key %d: %v", failAt, i, err)
+			}
+		}
+		for i := 0; i < keys; i++ {
+			got, ok, err := rec.Get(uint64(i))
+			if err != nil || !ok || !bytes.Equal(got, val(i)) {
+				t.Fatalf("failAt=%d: key %d after resume = (%q,%v,%v)", failAt, i, got, ok, err)
+			}
+		}
+		if failAt > 400 {
+			t.Fatal("matrix never completed; crash injection is not advancing")
+		}
+	}
+}

@@ -28,6 +28,11 @@ var ErrNoStores = errors.New("shard: need at least one store")
 // Router routes operations across independent stores by key hash.
 type Router struct {
 	stores []*kvstore.Store
+
+	// scrubMu guards scrubStart, the shard that receives the first unit of
+	// the next Scrub budget's remainder (see Scrub).
+	scrubMu    sync.Mutex
+	scrubStart int
 }
 
 // New builds a router over the given stores. The slice is copied; len 1 is
@@ -55,6 +60,12 @@ func mix64(x uint64) uint64 {
 	x ^= x >> 31
 	return x
 }
+
+// Mix64 exposes the router's key permutation so layers above (the replica
+// cluster) route and re-route with the same hash: the low bits pick a
+// key's home group exactly like Of, and the untouched high bits are free
+// for an independent second-level choice such as a migration target.
+func Mix64(x uint64) uint64 { return mix64(x) }
 
 // Of returns the shard index serving key. It sits inside every routed
 // operation, so it must stay inlinable (mix64 folds into it).
@@ -214,16 +225,24 @@ func (r *Router) HealthPerShard() []kvstore.Health {
 }
 
 // Scrub examines up to n segments in total, splitting the budget evenly
-// across shards (the first n%N shards get one extra). Each shard keeps its
-// own round-robin cursor, so repeated calls sweep every shard's zone. The
+// across shards. The n%N remainder units are handed out round-robin,
+// starting one past where the previous call's remainder ended: with a
+// budget smaller than the shard count the even share rounds to zero, and a
+// fixed remainder assignment would scrub the first shards forever while
+// later shards' zones rot unexamined. Each shard also keeps its own
+// segment cursor, so repeated calls sweep every shard's whole zone. The
 // aggregated report is returned; on error the partial report and the first
 // error are.
 func (r *Router) Scrub(n int) (kvstore.ScrubReport, error) {
 	var agg kvstore.ScrubReport
 	per, rem := n/len(r.stores), n%len(r.stores)
+	r.scrubMu.Lock()
+	start := r.scrubStart
+	r.scrubStart = (start + rem) % len(r.stores)
+	r.scrubMu.Unlock()
 	for i, st := range r.stores {
 		quota := per
-		if i < rem {
+		if d := i - start; (d+len(r.stores))%len(r.stores) < rem {
 			quota++
 		}
 		if quota == 0 {

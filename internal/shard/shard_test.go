@@ -210,6 +210,45 @@ func TestHealthAndScrubAggregate(t *testing.T) {
 	}
 }
 
+func TestScrubSmallBudgetRotatesAcrossShards(t *testing.T) {
+	const n = 4
+	r := newRouter(t, n, 32, 16, kvstore.Options{})
+	// Fence segment 0 of every shard's zone. Each shard's first scrubbed
+	// segment is its own address 0, so a shard retires a segment exactly
+	// when a Scrub budget unit actually reaches it.
+	for i := 0; i < n; i++ {
+		if err := r.Store(i).Device().FailSegment(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A budget of 1 over 4 shards rounds every even share to zero; the
+	// remainder must rotate, so 4 calls reach all 4 shards. (The old fixed
+	// split handed the single unit to shard 0 every time.)
+	for call := 0; call < n; call++ {
+		rep, err := r.Scrub(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Scanned != 1 {
+			t.Fatalf("call %d scanned %d segments, want exactly the budget of 1", call, rep.Scanned)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if got := r.Store(i).Health().Retired; got != 1 {
+			t.Fatalf("shard %d retired %d segments after 4 unit budgets, want 1 (remainder not rotated)", i, got)
+		}
+	}
+	// Remainders also rotate when the even share is nonzero: budget n+1
+	// hands the extra unit to the shard after where the rotation stopped.
+	rep, err := r.Scrub(n + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != n+1 {
+		t.Fatalf("Scrub scanned %d, want the full %d budget", rep.Scanned, n+1)
+	}
+}
+
 func TestRetrainFansOut(t *testing.T) {
 	r := newRouter(t, 2, 32, 48, kvstore.Options{})
 	if err := r.Retrain(); err != nil {

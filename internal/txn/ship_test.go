@@ -1,0 +1,257 @@
+package txn
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"e2nvm/internal/nvm"
+)
+
+// shipRec records one shipper invocation with copied slices.
+type shipRec struct {
+	id     uint64
+	addrs  []int
+	images [][]byte
+}
+
+func recordShipper(dst *[]shipRec) Shipper {
+	return func(id uint64, addrs []int, images [][]byte) {
+		r := shipRec{id: id, addrs: append([]int(nil), addrs...)}
+		for _, img := range images {
+			r.images = append(r.images, append([]byte(nil), img...))
+		}
+		*dst = append(*dst, r)
+	}
+}
+
+func TestShipperFiresAtCommitPoint(t *testing.T) {
+	m, _, _ := newRig(t, 64, 32, 2, 4)
+	var got []shipRec
+	m.SetShipper(recordShipper(&got))
+
+	tx := m.Begin()
+	if err := tx.Write(1, seg(64, 0x11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(5, seg(64, 0x22)); err != nil {
+		t.Fatal(err)
+	}
+	id := tx.id
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("shipper fired %d times, want 1", len(got))
+	}
+	if got[0].id != id {
+		t.Fatalf("shipped id %d, want %d", got[0].id, id)
+	}
+	if len(got[0].addrs) != 2 || got[0].addrs[0] != 1 || got[0].addrs[1] != 5 {
+		t.Fatalf("shipped addrs %v, want [1 5]", got[0].addrs)
+	}
+	if !bytes.Equal(got[0].images[0], seg(64, 0x11)) || !bytes.Equal(got[0].images[1], seg(64, 0x22)) {
+		t.Fatal("shipped images do not match staged images")
+	}
+
+	// An aborted transaction ships nothing; an empty commit ships nothing.
+	tx = m.Begin()
+	if err := tx.Write(2, seg(64, 0x33)); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if err := m.Begin().Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("shipper fired %d times after abort/empty commit, want still 1", len(got))
+	}
+
+	// Removing the shipper stops the stream.
+	m.SetShipper(nil)
+	tx = m.Begin()
+	if err := tx.Write(3, seg(64, 0x44)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("shipper fired %d times after removal, want still 1", len(got))
+	}
+}
+
+func TestShipperNotCalledOnCrashBeforeCommitRecord(t *testing.T) {
+	m, _, _ := newRig(t, 64, 32, 2, 2)
+	var got []shipRec
+	m.SetShipper(recordShipper(&got))
+
+	// Crash on the very first staged-image write: the commit record never
+	// becomes durable, so nothing may be shipped (it was never acked).
+	m.FailAfter(0)
+	tx := m.Begin()
+	if err := tx.Write(0, seg(64, 0x55)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("commit error = %v, want ErrCrashed", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("shipper fired %d times before the commit record, want 0", len(got))
+	}
+}
+
+func TestShipperFiresEvenWhenApplyCrashes(t *testing.T) {
+	m, _, _ := newRig(t, 64, 32, 2, 1)
+	var got []shipRec
+	m.SetShipper(recordShipper(&got))
+
+	// Stage (1 image) + staged header + committed header = 3 writes; crash
+	// on the 4th (the home apply). The commit record is durable, so the
+	// entry must have been shipped even though the local apply crashed.
+	m.FailAfter(3)
+	tx := m.Begin()
+	if err := tx.Write(7, seg(64, 0x66)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("commit error = %v, want ErrCrashed", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("shipper fired %d times, want 1 (commit record was durable)", len(got))
+	}
+	// Local recovery completes the same transaction the shipper saw.
+	replayed, _, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 1 {
+		t.Fatalf("replayed %d transactions, want 1", replayed)
+	}
+}
+
+func TestApplyShippedMirrorsLeader(t *testing.T) {
+	leader, ldev, _ := newRig(t, 64, 32, 2, 4)
+	follower, fdev, _ := newRig(t, 64, 32, 2, 4)
+
+	// Wire leader commits straight into the follower.
+	leader.SetShipper(func(id uint64, addrs []int, images [][]byte) {
+		if err := follower.ApplyShipped(id, addrs, images); err != nil {
+			t.Errorf("ApplyShipped: %v", err)
+		}
+	})
+
+	for round := 0; round < 5; round++ {
+		tx := leader.Begin()
+		for e := 0; e < 3; e++ {
+			addr := (round*3 + e) % 20
+			if err := tx.Write(addr, seg(64, byte(round*16+e+1))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every data segment the leader wrote reads back identically on the
+	// follower device.
+	for a := 0; a < 20; a++ {
+		lb, err := ldev.Read(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := fdev.Read(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(lb, fb) {
+			t.Fatalf("segment %d differs between leader and follower", a)
+		}
+	}
+}
+
+func TestApplyShippedValidation(t *testing.T) {
+	m, _, _ := newRig(t, 64, 32, 2, 4)
+	if err := m.ApplyShipped(1, []int{0, 1}, [][]byte{seg(64, 1)}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("mismatched lengths error = %v, want ErrBadConfig", err)
+	}
+	if err := m.ApplyShipped(2, []int{-1}, [][]byte{seg(64, 1)}); !errors.Is(err, nvm.ErrBadAddress) {
+		t.Fatalf("bad address error = %v, want ErrBadAddress", err)
+	}
+	if err := m.ApplyShipped(3, []int{0}, [][]byte{seg(32, 1)}); !errors.Is(err, nvm.ErrSegmentSize) {
+		t.Fatalf("bad image size error = %v, want ErrSegmentSize", err)
+	}
+	// A valid empty entry is a no-op.
+	if err := m.ApplyShipped(4, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterateCommittedYieldsRecoverableTail(t *testing.T) {
+	m, _, _ := newRig(t, 64, 64, 3, 2)
+
+	// Commit one transaction fully (slot invalidated: not visible), then
+	// crash a second after its commit record but before the home apply
+	// (committed slot left behind: visible).
+	tx := m.Begin()
+	if err := tx.Write(0, seg(64, 0x01)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	m.FailAfter(3) // 1 image + staged hdr + committed hdr, crash on apply
+	tx = m.Begin()
+	if err := tx.Write(9, seg(64, 0x77)); err != nil {
+		t.Fatal(err)
+	}
+	wantID := tx.id
+	if err := tx.Commit(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("commit error = %v, want ErrCrashed", err)
+	}
+	m.FailAfter(-1)
+
+	var ids []uint64
+	var addrs []int
+	err := m.IterateCommitted(func(id uint64, as []int, images [][]byte) bool {
+		ids = append(ids, id)
+		addrs = append(addrs, as...)
+		if !bytes.Equal(images[0], seg(64, 0x77)) {
+			t.Fatal("iterated image does not match staged image")
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != wantID {
+		t.Fatalf("iterated ids %v, want [%d]", ids, wantID)
+	}
+	if len(addrs) != 1 || addrs[0] != 9 {
+		t.Fatalf("iterated addrs %v, want [9]", addrs)
+	}
+
+	// Re-ship the tail to a follower, then finish local recovery: both
+	// devices converge on the committed value.
+	follower, fdev, _ := newRig(t, 64, 64, 3, 2)
+	if err := m.IterateCommitted(func(id uint64, as []int, images [][]byte) bool {
+		if err := follower.ApplyShipped(id, as, images); err != nil {
+			t.Errorf("ApplyShipped: %v", err)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if replayed, _, err := m.Recover(); err != nil || replayed != 1 {
+		t.Fatalf("Recover = (%d, _, %v), want 1 replayed", replayed, err)
+	}
+	fb, err := fdev.Read(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fb, seg(64, 0x77)) {
+		t.Fatal("follower did not converge on the re-shipped value")
+	}
+}

@@ -95,6 +95,15 @@ var ErrCorruptLog = errors.New("txn: corrupt log slot")
 // ErrBadConfig is returned by NewManager for an unusable log geometry.
 var ErrBadConfig = errors.New("txn: invalid log config")
 
+// Shipper observes every transaction at its commit point: the commit
+// record is durable on this manager's device, the home segments are not
+// yet written. It is the replication hook — a Put acked after Commit is
+// exactly a Put whose entries a Shipper has seen. The callback runs with
+// the manager's lock held, so it must not call back into the manager; the
+// addrs and images slices are only valid for the duration of the call and
+// must be copied if retained.
+type Shipper func(id uint64, addrs []int, images [][]byte)
+
 // Manager coordinates transactions over a device. The log occupies the
 // device's tail segments; callers must not write those directly.
 type Manager struct {
@@ -104,8 +113,9 @@ type Manager struct {
 	maxEnt   int
 	slots    int // number of log slots
 
-	mu     sync.Mutex
-	nextID uint64
+	mu      sync.Mutex
+	nextID  uint64
+	shipper Shipper
 
 	// badSlots marks log slots whose segments reported stuck bits on a
 	// write; they are skipped by findFreeSlotLocked forever after.
@@ -186,6 +196,15 @@ func (m *Manager) Format() error {
 // hasMagic reports whether hdr carries a valid log header tag.
 func hasMagic(hdr []byte) bool {
 	return hdr[1] == logMagic[0] && hdr[2] == logMagic[1] && hdr[3] == logMagic[2] && hdr[4] == logMagic[3]
+}
+
+// SetShipper installs (or, with nil, removes) the commit-point observer.
+// The swap synchronizes with in-flight commits: once SetShipper returns,
+// no further calls to a previously installed shipper are in flight.
+func (m *Manager) SetShipper(fn Shipper) {
+	m.mu.Lock()
+	m.shipper = fn
+	m.mu.Unlock()
 }
 
 // FailAfter arms crash injection: the n-th subsequent device write issued
@@ -350,6 +369,17 @@ func (t *Tx) Commit() error {
 		}
 		m.retireSlotLocked(slot)
 	}
+	// The commit record is durable: this is the acknowledgement boundary,
+	// so ship the entries to followers before the home applies (a crash
+	// between here and the applies is recovered from the log, and the
+	// shipped copy has already left the building).
+	if m.shipper != nil {
+		// Nil on unreplicated stores, so the single-store hot path never
+		// takes this branch; a replicated store's shipper buffers the
+		// entry for its followers, which inherently allocates.
+		// lint:allow hotpathalloc
+		m.shipper(t.id, t.addrs, t.images)
+	}
 	hdr := m.hdrBuf
 	// 3. Apply to home locations.
 	for i, a := range t.addrs {
@@ -502,4 +532,75 @@ func (m *Manager) Recover() (replayed, discarded int, err error) {
 		}
 	}
 	return replayed, discarded, nil
+}
+
+// ApplyShipped applies a shipped transaction on a follower device with the
+// full crash-atomic stage → commit → apply → invalidate cycle, preserving
+// the leader's transaction id in the follower's log so the two redo
+// streams stay correlated. The images are copied; the caller's slices are
+// not retained. It is the follower-side entry point of log shipping: an
+// entry either lands atomically or the follower's own Recover discards it.
+func (m *Manager) ApplyShipped(id uint64, addrs []int, images [][]byte) error {
+	if len(addrs) != len(images) {
+		return fmt.Errorf("txn: shipped entry has %d addrs but %d images: %w", len(addrs), len(images), ErrBadConfig)
+	}
+	t := m.Begin()
+	for i, addr := range addrs {
+		if err := t.Write(addr, images[i]); err != nil {
+			t.Abort()
+			return err
+		}
+	}
+	t.id = id
+	return t.Commit()
+}
+
+// IterateCommitted walks the log's committed slots and yields each
+// recoverable transaction — the same headers and CRC-verified images
+// Recover would replay — without modifying the log. It is the log-shipping
+// iterator: after a leader restart, the committed-but-unapplied tail is
+// exactly what must be re-shipped to followers before new traffic flows
+// (followers dedup by transaction id and record seq numbers, so re-
+// shipping an already-applied entry is safe). Checksum-corrupt headers and
+// images are skipped, mirroring Recover. The yielded slices are only valid
+// during the callback; return false to stop early.
+func (m *Manager) IterateCommitted(fn func(id uint64, addrs []int, images [][]byte) bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for s := 0; s < m.slots; s++ {
+		base := m.logStart + s*m.slotSegs
+		hdr, err := m.dev.Peek(base)
+		if err != nil {
+			return err
+		}
+		if !hasMagic(hdr) || hdr[0] != slotCommitted {
+			continue
+		}
+		n := int(binary.LittleEndian.Uint16(hdr[5:]))
+		if n > m.maxEnt || binary.LittleEndian.Uint32(hdr[hdrCRCOff:]) != headerCRC(hdr, n) {
+			continue // corrupt commit record: Recover will discard it
+		}
+		id := binary.LittleEndian.Uint64(hdr[7:])
+		addrs := make([]int, 0, n)
+		images := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			off := hdrFixed + entrySize*i
+			img, err := m.dev.Peek(base + 1 + i)
+			if err != nil {
+				return err
+			}
+			if crc32.Checksum(img, crcTable) != binary.LittleEndian.Uint32(hdr[off+4:]) {
+				continue // corrupt staged image: Recover will skip it too
+			}
+			addrs = append(addrs, int(binary.LittleEndian.Uint32(hdr[off:])))
+			images = append(images, img)
+		}
+		if len(addrs) == 0 {
+			continue
+		}
+		if !fn(id, addrs, images) {
+			return nil
+		}
+	}
+	return nil
 }

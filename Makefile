@@ -68,7 +68,8 @@ chaos:
 		./internal/replica .
 
 # Regenerate the committed micro-benchmark baseline (Put/Get/GetInto/Delete
-# ns/op, B/op, allocs/op plus bit-flip counters, the replicated-write and
-# degraded-serving rows, and the concurrent shards×cpu throughput sweep).
+# ns/op, B/op, allocs/op plus bit-flip counters, the replicated-write,
+# degraded-serving, hot-cache and steered-placement rows, and the
+# concurrent shards×cpu throughput sweep).
 bench:
-	$(GO) run ./cmd/e2nvm-bench -kvbench -out BENCH_PR8.json
+	$(GO) run ./cmd/e2nvm-bench -kvbench -out BENCH_PR9.json

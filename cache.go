@@ -1,0 +1,115 @@
+package e2nvm
+
+import (
+	"e2nvm/internal/dap"
+	"e2nvm/internal/hotcache"
+	"e2nvm/internal/shard"
+)
+
+// This file is the facade's read-side integration of the hot-key cache
+// (internal/hotcache). The write side is in the Put/PutBatch/Delete
+// methods: every write invalidates the key after the store write and
+// before returning, so an acknowledged write can never be shadowed by a
+// stale cached value. Replication events below the facade — failover
+// replays acknowledged writes, live migration copies records verbatim —
+// never change a key's value, so facade-level invalidation is sufficient
+// even on a replicated store.
+
+// cacheKeyTemp bridges the cache's hotness statistics into the placement
+// policy (kvstore.Options.KeyTemp): hot keys — by total touch frequency,
+// reads and writes — steer to low-wear segment clusters, keys the cache
+// holds but does not consider hot are cold and soak up worn clusters,
+// and unknown keys keep the pure content-similarity placement.
+func cacheKeyTemp(c *hotcache.Cache) func(uint64) dap.Temp {
+	return func(key uint64) dap.Temp {
+		present, hot := c.Hotness(key)
+		switch {
+		case hot:
+			return dap.TempHot
+		case present:
+			return dap.TempCold
+		default:
+			return dap.TempNone
+		}
+	}
+}
+
+// uncachedGetInto is the pre-cache read path: route to the replica
+// cluster or the shard router.
+func (s *Store) uncachedGetInto(key uint64, dst []byte) ([]byte, bool, error) {
+	if s.cluster != nil {
+		return s.cluster.GetInto(key, dst)
+	}
+	return s.router.GetInto(key, dst)
+}
+
+func (s *Store) uncachedGetBatch(keys []uint64, dsts [][]byte, oks []bool, errs []error) error {
+	if s.cluster != nil {
+		return s.clusterGetBatch(keys, dsts, oks, errs)
+	}
+	return s.router.GetBatch(keys, dsts, oks, errs)
+}
+
+// cachedGetInto serves key from the cache when possible; a miss reads the
+// store under a fill token taken before the store read, so a fill racing
+// a concurrent write self-demotes instead of caching a stale value (see
+// the hotcache package docs for the full protocol).
+func (s *Store) cachedGetInto(key uint64, dst []byte) ([]byte, bool, error) {
+	if v, ok := s.cache.GetInto(key, dst); ok {
+		return v, true, nil
+	}
+	token := s.cache.BeginFill(key)
+	v, ok, err := s.uncachedGetInto(key, dst)
+	if err != nil || !ok {
+		return v, ok, err
+	}
+	s.cache.CompleteFill(key, v, token)
+	return v, true, nil
+}
+
+// cachedGetBatch serves what it can from the cache and reads only the
+// missing keys from the store in one underlying batch, filling them back
+// under per-key tokens.
+func (s *Store) cachedGetBatch(keys []uint64, dsts [][]byte, oks []bool, errs []error) error {
+	if len(dsts) != len(keys) || len(oks) != len(keys) || (errs != nil && len(errs) != len(keys)) {
+		return shard.ErrBadBatch
+	}
+	var missIdx []int
+	for i, k := range keys {
+		if v, ok := s.cache.GetInto(k, dsts[i]); ok {
+			dsts[i], oks[i] = v, true
+			if errs != nil {
+				errs[i] = nil
+			}
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return nil
+	}
+	mKeys := make([]uint64, len(missIdx))
+	mDsts := make([][]byte, len(missIdx))
+	mOks := make([]bool, len(missIdx))
+	var mErrs []error
+	if errs != nil {
+		mErrs = make([]error, len(missIdx))
+	}
+	tokens := make([]uint64, len(missIdx))
+	for j, i := range missIdx {
+		mKeys[j] = keys[i]
+		mDsts[j] = dsts[i]
+		tokens[j] = s.cache.BeginFill(keys[i])
+	}
+	err := s.uncachedGetBatch(mKeys, mDsts, mOks, mErrs)
+	for j, i := range missIdx {
+		dsts[i], oks[i] = mDsts[j], mOks[j]
+		if errs != nil {
+			errs[i] = mErrs[j]
+		}
+		if mOks[j] && (mErrs == nil || mErrs[j] == nil) {
+			s.cache.CompleteFill(mKeys[j], mDsts[j], tokens[j])
+		}
+	}
+	return err
+}

@@ -15,14 +15,17 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"e2nvm"
 	"e2nvm/internal/infer"
 	"e2nvm/internal/mat"
 	"e2nvm/internal/nn"
+	"e2nvm/internal/workload"
 )
 
 // kvBenchGeometry pins the micro-benchmark store shape so numbers are
@@ -59,6 +62,15 @@ type kvBenchEntry struct {
 	ReplicationFactor int    `json:"replication_factor,omitempty"`
 	Failovers         uint64 `json:"failovers,omitempty"`
 	MigratedRecords   uint64 `json:"migrated_records,omitempty"`
+	// Latency percentiles (only set by the hand-timed zipfian scenarios;
+	// testing.Benchmark reports means only).
+	P50NsPerOp float64 `json:"p50_ns_per_op,omitempty"`
+	P99NsPerOp float64 `json:"p99_ns_per_op,omitempty"`
+	// Hot-key cache and steering counters (only set by the cached
+	// scenarios).
+	CacheHits         uint64 `json:"cache_hits,omitempty"`
+	CacheMisses       uint64 `json:"cache_misses,omitempty"`
+	SteeredPlacements uint64 `json:"steered_placements,omitempty"`
 }
 
 type kvBenchDoc struct {
@@ -72,9 +84,9 @@ type kvBenchDoc struct {
 	// baseline. The shards×cpu sweep only shows real parallel speedup when
 	// HostCPUs > 1; on a single core the sharded rows measure reduced lock
 	// contention, not added parallelism.
-	HostCPUs  int            `json:"host_cpus"`
-	Geometry  string         `json:"geometry"`
-	Entries   []kvBenchEntry `json:"entries"`
+	HostCPUs int            `json:"host_cpus"`
+	Geometry string         `json:"geometry"`
+	Entries  []kvBenchEntry `json:"entries"`
 }
 
 // buildGCFlags returns the -gcflags value this binary was compiled with,
@@ -98,6 +110,125 @@ func newKVBenchStore() (*e2nvm.Store, error) {
 		TrainEpochs: kvBenchEpochs,
 		Seed:        kvBenchSeed,
 	})
+}
+
+func newCachedKVBenchStore() (*e2nvm.Store, error) {
+	return e2nvm.Open(e2nvm.Config{
+		SegmentSize:  kvBenchSegSize,
+		NumSegments:  kvBenchSegments,
+		Clusters:     kvBenchClusters,
+		TrainEpochs:  kvBenchEpochs,
+		Seed:         kvBenchSeed,
+		CacheEnabled: true,
+	})
+}
+
+// zipfKVBenchGeometry shapes the hand-timed zipfian rows: YCSB's
+// canonical 1 KiB record on 4 KiB segments (a common NVM block
+// granularity; 64 cache lines, so a segment read models 170+64*10 =
+// 810 ns of NVM time), over the usual 512-key working set. The hidden
+// width is capped so a 32 Ki-bit-input encoder stays trainable; the
+// rows measure the read path, where clustering quality is irrelevant.
+const (
+	zipfBenchSegSize = 4096
+	zipfBenchValue   = 1024
+	zipfBenchEpochs  = 1
+	zipfBenchHidden  = 64
+)
+
+// zipfGetKVBench hand-times a theta=0.99 zipfian GetInto stream on a
+// store whose device emulates its modeled latency on the host clock, so
+// the row carries p50/p99 alongside the mean (testing.Benchmark only
+// reports means). Emulation is what makes the comparison meaningful:
+// without it an uncached read costs only the simulator's host softcosts
+// (~100 ns of index walk and memcpy) and the device read the cache is
+// built to absorb — the modeled NVM sense time — never shows up on the
+// clock. Cached hot reads are DRAM probes that skip the device
+// entirely, so the same stream collapses to hit cost.
+func zipfGetKVBench(cached bool) (kvBenchEntry, error) {
+	store, err := e2nvm.Open(e2nvm.Config{
+		SegmentSize:          zipfBenchSegSize,
+		NumSegments:          kvBenchSegments,
+		Clusters:             kvBenchClusters,
+		TrainEpochs:          zipfBenchEpochs,
+		HiddenDim:            zipfBenchHidden,
+		Seed:                 kvBenchSeed,
+		CacheEnabled:         cached,
+		EmulateDeviceLatency: true,
+	})
+	if err != nil {
+		return kvBenchEntry{}, err
+	}
+	val := make([]byte, zipfBenchValue)
+	for k := uint64(0); k < kvBenchKeys; k++ {
+		val[0] = byte(k)
+		if err := store.Put(k, val); err != nil {
+			return kvBenchEntry{}, err
+		}
+	}
+	z, err := workload.NewZipfSampler(kvBenchKeys, 0.99, kvBenchSeed)
+	if err != nil {
+		return kvBenchEntry{}, err
+	}
+	const warm = 20000
+	const samples = 100000
+	const passes = 3
+	buf := make([]byte, 0, zipfBenchValue)
+	for i := 0; i < warm; i++ {
+		v, _, err := store.GetInto(z.Next(), buf)
+		if err != nil {
+			return kvBenchEntry{}, err
+		}
+		buf = v[:0]
+	}
+
+	// Each statistic is the median over three independent sampling
+	// passes: the host's noise (hypervisor steal, timer interrupts) is
+	// bursty at exactly the scale of one pass, so a single pass's p99 can
+	// carry a burst that has nothing to do with the store. The median
+	// discards a wholly-noisy pass in either row.
+	store.ResetMetrics()
+	lat := make([]float64, samples)
+	var means, p50s, p99s []float64
+	for p := 0; p < passes; p++ {
+		runtime.GC() // earlier scenarios' garbage must not collect mid-sample
+		for i := range lat {
+			k := z.Next()
+			t0 := time.Now()
+			v, _, gerr := store.GetInto(k, buf)
+			lat[i] = float64(time.Since(t0).Nanoseconds())
+			if gerr != nil {
+				return kvBenchEntry{}, gerr
+			}
+			buf = v[:0]
+		}
+		sort.Float64s(lat)
+		var sum float64
+		for _, v := range lat {
+			sum += v
+		}
+		means = append(means, sum/samples)
+		p50s = append(p50s, lat[samples/2])
+		p99s = append(p99s, lat[samples*99/100])
+	}
+	sort.Float64s(means)
+	sort.Float64s(p50s)
+	sort.Float64s(p99s)
+	m := store.Metrics()
+	name, note := "kvstore.Get/zipf/uncached", "theta=0.99 zipfian GetInto stream, 1 KiB records on 4 KiB segments, hand-timed on an emulated-latency device (every read pays the modeled NVM sense time); each statistic is the median of 3 sampling passes; the comparator for kvstore.Get/zipf/cached"
+	if cached {
+		name, note = "kvstore.Get/zipf/cached", "same zipfian stream with the DRAM cache on; hot reads never touch the device, collapsing mean/p50/p99 vs the uncached row"
+	}
+	return kvBenchEntry{
+		Name:        name,
+		Note:        note,
+		Iterations:  passes * samples,
+		NsPerOp:     means[passes/2],
+		P50NsPerOp:  p50s[passes/2],
+		P99NsPerOp:  p99s[passes/2],
+		CacheHits:   m.CacheHits,
+		CacheMisses: m.CacheMisses,
+	}, nil
 }
 
 // runKVBench measures the Put/Get/Delete paths and writes the JSON baseline
@@ -267,6 +398,124 @@ func runKVBench(out string) error {
 			AllocsPerOp:      r.AllocsPerOp(),
 			BitsFlippedPerOp: float64(m.BitsFlipped) / float64(r.N),
 			FlipsPerDataBit:  m.FlipsPerDataBit,
+		})
+	}
+
+	// GET/HOT: one key pinned hot in the DRAM cache, read in a tight loop —
+	// the path the HotRing-style front exists for. Expect a small fraction
+	// of kvstore.Get's ns/op, zero allocations, and zero device reads.
+	{
+		store, err := newCachedKVBenchStore()
+		if err != nil {
+			return err
+		}
+		val := make([]byte, kvBenchValue)
+		if err := store.Put(0, val); err != nil {
+			return err
+		}
+		buf := make([]byte, 0, kvBenchValue)
+		for i := 0; i < 32; i++ { // fill + cross the hot threshold
+			v, _, err := store.GetInto(0, buf)
+			if err != nil {
+				return err
+			}
+			buf = v[:0]
+		}
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			store.ResetMetrics()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v, _, err := store.GetInto(0, buf)
+				if err != nil {
+					failed = err
+					b.FailNow()
+				}
+				buf = v[:0]
+			}
+		})
+		if failed != nil {
+			return fmt.Errorf("kvbench get/hot: %w", failed)
+		}
+		m := store.Metrics()
+		entries = append(entries, kvBenchEntry{
+			Name:        "kvstore.Get/hot",
+			Note:        "GetInto of one cache-resident hot key; the delta vs kvstore.GetInto is the whole device+index path the DRAM cache removes",
+			Iterations:  r.N,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			CacheHits:   m.CacheHits,
+			CacheMisses: m.CacheMisses,
+		})
+	}
+
+	// GET/ZIPF: a theta=0.99 zipfian read stream (YCSB's request skew),
+	// hand-timed per op for tail latency, uncached then cached. The cached
+	// p99 is the acceptance bar: the skew concentrates most reads on
+	// DRAM-resident keys, so the tail collapses.
+	for _, cached := range []bool{false, true} {
+		e, err := zipfGetKVBench(cached)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, e)
+	}
+
+	// PUT/STEERED: the overwrite loop with the cache on and hot, so every
+	// placement consults the hot/cold temperature and hot keys steer to the
+	// least-worn cluster. The delta vs kvstore.Put is the steering cost
+	// (one cache probe plus per-cluster wear bookkeeping on recycle).
+	{
+		store, err := newCachedKVBenchStore()
+		if err != nil {
+			return err
+		}
+		val := make([]byte, kvBenchValue)
+		for k := uint64(0); k < kvBenchKeys; k++ {
+			val[0] = byte(k)
+			if err := store.Put(k, val); err != nil {
+				return err
+			}
+		}
+		z, err := workload.NewZipfSampler(kvBenchKeys, 0.99, kvBenchSeed)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 0, kvBenchValue)
+		for i := 0; i < 8*kvBenchKeys; i++ { // heat the skewed working set
+			v, _, err := store.GetInto(z.Next(), buf)
+			if err != nil {
+				return err
+			}
+			buf = v[:0]
+		}
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			store.ResetMetrics()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				val[0] = byte(i)
+				if err := store.Put(z.Next(), val); err != nil {
+					failed = err
+					b.FailNow()
+				}
+			}
+		})
+		if failed != nil {
+			return fmt.Errorf("kvbench put/steered: %w", failed)
+		}
+		m := store.Metrics()
+		entries = append(entries, kvBenchEntry{
+			Name:              "kvstore.Put/steered",
+			Note:              "zipfian overwrites with the cache hot, so placement steers by key temperature; the delta vs kvstore.Put is the cache-probe + wear-tracking cost",
+			Iterations:        r.N,
+			NsPerOp:           float64(r.NsPerOp()),
+			BytesPerOp:        r.AllocedBytesPerOp(),
+			AllocsPerOp:       r.AllocsPerOp(),
+			BitsFlippedPerOp:  float64(m.BitsFlipped) / float64(r.N),
+			FlipsPerDataBit:   m.FlipsPerDataBit,
+			SteeredPlacements: m.SteeredPlacements,
 		})
 	}
 

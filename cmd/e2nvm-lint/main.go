@@ -85,6 +85,7 @@ var vetPasses = []string{"-copylocks", "-lostcancel", "-printf", "-unreachable"}
 var errflowScope = []string{
 	"",
 	"internal/core",
+	"internal/hotcache",
 	"internal/kvstore",
 	"internal/txn",
 	"internal/nvm",

@@ -35,6 +35,8 @@ import (
 	"sync"
 
 	"e2nvm/internal/core"
+	"e2nvm/internal/dap"
+	"e2nvm/internal/hotcache"
 	"e2nvm/internal/kvstore"
 	"e2nvm/internal/nvm"
 	"e2nvm/internal/padding"
@@ -112,6 +114,26 @@ type Config struct {
 	// exact unreplicated write path.
 	ReplicationFactor int
 
+	// CacheEnabled puts a lock-free hot-key read cache (internal/hotcache,
+	// HotRing-style) in front of the serving layers: hot Gets are served
+	// from DRAM with zero device reads, Puts and Deletes invalidate
+	// write-through before they are acknowledged, and the cache's hotness
+	// statistics drive the hot/cold wear-steering placement policy (hot
+	// keys to low-wear segment clusters, cold keys to worn ones). Default
+	// false: the exact uncached read and placement path.
+	CacheEnabled bool
+	// EmulateDeviceLatency makes the simulated devices impose their
+	// modeled read/write latencies on the host clock (a busy-spin to the
+	// modeled nanoseconds), so wall-clock benchmarks measure device time
+	// rather than just the simulator's host-side softcosts. Accounting
+	// (Stats latency totals) is identical either way. Off by default;
+	// tests and experiments keep the fast accounting-only model.
+	EmulateDeviceLatency bool
+
+	// CacheBytes bounds the cache's DRAM footprint when CacheEnabled
+	// (default 4 MiB).
+	CacheBytes int
+
 	// Clusters is the number of content clusters K; 0 selects K with the
 	// elbow method.
 	Clusters int
@@ -119,6 +141,12 @@ type Config struct {
 	TrainEpochs int
 	// LatentDim is the VAE latent width (default 10, as in the paper).
 	LatentDim int
+	// HiddenDim is the VAE hidden-layer width (default SegmentSize*2,
+	// i.e. a quarter of the input bits, minimum 32). Large segments make
+	// the default encoder quadratic-feeling to train; capping the hidden
+	// width keeps big-segment stores openable where clustering quality
+	// matters less than geometry.
+	HiddenDim int
 
 	// Placement selects the placement policy.
 	Placement Placement
@@ -188,6 +216,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReplicationFactor > 1 {
 		c.CrashSafe = true // replication ships the redo log; there must be one
+	}
+	if c.CacheEnabled && c.CacheBytes <= 0 {
+		c.CacheBytes = 4 << 20
 	}
 	if c.TrainEpochs <= 0 {
 		c.TrainEpochs = 15
@@ -261,6 +292,7 @@ func (c Config) deviceConfig(faultOffset, numSegs int) nvm.Config {
 	devCfg.Fault = c.Fault.toInternal()
 	devCfg.Fault.Seed += int64(faultOffset)
 	devCfg.VerifyWrites = c.VerifyWrites
+	devCfg.EmulateLatency = c.EmulateDeviceLatency
 	return devCfg
 }
 
@@ -316,7 +348,7 @@ func (c Config) newFollowerDevice(shardIdx, f, start, numSegs int) (*nvm.Device,
 	return dev, nil
 }
 
-func (c Config) storeOptions(placement kvstore.Placement) kvstore.Options {
+func (c Config) storeOptions(placement kvstore.Placement, keyTemp func(uint64) dap.Temp) kvstore.Options {
 	return kvstore.Options{
 		Placement:         placement,
 		AutoRetrain:       c.AutoRetrain,
@@ -324,6 +356,7 @@ func (c Config) storeOptions(placement kvstore.Placement) kvstore.Options {
 		PutRetries:        c.PutRetries,
 		DisableRetirement: c.DisableRetirement,
 		DegradeThreshold:  c.DegradeThreshold,
+		KeyTemp:           keyTemp,
 	}
 }
 
@@ -337,6 +370,7 @@ func (c Config) storeOptions(placement kvstore.Placement) kvstore.Options {
 type Store struct {
 	router  *shard.Router
 	cluster *replica.Cluster // non-nil iff ReplicationFactor > 1; replaces router
+	cache   *hotcache.Cache  // non-nil iff Config.CacheEnabled; fronts all reads
 	shards  []*kvstore.Store // the original leaders, for per-shard inspection
 	devs    []*nvm.Device    // devs[i] is shard i's original leader device
 	starts  []int            // global segment ranges: shard i owns [starts[i], starts[i+1])
@@ -347,17 +381,18 @@ type Store struct {
 // concurrently; each shard's training set is its own device zone.
 func Open(cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
-	return openShards(cfg, func(i int, dev *nvm.Device) (*kvstore.Store, error) {
+	return openShards(cfg, func(i int, dev *nvm.Device, keyTemp func(uint64) dap.Temp) (*kvstore.Store, error) {
 		modelCfg := core.Config{
 			K:           cfg.Clusters,
 			LatentDim:   cfg.LatentDim,
+			HiddenDim:   cfg.HiddenDim,
 			Epochs:      cfg.TrainEpochs,
 			Seed:        cfg.Seed + int64(i),
 			PadExplicit: true,
 			PadLocation: cfg.padLocation(),
 			PadType:     cfg.padType(),
 		}
-		return kvstore.Open(dev, modelCfg, cfg.storeOptions(cfg.placement()))
+		return kvstore.Open(dev, modelCfg, cfg.storeOptions(cfg.placement(), keyTemp))
 	})
 }
 
@@ -371,9 +406,22 @@ func (c Config) placement() kvstore.Placement {
 // openShards builds every shard's device and store (concurrently when
 // sharded — model training dominates open time) and assembles the router.
 // cfg must already have defaults applied.
-func openShards(cfg Config, open func(i int, dev *nvm.Device) (*kvstore.Store, error)) (*Store, error) {
+func openShards(cfg Config, open func(i int, dev *nvm.Device, keyTemp func(uint64) dap.Temp) (*kvstore.Store, error)) (*Store, error) {
 	if cfg.Shards > cfg.NumSegments {
 		return nil, fmt.Errorf("%w: %d shards over %d segments: at least one segment per shard required", ErrConfig, cfg.Shards, cfg.NumSegments)
+	}
+	// The cache is built before the shards so its hotness statistics can be
+	// threaded into every store's placement policy at open, avoiding any
+	// post-open mutation of shared options.
+	var cache *hotcache.Cache
+	var keyTemp func(uint64) dap.Temp
+	if cfg.CacheEnabled {
+		var err error
+		cache, err = hotcache.New(hotcache.Config{MaxBytes: cfg.CacheBytes})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		keyTemp = cacheKeyTemp(cache)
 	}
 	starts := cfg.shardStarts()
 	devs := make([]*nvm.Device, cfg.Shards)
@@ -389,7 +437,7 @@ func openShards(cfg Config, open func(i int, dev *nvm.Device) (*kvstore.Store, e
 				errs[i] = err
 				return
 			}
-			st, err := open(i, dev)
+			st, err := open(i, dev, keyTemp)
 			if err != nil {
 				errs[i] = err
 				return
@@ -402,28 +450,37 @@ func openShards(cfg Config, open func(i int, dev *nvm.Device) (*kvstore.Store, e
 		return nil, err
 	}
 	if cfg.ReplicationFactor > 1 {
-		cluster, err := cfg.newCluster(stores, starts)
+		cluster, err := cfg.newCluster(stores, starts, keyTemp)
 		if err != nil {
 			return nil, err
 		}
-		return &Store{cluster: cluster, shards: stores, devs: devs, starts: starts}, nil
+		return &Store{cluster: cluster, cache: cache, shards: stores, devs: devs, starts: starts}, nil
 	}
 	router, err := shard.New(stores)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{router: router, shards: stores, devs: devs, starts: starts}, nil
+	return &Store{router: router, cache: cache, shards: stores, devs: devs, starts: starts}, nil
 }
 
 // Put stores value under key (the paper's PUT/UPDATE write path), routed
 // to the key's shard. On a replicated store a nil return additionally
 // means the write is durable on the shard's leader and applied or queued
-// on every live follower.
+// on every live follower. With the cache enabled, the key's cached value
+// is invalidated after the store write and before Put returns, so a
+// return from Put is the acknowledgement after which no read can serve
+// the overwritten value.
 func (s *Store) Put(key uint64, value []byte) error {
+	var err error
 	if s.cluster != nil {
-		return s.cluster.Put(key, value)
+		err = s.cluster.Put(key, value)
+	} else {
+		err = s.router.Put(key, value)
 	}
-	return s.router.Put(key, value)
+	if s.cache != nil {
+		s.cache.Invalidate(key)
+	}
+	return err
 }
 
 // PutBatch stores len(keys) key/value pairs in one call: keys group per
@@ -435,10 +492,19 @@ func (s *Store) Put(key uint64, value []byte) error {
 // abort the rest; the returned error is the first failure by index. Pass
 // errs (same length) to receive per-item outcomes, or nil to skip them.
 func (s *Store) PutBatch(keys []uint64, values [][]byte, errs []error) error {
+	var err error
 	if s.cluster != nil {
-		return s.clusterPutBatch(keys, values, errs)
+		err = s.clusterPutBatch(keys, values, errs)
+	} else {
+		err = s.router.PutBatch(keys, values, errs)
 	}
-	return s.router.PutBatch(keys, values, errs)
+	if s.cache != nil {
+		// Invalidate every written key before the batch is acknowledged.
+		for _, k := range keys {
+			s.cache.Invalidate(k)
+		}
+	}
+	return err
 }
 
 // GetBatch reads len(keys) values in one call, grouping keys per shard so
@@ -448,36 +514,45 @@ func (s *Store) PutBatch(keys []uint64, values [][]byte, errs []error) error {
 // must be index-aligned with keys; errs, when non-nil, receives per-item
 // read errors, and the returned error is the first failure by index.
 func (s *Store) GetBatch(keys []uint64, dsts [][]byte, oks []bool, errs []error) error {
-	if s.cluster != nil {
-		return s.clusterGetBatch(keys, dsts, oks, errs)
+	if s.cache != nil {
+		return s.cachedGetBatch(keys, dsts, oks, errs)
 	}
-	return s.router.GetBatch(keys, dsts, oks, errs)
+	return s.uncachedGetBatch(keys, dsts, oks, errs)
 }
 
 // Get returns the value stored under key as a fresh caller-owned copy.
 func (s *Store) Get(key uint64) ([]byte, bool, error) {
-	if s.cluster != nil {
-		return s.cluster.Get(key)
+	if s.cache != nil {
+		return s.cachedGetInto(key, nil)
 	}
-	return s.router.Get(key)
+	return s.uncachedGetInto(key, nil)
 }
 
 // GetInto is Get writing the value into dst's backing array (grown only
 // when too small), for callers that reuse one buffer across reads. It
-// returns the resulting slice, which may share storage with dst.
+// returns the resulting slice, which may share storage with dst. With the
+// cache enabled, a hot key is served straight from DRAM.
 func (s *Store) GetInto(key uint64, dst []byte) ([]byte, bool, error) {
-	if s.cluster != nil {
-		return s.cluster.GetInto(key, dst)
+	if s.cache != nil {
+		return s.cachedGetInto(key, dst)
 	}
-	return s.router.GetInto(key, dst)
+	return s.uncachedGetInto(key, dst)
 }
 
 // Delete removes key, recycling its segment into its shard's address pool.
+// Like Put, the cached value (if any) is invalidated before Delete returns.
 func (s *Store) Delete(key uint64) (bool, error) {
+	var ok bool
+	var err error
 	if s.cluster != nil {
-		return s.cluster.Delete(key)
+		ok, err = s.cluster.Delete(key)
+	} else {
+		ok, err = s.router.Delete(key)
 	}
-	return s.router.Delete(key)
+	if s.cache != nil {
+		s.cache.Invalidate(key)
+	}
+	return ok, err
 }
 
 // Scan visits keys in [lo, hi] in ascending order until fn returns false,
@@ -584,28 +659,39 @@ type Metrics struct {
 	// replica sets died entirely. Both stay 0 when ReplicationFactor is 1.
 	Failovers       uint64
 	MigratedRecords uint64
+	// CacheHits/CacheMisses count facade reads served from (resp. falling
+	// through) the hot-key cache; CacheEvictions counts live values the
+	// byte budget dropped. All stay 0 when CacheEnabled is false, and in
+	// ShardMetrics entries (the cache fronts the whole keyspace, not one
+	// shard).
+	CacheHits, CacheMisses, CacheEvictions uint64
+	// SteeredPlacements counts writes the hot/cold wear policy placed on
+	// a different cluster than the model predicted (distinct from
+	// Fallbacks, which counts empty-free-list detours).
+	SteeredPlacements uint64
 }
 
 // metricsFrom derives one Metrics snapshot from raw device and store
 // counters.
 func metricsFrom(ds nvm.Stats, ss kvstore.Stats) Metrics {
 	m := Metrics{
-		Writes:           ds.Writes,
-		Reads:            ds.Reads,
-		BitsFlipped:      ds.BitsFlipped,
-		BitsWritten:      ds.BitsWritten,
-		EnergyPJ:         ds.EnergyPJ,
-		LinesWritten:     ds.LinesWritten,
-		LinesSkipped:     ds.LinesSkipped,
-		MaxSegmentWrites: ds.MaxSegmentWrites,
-		WearLevelMoves:   ds.WearLevelMoves,
-		Fallbacks:        ss.Fallbacks,
-		Retrains:         ss.Retrains,
-		WornWrites:       ss.WornWrites,
-		RetiredSegments:  ss.Retired,
-		Relocations:      ss.Relocations,
-		StuckBits:        ds.StuckBits,
-		FailedSegments:   ds.FailedSegments,
+		Writes:            ds.Writes,
+		Reads:             ds.Reads,
+		BitsFlipped:       ds.BitsFlipped,
+		BitsWritten:       ds.BitsWritten,
+		EnergyPJ:          ds.EnergyPJ,
+		LinesWritten:      ds.LinesWritten,
+		LinesSkipped:      ds.LinesSkipped,
+		MaxSegmentWrites:  ds.MaxSegmentWrites,
+		WearLevelMoves:    ds.WearLevelMoves,
+		Fallbacks:         ss.Fallbacks,
+		SteeredPlacements: ss.Steered,
+		Retrains:          ss.Retrains,
+		WornWrites:        ss.WornWrites,
+		RetiredSegments:   ss.Retired,
+		Relocations:       ss.Relocations,
+		StuckBits:         ds.StuckBits,
+		FailedSegments:    ds.FailedSegments,
 	}
 	if ds.Writes > 0 {
 		m.AvgWriteLatencyNs = ds.WriteLatencyNs / float64(ds.Writes)
@@ -645,12 +731,25 @@ func (s *Store) Metrics() Metrics {
 		}
 		st := s.shards[i].Stats()
 		ss.Fallbacks += st.Fallbacks
+		ss.Steered += st.Steered
 		ss.Retrains += st.Retrains
 		ss.WornWrites += st.WornWrites
 		ss.Retired += st.Retired
 		ss.Relocations += st.Relocations
 	}
-	return metricsFrom(ds, ss)
+	m := metricsFrom(ds, ss)
+	s.addCacheMetrics(&m)
+	return m
+}
+
+// addCacheMetrics folds the hot-key cache counters into an aggregate
+// snapshot; a no-op when the cache is disabled.
+func (s *Store) addCacheMetrics(m *Metrics) {
+	if s.cache == nil {
+		return
+	}
+	cs := s.cache.Stats()
+	m.CacheHits, m.CacheMisses, m.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 }
 
 // ShardMetrics returns each shard's own counter snapshot, index-aligned
@@ -667,12 +766,16 @@ func (s *Store) ShardMetrics() []Metrics {
 	return out
 }
 
-// ResetMetrics zeroes the cumulative counters on every shard — both the
-// device counters and the store-level ones (Fallbacks, Retrains,
-// WornWrites, RetiredSegments, Relocations, ...), so benchmarks that reset
-// between phases measure only their own activity. Content and wear state
-// are preserved.
+// ResetMetrics zeroes the cumulative counters on every shard — the device
+// counters, the store-level ones (Fallbacks, Retrains, WornWrites,
+// RetiredSegments, Relocations, ...), the cache counters, and on a
+// replicated store the cluster's failover and migration counters — so
+// benchmarks that reset between phases measure only their own activity.
+// Content, wear state, and cache residency are preserved.
 func (s *Store) ResetMetrics() {
+	if s.cache != nil {
+		s.cache.ResetCounters()
+	}
 	if s.cluster != nil {
 		for _, dev := range s.cluster.Devices() {
 			dev.ResetStats()
@@ -680,6 +783,7 @@ func (s *Store) ResetMetrics() {
 		for _, st := range s.cluster.ServingStores() {
 			st.ResetStats()
 		}
+		s.cluster.ResetCounters()
 		return
 	}
 	for _, dev := range s.devs {

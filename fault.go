@@ -83,6 +83,11 @@ type Health struct {
 	ReplicaLag    uint64
 	Failovers     uint64 // completed leader promotions
 	DrainedShards int    // shards whose keyspace migrated away entirely
+
+	// Hot-key cache residency; zero values when CacheEnabled is false and
+	// in per-shard snapshots (the cache fronts the whole keyspace).
+	CacheEntries int   // live cached values
+	CacheBytes   int64 // budgeted DRAM footprint (values + overhead)
 }
 
 func healthFrom(h kvstore.Health) Health {
@@ -101,10 +106,17 @@ func healthFrom(h kvstore.Health) Health {
 // On a replicated store only the shards still serving contribute, and the
 // replication fields summarize failover and migration activity.
 func (s *Store) Health() Health {
+	var h Health
 	if s.cluster != nil {
-		return s.clusterHealth()
+		h = s.clusterHealth()
+	} else {
+		h = healthFrom(s.router.Health())
 	}
-	return healthFrom(s.router.Health())
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		h.CacheEntries, h.CacheBytes = cs.Entries, cs.Bytes
+	}
+	return h
 }
 
 // ShardHealth returns each shard's own capacity snapshot. On a replicated

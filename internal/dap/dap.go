@@ -21,46 +21,69 @@ import (
 	"sync"
 )
 
-// ring is a FIFO of addresses over a power-of-two circular buffer.
+// Temp classifies a key's access temperature for wear-aware cluster
+// selection (GetFor). TempNone requests the pure content-similarity
+// placement; TempHot steers to the least-worn cluster and TempCold to
+// the most-worn one, turning the paper's endurance story into an
+// explicit hot/cold wear-leveling policy.
+type Temp uint8
+
+// Temperatures.
+const (
+	TempNone Temp = iota
+	TempHot
+	TempCold
+)
+
+// slot is one pooled free address plus the wear (cumulative segment
+// write count) it carried when it was recycled, the statistic the
+// hot/cold steering policy averages per cluster.
+type slot struct {
+	addr int
+	wear uint32
+}
+
+// ring is a FIFO of address slots over a power-of-two circular buffer.
 type ring struct {
-	buf  []int
+	buf  []slot
 	head int // index of the oldest element
 	n    int // number of live elements
 }
 
-// push appends addr, growing the buffer when full.
-func (r *ring) push(addr int) {
+// push appends a slot, growing the buffer when full.
+func (r *ring) push(s slot) {
 	if r.n == len(r.buf) {
 		r.grow()
 	}
-	r.buf[(r.head+r.n)&(len(r.buf)-1)] = addr
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = s
 	r.n++
 }
 
-// pop removes and returns the oldest address. Callers check r.n > 0.
-func (r *ring) pop() int {
-	addr := r.buf[r.head]
+// pop removes and returns the oldest slot. Callers check r.n > 0.
+func (r *ring) pop() slot {
+	s := r.buf[r.head]
 	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.n--
-	return addr
+	return s
 }
 
 // remove deletes the first occurrence of addr from the FIFO, preserving
-// order. Returns whether addr was present. O(n), but only runs on the cold
-// retirement path.
-func (r *ring) remove(addr int) bool {
+// order. Returns the removed slot's wear and whether addr was present.
+// O(n), but only runs on the cold retirement path.
+func (r *ring) remove(addr int) (uint32, bool) {
 	mask := len(r.buf) - 1
 	for i := 0; i < r.n; i++ {
-		if r.buf[(r.head+i)&mask] != addr {
+		if r.buf[(r.head+i)&mask].addr != addr {
 			continue
 		}
+		wear := r.buf[(r.head+i)&mask].wear
 		for j := i; j < r.n-1; j++ {
 			r.buf[(r.head+j)&mask] = r.buf[(r.head+j+1)&mask]
 		}
 		r.n--
-		return true
+		return wear, true
 	}
-	return false
+	return 0, false
 }
 
 // grow doubles the buffer, linearizing the live window. Amortized O(1):
@@ -71,7 +94,7 @@ func (r *ring) grow() {
 	if size == 0 {
 		size = 8
 	}
-	buf := make([]int, size) // lint:allow hotpathalloc — amortized ring growth, absent in steady state
+	buf := make([]slot, size) // lint:allow hotpathalloc — amortized ring growth, absent in steady state
 	for i := 0; i < r.n; i++ {
 		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 	}
@@ -82,9 +105,10 @@ func (r *ring) grow() {
 // Pool is a cluster-to-memory dynamic address pool.
 type Pool struct {
 	mu       sync.Mutex
-	clusters []ring // cluster id → FIFO of free addresses
-	free     int    // total free addresses
-	maxSize  int    // optional cap on total entries (0 = unlimited)
+	clusters []ring   // cluster id → FIFO of free addresses
+	wearSum  []uint64 // cluster id → sum of pooled slots' wear
+	free     int      // total free addresses
+	maxSize  int      // optional cap on total entries (0 = unlimited)
 
 	// lowWater is the per-cluster threshold below which the cluster is
 	// reported by LowClusters, the paper's retraining trigger.
@@ -95,8 +119,9 @@ type Pool struct {
 	// Lazily allocated: fault-free stores never pay for it.
 	retired map[int]struct{}
 
-	popped uint64 // Get operations served
-	pushed uint64 // Add operations accepted
+	popped  uint64 // Get operations served
+	pushed  uint64 // Add operations accepted
+	steered uint64 // GetFor placements moved off the predicted cluster by temperature
 }
 
 // Option configures a Pool.
@@ -121,7 +146,7 @@ func New(k int, opts ...Option) (*Pool, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("dap: cluster count %d must be positive", k)
 	}
-	p := &Pool{clusters: make([]ring, k)}
+	p := &Pool{clusters: make([]ring, k), wearSum: make([]uint64, k)}
 	for _, o := range opts {
 		o(p)
 	}
@@ -142,6 +167,16 @@ func (p *Pool) K() int {
 //
 // lint:hotpath
 func (p *Pool) Add(c, addr int) bool {
+	return p.AddWear(c, addr, 0)
+}
+
+// AddWear is Add carrying the segment's cumulative write count, so the
+// pool can maintain per-cluster average wear for the hot/cold steering
+// policy (GetFor). Plain Add records zero wear, which leaves steering
+// decisions to the clusters whose owners do report wear.
+//
+// lint:hotpath
+func (p *Pool) AddWear(c, addr int, wear uint64) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.checkCluster(c)
@@ -153,7 +188,12 @@ func (p *Pool) Add(c, addr int) bool {
 	if p.maxSize > 0 && p.free >= p.maxSize {
 		return false
 	}
-	p.clusters[c].push(addr)
+	w := uint32(wear)
+	if wear > uint64(^uint32(0)) {
+		w = ^uint32(0)
+	}
+	p.clusters[c].push(slot{addr: addr, wear: w})
+	p.wearSum[c] += uint64(w)
 	p.free++
 	p.pushed++
 	return true
@@ -170,6 +210,70 @@ func (p *Pool) Get(c int) (addr, servedBy int, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.checkCluster(c)
+	return p.getLocked(c)
+}
+
+// GetFor is Get with a temperature hint: TempNone is exactly Get, while
+// TempHot (TempCold) first tries to steer the placement to the non-empty
+// cluster with the lowest (highest) average pooled wear — hot keys burn
+// low-wear segments, cold keys soak up worn ones. steered reports that
+// the temperature, not an empty free list, moved the placement off the
+// predicted cluster; the nearest-cluster fallback behaviour and its
+// accounting are unchanged.
+//
+// lint:hotpath
+func (p *Pool) GetFor(c int, t Temp) (addr, servedBy int, steered, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkCluster(c)
+	if t != TempNone && len(p.clusters) > 1 {
+		if sc, found := p.steerTargetLocked(c, t); found && sc != c {
+			a, sb, k := p.getLocked(sc)
+			p.steered++
+			return a, sb, true, k
+		}
+	}
+	a, sb, k := p.getLocked(c)
+	return a, sb, false, k
+}
+
+// steerTargetLocked picks the steering destination for temperature t:
+// among the non-empty clusters, the one with the minimum (TempHot) or
+// maximum (TempCold) average slot wear, preferring the predicted cluster
+// c and then cluster-id proximity to it on ties. Callers hold p.mu.
+func (p *Pool) steerTargetLocked(c int, t Temp) (int, bool) {
+	best, found := 0, false
+	var bestAvg float64
+	for i := range p.clusters {
+		if p.clusters[i].n == 0 {
+			continue
+		}
+		avg := float64(p.wearSum[i]) / float64(p.clusters[i].n)
+		switch {
+		case !found:
+			best, bestAvg, found = i, avg, true
+		case t == TempHot && avg < bestAvg, t == TempCold && bestAvg < avg:
+			best, bestAvg = i, avg
+		case !(avg < bestAvg) && !(bestAvg < avg):
+			// Exact tie (both ratios compare equal): prefer cluster-id
+			// proximity to the prediction, then the lower id.
+			di, db := i-c, best-c
+			if di < 0 {
+				di = -di
+			}
+			if db < 0 {
+				db = -db
+			}
+			if di < db || (di == db && i < best) {
+				best = i
+			}
+		}
+	}
+	return best, found
+}
+
+// getLocked is the shared pop-with-nearest-fallback. Callers hold p.mu.
+func (p *Pool) getLocked(c int) (addr, servedBy int, ok bool) {
 	if p.clusters[c].n > 0 {
 		return p.pop(c), c, true
 	}
@@ -189,10 +293,11 @@ func (p *Pool) Get(c int) (addr, servedBy int, ok bool) {
 }
 
 func (p *Pool) pop(c int) int {
-	addr := p.clusters[c].pop()
+	s := p.clusters[c].pop()
+	p.wearSum[c] -= uint64(s.wear)
 	p.free--
 	p.popped++
-	return addr
+	return s.addr
 }
 
 func (p *Pool) checkCluster(c int) {
@@ -269,7 +374,8 @@ func (p *Pool) Retire(addr int) bool {
 	}
 	p.retired[addr] = struct{}{}
 	for c := range p.clusters {
-		if p.clusters[c].remove(addr) {
+		if wear, ok := p.clusters[c].remove(addr); ok {
+			p.wearSum[c] -= uint64(wear)
 			p.free--
 			break
 		}
@@ -302,6 +408,7 @@ func (p *Pool) Reset(k int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.clusters = make([]ring, k)
+	p.wearSum = make([]uint64, k)
 	p.free = 0
 	return nil
 }
@@ -312,24 +419,42 @@ type Stats struct {
 	Retired int
 	Popped  uint64
 	Pushed  uint64
+	// Steered counts GetFor placements the temperature hint moved off
+	// the predicted cluster (distinct from empty-cluster fallbacks).
+	Steered uint64
 }
 
 // Stats returns a snapshot of pool counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return Stats{Free: p.free, Retired: len(p.retired), Popped: p.popped, Pushed: p.pushed}
+	return Stats{Free: p.free, Retired: len(p.retired), Popped: p.popped, Pushed: p.pushed, Steered: p.steered}
 }
 
-// FootprintBytes estimates the pool's DRAM footprint: 8 bytes per ring
-// slot (occupied or not) plus the ring headers (the quantity plotted in
-// the paper's Figure 7).
+// ClusterWear returns each cluster's average pooled slot wear — the
+// statistic GetFor steers by — index-aligned with ClusterSizes. Clusters
+// with an empty free list report 0.
+func (p *Pool) ClusterWear() []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]float64, len(p.clusters))
+	for i := range p.clusters {
+		if p.clusters[i].n > 0 {
+			out[i] = float64(p.wearSum[i]) / float64(p.clusters[i].n)
+		}
+	}
+	return out
+}
+
+// FootprintBytes estimates the pool's DRAM footprint: 16 bytes per ring
+// slot (address plus wear, occupied or not) plus the ring headers (the
+// quantity plotted in the paper's Figure 7).
 func (p *Pool) FootprintBytes() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	bytes := 0
 	for i := range p.clusters {
-		bytes += len(p.clusters[i].buf) * 8
+		bytes += len(p.clusters[i].buf) * 16
 	}
 	return bytes + len(p.clusters)*40
 }

@@ -132,9 +132,10 @@ func TestReset(t *testing.T) {
 func TestFootprintBytes(t *testing.T) {
 	p, _ := New(2)
 	base := p.FootprintBytes()
-	// The first Add materializes cluster 0's ring (8 slots × 8 bytes).
+	// The first Add materializes cluster 0's ring (8 slots × 16 bytes:
+	// address plus wear).
 	p.Add(0, 1)
-	if p.FootprintBytes() != base+64 {
+	if p.FootprintBytes() != base+128 {
 		t.Fatalf("footprint did not grow by one ring: %d -> %d", base, p.FootprintBytes())
 	}
 	// Further adds within capacity cost nothing; the footprint is bounded
@@ -143,7 +144,7 @@ func TestFootprintBytes(t *testing.T) {
 	for i := 0; i < 7; i++ {
 		p.Add(0, 2+i)
 	}
-	if p.FootprintBytes() != base+64 {
+	if p.FootprintBytes() != base+128 {
 		t.Fatalf("footprint grew within ring capacity: %d -> %d", base, p.FootprintBytes())
 	}
 	// Steady-state pop/push traffic reuses the ring in place.
@@ -154,7 +155,7 @@ func TestFootprintBytes(t *testing.T) {
 		}
 		p.Add(0, addr)
 	}
-	if p.FootprintBytes() != base+64 {
+	if p.FootprintBytes() != base+128 {
 		t.Fatalf("steady-state traffic changed footprint: %d -> %d", base, p.FootprintBytes())
 	}
 }
@@ -277,6 +278,100 @@ func TestRetireSurvivesReset(t *testing.T) {
 	}
 	if p.Add(0, 99) {
 		t.Fatal("Add accepted an address retired while live")
+	}
+}
+
+func TestGetForTempNoneMatchesGet(t *testing.T) {
+	p, _ := New(3)
+	q, _ := New(3)
+	for a := 0; a < 9; a++ {
+		p.AddWear(a%3, a, uint64(a*10))
+		q.AddWear(a%3, a, uint64(a*10))
+	}
+	for i := 0; i < 9; i++ {
+		wa, ws, wok := p.Get(i % 3)
+		ga, gs, st, gok := q.GetFor(i%3, TempNone)
+		if st {
+			t.Fatal("TempNone steered")
+		}
+		if wa != ga || ws != gs || wok != gok {
+			t.Fatalf("GetFor(TempNone) diverged from Get: (%d,%d,%v) vs (%d,%d,%v)",
+				ga, gs, gok, wa, ws, wok)
+		}
+	}
+	if s := q.Stats(); s.Steered != 0 {
+		t.Fatalf("Steered = %d, want 0", s.Steered)
+	}
+}
+
+func TestGetForSteersByWear(t *testing.T) {
+	p, _ := New(3)
+	// Cluster 0: avg wear 100; cluster 1: avg wear 10; cluster 2: avg 1000.
+	p.AddWear(0, 1, 100)
+	p.AddWear(1, 2, 10)
+	p.AddWear(2, 3, 1000)
+
+	// Hot keys go to the least-worn cluster regardless of prediction.
+	addr, served, steered, ok := p.GetFor(0, TempHot)
+	if !ok || addr != 2 || served != 1 || !steered {
+		t.Fatalf("TempHot GetFor = (%d,%d,%v,%v), want (2,1,true,true)", addr, served, steered, ok)
+	}
+	// Cold keys soak up the most-worn cluster.
+	addr, served, steered, ok = p.GetFor(0, TempCold)
+	if !ok || addr != 3 || served != 2 || !steered {
+		t.Fatalf("TempCold GetFor = (%d,%d,%v,%v), want (3,2,true,true)", addr, served, steered, ok)
+	}
+	if s := p.Stats(); s.Steered != 2 {
+		t.Fatalf("Steered = %d, want 2", s.Steered)
+	}
+	// Only the predicted cluster remains; steering to it is not "steered".
+	addr, served, steered, ok = p.GetFor(0, TempHot)
+	if !ok || addr != 1 || served != 0 || steered {
+		t.Fatalf("self-steer GetFor = (%d,%d,%v,%v), want (1,0,false,true)", addr, served, steered, ok)
+	}
+}
+
+func TestGetForTieBreaksByProximity(t *testing.T) {
+	p, _ := New(5)
+	// All clusters equally worn: the predicted cluster itself wins, so no
+	// steer; empty predicted cluster falls to the nearest by id.
+	p.AddWear(0, 10, 5)
+	p.AddWear(3, 13, 5)
+	p.AddWear(4, 14, 5)
+	addr, served, steered, ok := p.GetFor(4, TempHot)
+	if !ok || addr != 14 || served != 4 || steered {
+		t.Fatalf("GetFor = (%d,%d,%v,%v), want own cluster (14,4,false,true)", addr, served, steered, ok)
+	}
+	// Predicted cluster 2 is empty; ties on wear resolve to the closest id.
+	addr, served, steered, ok = p.GetFor(2, TempHot)
+	if !ok || addr != 13 || served != 3 || !steered {
+		t.Fatalf("GetFor = (%d,%d,%v,%v), want nearest tie (13,3,true,true)", addr, served, steered, ok)
+	}
+}
+
+func TestWearAccounting(t *testing.T) {
+	p, _ := New(2)
+	p.AddWear(0, 1, 100)
+	p.AddWear(0, 2, 200)
+	p.AddWear(1, 3, 30)
+	wear := p.ClusterWear()
+	if wear[0] != 150 || wear[1] != 30 {
+		t.Fatalf("ClusterWear = %v, want [150 30]", wear)
+	}
+	// Popping removes the slot's wear from the average.
+	p.Get(0) // pops addr 1 (wear 100)
+	if w := p.ClusterWear(); w[0] != 200 {
+		t.Fatalf("ClusterWear after pop = %v, want [200 30]", w)
+	}
+	// Retiring a pooled address removes its wear too.
+	p.Retire(2)
+	if w := p.ClusterWear(); w[0] != 0 {
+		t.Fatalf("ClusterWear after retire = %v, want [0 30]", w)
+	}
+	// Wear saturates at uint32 instead of wrapping.
+	p.AddWear(0, 9, 1<<40)
+	if w := p.ClusterWear(); w[0] != float64(^uint32(0)) {
+		t.Fatalf("saturated wear = %v, want %v", w[0], float64(^uint32(0)))
 	}
 }
 

@@ -45,7 +45,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"fig18", "fig19",
 		"abl-search", "abl-joint", "abl-latent", "abl-diff", "abl-txn",
-		"exp-extended", "exp-fault", "exp-shard", "tbl01",
+		"exp-extended", "exp-fault", "exp-hotcold", "exp-shard", "tbl01",
 	}
 	ids := IDs()
 	got := map[string]bool{}
@@ -358,5 +358,49 @@ func TestShardParityFlat(t *testing.T) {
 		if math.Abs(delta) > 10 {
 			t.Fatalf("shards=%s flips/databit drifted %.1f%% from unsharded", row[0], delta)
 		}
+	}
+}
+
+func TestHotColdShape(t *testing.T) {
+	res := runExp(t, "exp-hotcold", tiny)
+	rows := res.Table.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("exp-hotcold rows = %d, want 2 read modes + 2 wear modes", len(rows))
+	}
+	// The cache must absorb device reads: cached reads/op strictly below
+	// uncached, and a positive hit rate.
+	uncached, err := strconv.ParseFloat(rows[0][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := strconv.ParseFloat(rows[1][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached >= uncached {
+		t.Fatalf("cache absorbed nothing: %.3f dev reads/op cached vs %.3f uncached", cached, uncached)
+	}
+	hit, err := strconv.ParseFloat(rows[1][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit <= 0 {
+		t.Fatalf("cached hit rate %.1f%%, want > 0", hit)
+	}
+	// Steering must not reach the wear-out cliff earlier than unsteered
+	// placement, and must actually steer.
+	frPlain, err := strconv.ParseFloat(rows[2][4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frSteer, err := strconv.ParseFloat(rows[3][4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frPlain >= 0 && frSteer >= 0 && frSteer < frPlain {
+		t.Fatalf("steering retired earlier: op %v vs %v unsteered", frSteer, frPlain)
+	}
+	if steered, _ := strconv.ParseFloat(rows[3][6], 64); steered <= 0 {
+		t.Fatalf("steered mode reported %v steered placements", steered)
 	}
 }

@@ -1,0 +1,516 @@
+// Package hotcache is a lock-free, hot-spot-aware read cache in the style
+// of HotRing (Chen et al., FAST '20), sitting between the facade and the
+// shard router / replica cluster so that zipf-skewed read traffic is
+// served from DRAM with zero device reads and zero allocations.
+//
+// # Structure
+//
+// Keys hash (SplitMix64, the shard router's permutation) into a power-of-
+// two array of buckets. Each bucket holds an immutable, copy-on-write
+// "ring": a hotness-ordered array of entries published through one atomic
+// pointer. Readers traverse the current ring snapshot without any lock;
+// writers (insert, invalidate, promote, evict) build a fresh array and
+// install it with a compare-and-swap — the atomic head swap that gives
+// HotRing its lock-free updates. Every entry carries a shared atomic
+// access counter; when an entry's count crosses a multiple of
+// adjustEvery while it is not at the head, it is moved to the front of
+// its ring (the periodic hot-pointer adjustment), so the hottest key of
+// every bucket is found on the first probe.
+//
+// # Invalidation protocol
+//
+// The cache is write-through-invalidate, and correctness under arbitrary
+// interleavings rests on a per-bucket sequence counter:
+//
+//   - A writer first completes the store write, then bumps the bucket's
+//     seq, then removes the key's cached value, and only then
+//     acknowledges the write to its caller.
+//   - A reader that misses snapshots the seq (BeginFill), reads the
+//     store, installs the value provisionally (CompleteFill), re-checks
+//     the seq, and only then publishes the entry. Unpublished entries
+//     are invisible to readers, so a fill racing a write can never leak
+//     its possibly-stale value: either the seq moved — the fill demotes
+//     itself — or the writer's removal scan runs later and removes the
+//     entry (published or not) before the write is acknowledged.
+//
+// The guarantee is read-your-acknowledged-writes: once a write returns,
+// no read can serve the overwritten value. Reads concurrent with an
+// in-flight write may serve either version, as with any linearizable
+// register.
+//
+// # Hotness tracking
+//
+// Invalidating a key does not forget it: the entry is demoted to a ghost
+// (a value-less entry keeping the access counter), and invalidations of
+// uncached keys insert ghosts. The counter therefore measures total
+// touch frequency — reads and writes — which is what the hot/cold wear
+// steering policy (dap.Pool.GetFor) wants: write-hot keys must steer to
+// low-wear clusters even if they are rarely read.
+package hotcache
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// adjustEvery is the access-count period of hot-pointer adjustment: an
+// entry whose counter crosses a multiple of this while not at its ring's
+// head is moved to the front.
+const adjustEvery = 64
+
+// entryOverhead approximates the DRAM cost of one entry beyond its value
+// bytes (entry header, ring slot, allocator slack), used for the byte
+// budget.
+const entryOverhead = 64
+
+// Config configures New.
+type Config struct {
+	// MaxBytes bounds the cache's DRAM footprint (values plus per-entry
+	// overhead). Default 4 MiB.
+	MaxBytes int
+	// Buckets is the hash-ring count; rounded up to a power of two.
+	// Default: one bucket per 512 B of budget — a handful of entries per
+	// ring, so scans and promotion copies stay O(small) — clamped to
+	// [16, 65536].
+	Buckets int
+	// HotHits is the access count at which Hotness reports a key hot
+	// (default 8).
+	HotHits uint32
+}
+
+// entry is one cached key. val is immutable once set; a nil val marks a
+// ghost — an invalidated or demoted entry that only tracks the key's
+// access frequency. pub flips true once the entry's fill verified its
+// seq token; readers skip unpublished entries. hits is shared by every
+// ring snapshot that references the entry, so promotion copies never
+// lose counts.
+type entry struct {
+	key  uint64
+	val  []byte
+	pub  atomic.Bool
+	hits atomic.Uint32
+}
+
+// ring is one bucket's immutable entry array. A new ring is built for
+// every mutation and published via bucket.head; entries are shared
+// between snapshots but the arrays themselves are never written after
+// publication.
+type ring struct {
+	entries []*entry
+}
+
+// bucket is one hash slot: the invalidation sequence counter and the
+// current ring.
+type bucket struct {
+	seq  atomic.Uint64
+	head atomic.Pointer[ring]
+}
+
+// Cache is a lock-free hot-key read cache. All methods are safe for
+// concurrent use.
+type Cache struct {
+	mask     uint64
+	maxBytes int64
+	hotHits  uint32
+	buckets  []bucket
+
+	bytes atomic.Int64
+	clock atomic.Uint64 // eviction hand over buckets
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+	adjustments   atomic.Uint64
+}
+
+// ErrConfig marks New failures caused by an invalid Config. Test with
+// errors.Is.
+var ErrConfig = errors.New("hotcache: invalid configuration")
+
+// New creates a cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.MaxBytes < 0 {
+		return nil, fmt.Errorf("%w: MaxBytes %d must not be negative", ErrConfig, cfg.MaxBytes)
+	}
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = 4 << 20
+	}
+	if cfg.Buckets < 0 {
+		return nil, fmt.Errorf("%w: Buckets %d must not be negative", ErrConfig, cfg.Buckets)
+	}
+	if cfg.Buckets == 0 {
+		cfg.Buckets = cfg.MaxBytes / 512
+	}
+	if cfg.Buckets < 16 {
+		cfg.Buckets = 16
+	}
+	if cfg.Buckets > 1<<16 {
+		cfg.Buckets = 1 << 16
+	}
+	n := 1
+	for n < cfg.Buckets {
+		n <<= 1
+	}
+	if cfg.HotHits == 0 {
+		cfg.HotHits = 8
+	}
+	return &Cache{
+		mask:     uint64(n - 1),
+		maxBytes: int64(cfg.MaxBytes),
+		hotHits:  cfg.HotHits,
+		buckets:  make([]bucket, n),
+	}, nil
+}
+
+// mix is the SplitMix64 finalizer — the same key permutation the shard
+// router uses (shard.Mix64), copied here so the cache does not depend on
+// the serving layers it fronts.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (c *Cache) bucketOf(key uint64) *bucket {
+	return &c.buckets[mix(key)&c.mask]
+}
+
+// GetInto looks key up, copying a hit's value into dst's backing array
+// (grown only when too small) and returning the resulting slice. The
+// steady-state hit path performs no allocation and no device access.
+//
+// lint:hotpath
+func (c *Cache) GetInto(key uint64, dst []byte) ([]byte, bool) {
+	b := &c.buckets[mix(key)&c.mask]
+	r := b.head.Load()
+	if r == nil {
+		c.misses.Add(1)
+		return dst, false
+	}
+	for i := 0; i < len(r.entries); i++ {
+		e := r.entries[i]
+		if e.key != key {
+			continue
+		}
+		h := e.hits.Add(1)
+		if e.val == nil || !e.pub.Load() {
+			// Ghost or not-yet-published fill: the access is counted for
+			// hotness, but the value must come from the store.
+			c.misses.Add(1)
+			return dst, false
+		}
+		if i > 0 && h%adjustEvery == 0 {
+			// Periodic hot-pointer adjustment; runs once per adjustEvery
+			// touches of a non-head entry. lint:allow hotpathalloc
+			c.promote(b, key)
+		}
+		c.hits.Add(1)
+		n := len(e.val)
+		if cap(dst) < n {
+			dst = make([]byte, n) // lint:allow hotpathalloc — grow-once, the GetInto buffer contract
+		}
+		dst = dst[:n]
+		copy(dst, e.val)
+		return dst, true
+	}
+	c.misses.Add(1)
+	return dst, false
+}
+
+// Get is GetInto returning a fresh caller-owned copy.
+func (c *Cache) Get(key uint64) ([]byte, bool) {
+	v, ok := c.GetInto(key, nil)
+	if !ok {
+		return nil, false
+	}
+	return v, true
+}
+
+// BeginFill opens a fill attempt for key after a miss: the caller reads
+// the store, then hands the value and the returned token to
+// CompleteFill. The token must be taken before the store read — it is
+// what orders the fill against concurrent invalidations.
+func (c *Cache) BeginFill(key uint64) uint64 {
+	return c.bucketOf(key).seq.Load()
+}
+
+// CompleteFill installs the value read from the store under the fill
+// token from BeginFill. The value is copied; the caller keeps ownership
+// of val. It reports whether the value is resident afterwards: false
+// when a concurrent invalidation raced the fill (the entry is demoted
+// again), when another fill already installed a live value, or when the
+// value is too large to admit.
+func (c *Cache) CompleteFill(key uint64, val []byte, token uint64) bool {
+	sz := int64(len(val)) + entryOverhead
+	if sz > c.maxBytes/4 {
+		return false // never let one value monopolize the budget
+	}
+	b := c.bucketOf(key)
+	e := &entry{key: key, val: append([]byte(nil), val...)}
+	for {
+		r := b.head.Load()
+		idx, old := findKey(r, key)
+		if old != nil && old.val != nil {
+			return false // lost the fill race to another reader
+		}
+		if old != nil {
+			e.hits.Store(old.hits.Load() + 1)
+		} else {
+			e.hits.Store(1)
+		}
+		if !b.head.CompareAndSwap(r, withReplaced(r, idx, e)) {
+			continue
+		}
+		if old != nil {
+			c.bytes.Add(entryBytes(e) - entryBytes(old))
+		} else {
+			c.bytes.Add(entryBytes(e))
+		}
+		break
+	}
+	if b.seq.Load() != token {
+		// An invalidation moved the seq while the store read was in
+		// flight: the value may predate a concurrent write. Demote the
+		// still-unpublished entry; no reader ever saw it.
+		c.demote(b, e)
+		return false
+	}
+	// Publish: the seq held from BeginFill through the install, so the
+	// value cannot predate any acknowledged write. A removal scan that
+	// runs after this point finds the entry and demotes it as usual.
+	e.pub.Store(true)
+	c.evictOver()
+	return true
+}
+
+// Invalidate removes key's cached value, bumping the bucket's sequence
+// counter first so any in-flight fill for the key self-demotes. The key
+// itself is kept (or created) as a ghost, so its access frequency — now
+// including this write — keeps feeding the hot/cold steering policy.
+// Callers must invalidate after the store write completes and before
+// acknowledging it.
+func (c *Cache) Invalidate(key uint64) {
+	b := c.bucketOf(key)
+	b.seq.Add(1)
+	for {
+		r := b.head.Load()
+		idx, old := findKey(r, key)
+		if old == nil {
+			g := &entry{key: key}
+			g.hits.Store(1)
+			if !b.head.CompareAndSwap(r, withReplaced(r, -1, g)) {
+				continue
+			}
+			c.bytes.Add(entryBytes(g))
+			c.evictOver()
+			return
+		}
+		if old.val == nil {
+			old.hits.Add(1) // already a ghost: just count the touch
+			return
+		}
+		g := &entry{key: key}
+		g.hits.Store(old.hits.Load() + 1)
+		if !b.head.CompareAndSwap(r, withReplaced(r, idx, g)) {
+			continue
+		}
+		c.bytes.Add(entryBytes(g) - entryBytes(old))
+		c.invalidations.Add(1)
+		return
+	}
+}
+
+// Hotness reports whether key currently has a resident value and whether
+// its touch frequency classifies it as hot. A ghost can be hot: a
+// write-hot key is exactly what wear steering must catch.
+func (c *Cache) Hotness(key uint64) (present, hot bool) {
+	r := c.bucketOf(key).head.Load()
+	_, e := findKey(r, key)
+	if e == nil {
+		return false, false
+	}
+	return e.val != nil && e.pub.Load(), e.hits.Load() >= c.hotHits
+}
+
+// demote replaces e — located by identity, so a ring that has already
+// replaced or evicted it is left alone — with a ghost carrying its
+// access count.
+func (c *Cache) demote(b *bucket, e *entry) {
+	g := &entry{key: e.key}
+	g.hits.Store(e.hits.Load())
+	for {
+		r := b.head.Load()
+		idx := -1
+		if r != nil {
+			for i, x := range r.entries {
+				if x == e {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		if b.head.CompareAndSwap(r, withReplaced(r, idx, g)) {
+			c.bytes.Add(entryBytes(g) - entryBytes(e))
+			return
+		}
+	}
+}
+
+// promote moves key's entry to the front of its ring (best-effort: it
+// yields after a few CAS collisions, because the next counter crossing
+// will try again).
+func (c *Cache) promote(b *bucket, key uint64) {
+	for try := 0; try < 4; try++ {
+		r := b.head.Load()
+		idx, _ := findKey(r, key)
+		if idx <= 0 {
+			return
+		}
+		ne := make([]*entry, len(r.entries))
+		ne[0] = r.entries[idx]
+		copy(ne[1:idx+1], r.entries[:idx])
+		copy(ne[idx+1:], r.entries[idx+1:])
+		if b.head.CompareAndSwap(r, &ring{entries: ne}) {
+			c.adjustments.Add(1)
+			return
+		}
+	}
+}
+
+// evictOver walks the eviction hand over the buckets, dropping each
+// visited ring's tail entry — rings are hotness-ordered, so the tail is
+// the bucket's coldest key — until the cache is back under its byte
+// budget. The sweep is bounded so a racing filler cannot spin here.
+func (c *Cache) evictOver() {
+	limit := 4 * len(c.buckets)
+	for spins := 0; c.bytes.Load() > c.maxBytes && spins < limit; spins++ {
+		b := &c.buckets[c.clock.Add(1)&c.mask]
+		r := b.head.Load()
+		if r == nil || len(r.entries) == 0 {
+			continue
+		}
+		victim := r.entries[len(r.entries)-1]
+		ne := make([]*entry, len(r.entries)-1)
+		copy(ne, r.entries[:len(r.entries)-1])
+		if !b.head.CompareAndSwap(r, &ring{entries: ne}) {
+			continue
+		}
+		c.bytes.Add(-entryBytes(victim))
+		if victim.val != nil {
+			c.evictions.Add(1)
+		}
+	}
+}
+
+// findKey returns the index and entry of key in r, or (-1, nil).
+func findKey(r *ring, key uint64) (int, *entry) {
+	if r == nil {
+		return -1, nil
+	}
+	for i, e := range r.entries {
+		if e.key == key {
+			return i, e
+		}
+	}
+	return -1, nil
+}
+
+// withReplaced builds a fresh ring with entry e at idx (or appended when
+// idx < 0). The input ring's array is never aliased: every snapshot
+// stays immutable.
+func withReplaced(r *ring, idx int, e *entry) *ring {
+	if r == nil {
+		return &ring{entries: []*entry{e}}
+	}
+	if idx < 0 {
+		ne := make([]*entry, len(r.entries)+1)
+		copy(ne, r.entries)
+		ne[len(ne)-1] = e
+		return &ring{entries: ne}
+	}
+	ne := make([]*entry, len(r.entries))
+	copy(ne, r.entries)
+	ne[idx] = e
+	return &ring{entries: ne}
+}
+
+func entryBytes(e *entry) int64 {
+	return int64(len(e.val)) + entryOverhead
+}
+
+// Stats is a snapshot of cache activity.
+type Stats struct {
+	Hits          uint64 // GetInto served from DRAM
+	Misses        uint64 // GetInto that fell through to the store
+	Evictions     uint64 // live values dropped by the byte budget
+	Invalidations uint64 // live values removed by writes
+	Adjustments   uint64 // hot-pointer promotions performed
+	Entries       int    // live cached values
+	Ghosts        int    // value-less hotness trackers
+	Bytes         int64  // budgeted footprint (values + overhead)
+}
+
+// Stats returns a snapshot of the cache counters and occupancy.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Adjustments:   c.adjustments.Load(),
+		Bytes:         c.bytes.Load(),
+	}
+	for i := range c.buckets {
+		r := c.buckets[i].head.Load()
+		if r == nil {
+			continue
+		}
+		for _, e := range r.entries {
+			if e.val != nil {
+				s.Entries++
+			} else {
+				s.Ghosts++
+			}
+		}
+	}
+	return s
+}
+
+// ResetCounters zeroes the activity counters (hits, misses, evictions,
+// invalidations, adjustments). Residency — entries, ghosts, bytes — is
+// untouched.
+func (c *Cache) ResetCounters() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.invalidations.Store(0)
+	c.adjustments.Store(0)
+}
+
+// Len returns the number of live cached values.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.buckets {
+		r := c.buckets[i].head.Load()
+		if r == nil {
+			continue
+		}
+		for _, e := range r.entries {
+			if e.val != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Bytes returns the budgeted footprint.
+func (c *Cache) Bytes() int64 { return c.bytes.Load() }

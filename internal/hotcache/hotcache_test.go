@@ -1,0 +1,329 @@
+package hotcache
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func newTest(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func fill(c *Cache, key uint64, val []byte) bool {
+	tok := c.BeginFill(key)
+	return c.CompleteFill(key, val, tok)
+}
+
+func TestBasicFillHitInvalidate(t *testing.T) {
+	c := newTest(t, Config{})
+	if _, ok := c.Get(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if !fill(c, 1, []byte("v1")) {
+		t.Fatal("fill refused")
+	}
+	v, ok := c.Get(1)
+	if !ok || string(v) != "v1" {
+		t.Fatalf("got %q %v, want v1", v, ok)
+	}
+	c.Invalidate(1)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("hit after invalidate")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Invalidations != 1 || s.Entries != 0 || s.Ghosts != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestGetIntoReusesBuffer(t *testing.T) {
+	c := newTest(t, Config{})
+	fill(c, 7, []byte("hello"))
+	buf := make([]byte, 16)
+	v, ok := c.GetInto(7, buf)
+	if !ok || string(v) != "hello" {
+		t.Fatalf("got %q %v", v, ok)
+	}
+	if &v[0] != &buf[0] {
+		t.Fatal("GetInto did not reuse the caller's buffer")
+	}
+	// The cache's copy must be independent of what the caller does next.
+	v[0] = 'X'
+	v2, _ := c.Get(7)
+	if string(v2) != "hello" {
+		t.Fatalf("cache value corrupted by caller: %q", v2)
+	}
+}
+
+// TestFillInvalidateMatrix sweeps every ordering of a fill (token, store
+// read, install) against an invalidation (seq bump, removal) and asserts
+// the protocol's guarantee: after the invalidation returns — the write
+// is acknowledged — the stale value is never served. This is the
+// cache-level crash-matrix for invalidate-before-ack ordering.
+func TestFillInvalidateMatrix(t *testing.T) {
+	// Each case is where the invalidation happens relative to the fill:
+	// 0: before BeginFill, 1: after BeginFill / before CompleteFill,
+	// 2: after CompleteFill.
+	for point := 0; point <= 2; point++ {
+		c := newTest(t, Config{})
+		key := uint64(42)
+		stale := []byte("stale")
+
+		if point == 0 {
+			c.Invalidate(key)
+		}
+		tok := c.BeginFill(key)
+		// ... the fill's store read returns `stale` here ...
+		if point == 1 {
+			c.Invalidate(key) // the writer overwrote the value and acked
+		}
+		resident := c.CompleteFill(key, stale, tok)
+		if point == 2 {
+			c.Invalidate(key)
+		}
+
+		if point >= 1 {
+			if point == 1 && resident {
+				t.Fatalf("point %d: stale fill reported resident", point)
+			}
+			if v, ok := c.Get(key); ok {
+				t.Fatalf("point %d: served stale value %q after ack", point, v)
+			}
+		} else if !resident {
+			t.Fatalf("point 0: clean fill refused")
+		}
+	}
+}
+
+// TestFillRaceNeverStale hammers one key with a writer (version bump,
+// invalidate, ack) and concurrent miss-filling readers, asserting the
+// protocol's contract: a read never serves a version older than the
+// newest write that was fully acknowledged before the read began.
+func TestFillRaceNeverStale(t *testing.T) {
+	c := newTest(t, Config{})
+	key := uint64(99)
+	var store atomic.Uint64 // the "device": current version of key
+	var acked atomic.Uint64 // highest version whose invalidate returned
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for v := uint64(1); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			store.Store(v)    // store write durable
+			c.Invalidate(key) // invalidate before ack
+			acked.Store(v)    // acknowledged
+		}
+	}()
+
+	errs := make(chan error, 4)
+	var readerWG sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			buf := make([]byte, 8)
+			for i := 0; i < 20000; i++ {
+				floor := acked.Load() // acked before this read began
+				v, ok := c.GetInto(key, buf)
+				if !ok {
+					tok := c.BeginFill(key)
+					putU64(buf, store.Load()) // the store read
+					c.CompleteFill(key, buf, tok)
+					v = buf
+				}
+				if got := getU64(v); got < floor {
+					errs <- fmt.Errorf("stale read: version %d served after version %d was acked", got, floor)
+					return
+				}
+			}
+		}()
+	}
+	readerWG.Wait()
+	close(stop)
+	writerWG.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func TestHotnessAndPromotion(t *testing.T) {
+	c := newTest(t, Config{HotHits: 4})
+	// Two keys in (very likely) different buckets; hotness is per key.
+	fill(c, 1, []byte("a"))
+	fill(c, 2, []byte("b"))
+	for i := 0; i < 10; i++ {
+		c.Get(1)
+	}
+	if _, hot := c.Hotness(1); !hot {
+		t.Fatal("key 1 not hot after 10 touches")
+	}
+	if _, hot := c.Hotness(2); hot {
+		t.Fatal("key 2 hot after 1 touch")
+	}
+	// Write-hot ghost: only invalidations, never cached reads.
+	for i := 0; i < 10; i++ {
+		c.Invalidate(3)
+	}
+	present, hot := c.Hotness(3)
+	if present {
+		t.Fatal("ghost reported a resident value")
+	}
+	if !hot {
+		t.Fatal("write-hot key not hot")
+	}
+}
+
+func TestPromotionReordersRing(t *testing.T) {
+	c := newTest(t, Config{Buckets: 16})
+	// Force several keys into one bucket by brute-force searching keys
+	// that share a bucket with key base.
+	base := uint64(1)
+	b := c.bucketOf(base)
+	keys := []uint64{base}
+	for k := uint64(2); len(keys) < 3; k++ {
+		if c.bucketOf(k) == b {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys {
+		fill(c, k, []byte{byte(k)})
+	}
+	last := keys[len(keys)-1]
+	for i := 0; i < adjustEvery*2; i++ {
+		c.Get(last)
+	}
+	if r := b.head.Load(); r.entries[0].key != last {
+		t.Fatalf("hot key %d not at ring head (head=%d)", last, r.entries[0].key)
+	}
+	if c.Stats().Adjustments == 0 {
+		t.Fatal("no adjustments counted")
+	}
+}
+
+func TestEvictionBudget(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 8 << 10, Buckets: 16})
+	val := bytes.Repeat([]byte{0xAB}, 128)
+	for k := uint64(0); k < 1000; k++ {
+		fill(c, k, val)
+	}
+	if got := c.Bytes(); got > 8<<10 {
+		t.Fatalf("footprint %d over budget", got)
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Fatal("no evictions under pressure")
+	}
+	if s.Entries == 0 {
+		t.Fatal("eviction emptied the cache")
+	}
+}
+
+func TestOversizeValueRefused(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 1 << 10})
+	if fill(c, 1, make([]byte, 512)) {
+		t.Fatal("admitted a value larger than a quarter of the budget")
+	}
+	if c.Len() != 0 {
+		t.Fatal("oversize value resident")
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	c := newTest(t, Config{})
+	fill(c, 1, []byte("x"))
+	c.Get(1)
+	c.Get(2)
+	c.Invalidate(1)
+	c.ResetCounters()
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 0 || s.Invalidations != 0 {
+		t.Fatalf("counters survived reset: %+v", s)
+	}
+	if s.Ghosts != 1 {
+		t.Fatalf("residency should survive reset: %+v", s)
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 64 << 10, Buckets: 32})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 32)
+			for i := 0; i < 5000; i++ {
+				k := uint64(r.Intn(256))
+				switch r.Intn(4) {
+				case 0:
+					c.Invalidate(k)
+				case 1:
+					tok := c.BeginFill(k)
+					c.CompleteFill(k, buf[:16], tok)
+				default:
+					c.GetInto(k, buf)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	// Internal accounting must still balance: recompute bytes from the
+	// rings and compare with the counter.
+	var want int64
+	for i := range c.buckets {
+		if r := c.buckets[i].head.Load(); r != nil {
+			for _, e := range r.entries {
+				want += entryBytes(e)
+			}
+		}
+	}
+	if got := c.Bytes(); got != want {
+		t.Fatalf("byte accounting drifted: counter %d, rings %d", got, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{MaxBytes: -1}); err == nil {
+		t.Fatal("negative MaxBytes accepted")
+	}
+	if _, err := New(Config{Buckets: -1}); err == nil {
+		t.Fatal("negative Buckets accepted")
+	}
+	c := newTest(t, Config{Buckets: 100})
+	if got := len(c.buckets); got != 128 {
+		t.Fatalf("buckets %d, want next power of two 128", got)
+	}
+}

@@ -134,6 +134,12 @@ type Options struct {
 	// retired before allocation failures escalate from ErrNoSpace to
 	// ErrDegraded (default 0.1).
 	DegradeThreshold float64
+	// KeyTemp, when non-nil, classifies each key's access temperature at
+	// placement time: hot keys are steered to the least-worn segment
+	// cluster and cold keys to the most-worn one (dap.Pool.GetFor). The
+	// pool then tracks per-cluster wear on every recycle. Nil keeps the
+	// pure content-similarity placement with zero wear bookkeeping.
+	KeyTemp func(key uint64) dap.Temp
 }
 
 // Stats reports store activity.
@@ -142,6 +148,9 @@ type Stats struct {
 	// Fallbacks counts placements served by a different cluster than
 	// predicted because the predicted cluster's free list was empty.
 	Fallbacks uint64
+	// Steered counts placements the hot/cold temperature policy moved off
+	// the predicted cluster (Options.KeyTemp; distinct from Fallbacks).
+	Steered uint64
 	// Retrains counts completed model retrains.
 	Retrains int
 	// WornWrites counts segment writes that failed on worn-out cells.
@@ -383,7 +392,7 @@ func (s *Store) indexRange(lo, hi int) (int, error) {
 		if c < 0 {
 			continue
 		}
-		s.pool.Add(c, lo+i)
+		s.poolAdd(c, lo+i)
 		added++
 	}
 	s.mu.Lock()
@@ -560,12 +569,18 @@ func (s *Store) putLocked(key uint64, value []byte) error {
 //
 // lint:hotpath
 func (s *Store) placeLocked(key uint64, record []byte, cluster, oldAddr int) error {
+	temp := dap.TempNone
+	if s.opts.KeyTemp != nil {
+		temp = s.opts.KeyTemp(key) // lint:allow hotpathalloc — the cache's lock-free hotness probe; allocation-free by its own lint:hotpath contract
+	}
 	for attempt := 0; ; attempt++ {
-		addr, servedBy, ok := s.pool.Get(cluster)
+		addr, servedBy, steered, ok := s.pool.GetFor(cluster, temp)
 		if !ok {
 			return s.noSpaceErrLocked()
 		}
-		if servedBy != cluster {
+		if steered {
+			s.stats.Steered++
+		} else if servedBy != cluster {
 			s.stats.Fallbacks++
 		}
 		werr := s.writeRecordLocked(addr, record)
@@ -720,7 +735,19 @@ func (s *Store) recycleLocked(addr int) {
 	if err != nil {
 		return // segment unparsable under the live model; drop from pool
 	}
-	s.pool.Add(s.clampClusterLocked(c), addr)
+	s.poolAdd(s.clampClusterLocked(c), addr)
+}
+
+// poolAdd recycles addr into cluster c, carrying the segment's cumulative
+// write count when the hot/cold steering policy is active (Options.KeyTemp)
+// so the pool's per-cluster wear averages stay current. Without steering it
+// is a plain Add: the recycle path pays no extra device-lock round trip.
+func (s *Store) poolAdd(c, addr int) {
+	if s.opts.KeyTemp != nil {
+		s.pool.AddWear(c, addr, s.dev.SegmentWriteCount(addr))
+		return
+	}
+	s.pool.Add(c, addr)
 }
 
 // clampClusterLocked bounds a model prediction to the pool's live cluster
@@ -1173,7 +1200,7 @@ func (s *Store) rebuildPoolLocked(model *core.Model) error {
 		if err != nil {
 			return err
 		}
-		s.pool.Add(c, addr)
+		s.poolAdd(c, addr)
 	}
 	return nil
 }
@@ -1245,7 +1272,7 @@ func RecoverWith(dev *nvm.Device, model *core.Model, opts Options) (*Store, erro
 			if err != nil {
 				return nil, err
 			}
-			s.pool.Add(c, addr)
+			s.poolAdd(c, addr)
 			continue
 		}
 		if !haveSeq || seqAfter(seq, maxSeq) {

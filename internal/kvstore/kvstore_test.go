@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"e2nvm/internal/core"
+	"e2nvm/internal/dap"
 	"e2nvm/internal/index"
 	"e2nvm/internal/nvm"
 )
@@ -631,4 +632,72 @@ func drain(s *Store, n int) []int {
 		out = append(out, addr)
 	}
 	return out
+}
+
+// TestKeyTempSteering pins the hot/cold placement policy end to end: with
+// Options.KeyTemp installed, placements consult per-cluster wear (recycles
+// carry the segment's write count) and steered placements are counted
+// separately from empty-cluster fallbacks.
+func TestKeyTempSteering(t *testing.T) {
+	hot := map[uint64]bool{1: true}
+	s := openStore(t, 32, 64, Options{
+		KeyTemp: func(key uint64) dap.Temp {
+			if hot[key] {
+				return dap.TempHot
+			}
+			return dap.TempCold
+		},
+	})
+	// Burn wear into some segments: overwrite one key many times so its
+	// recycled addresses carry high write counts.
+	val := []byte("burn")
+	for i := 0; i < 200; i++ {
+		if err := s.Put(1, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Steered == 0 {
+		t.Fatalf("no steered placements recorded: %+v", st)
+	}
+	// Wear is visible to the pool on the steering-enabled path.
+	var worn bool
+	for _, w := range s.Pool().ClusterWear() {
+		if w > 0 {
+			worn = true
+		}
+	}
+	if !worn {
+		t.Fatal("recycles did not carry segment wear into the pool")
+	}
+	// A cold key must still read back correctly after steering.
+	if err := s.Put(2, []byte("cold")); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := s.Get(2)
+	if err != nil || !found || string(got) != "cold" {
+		t.Fatalf("Get(2) = %q, %v, %v", got, found, err)
+	}
+	if got, found, err := s.Get(1); err != nil || !found || string(got) != "burn" {
+		t.Fatalf("Get(1) = %q, %v, %v", got, found, err)
+	}
+}
+
+// TestNilKeyTempUnchanged pins that a store without KeyTemp never records
+// steered placements or pool wear — the pre-steering behavior.
+func TestNilKeyTempUnchanged(t *testing.T) {
+	s := openStore(t, 32, 64, Options{})
+	for i := 0; i < 50; i++ {
+		if err := s.Put(uint64(i%5), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Steered != 0 {
+		t.Fatalf("Steered = %d without KeyTemp", st.Steered)
+	}
+	for _, w := range s.Pool().ClusterWear() {
+		if w != 0 {
+			t.Fatalf("pool wear tracked without KeyTemp: %v", s.Pool().ClusterWear())
+		}
+	}
 }

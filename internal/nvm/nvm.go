@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // Config describes the simulated device geometry and cost model.
@@ -71,6 +72,15 @@ type Config struct {
 	// Fault configures probabilistic cell wear-out (see fault.go). The zero
 	// value disables it.
 	Fault FaultConfig
+
+	// EmulateLatency makes Read/ReadInto/Write also impose their modeled
+	// latency on the host clock: the call busy-spins until the modeled
+	// nanoseconds have elapsed since it began, the way a CPU stalls on a
+	// synchronous NVM load. Accounting is unchanged — the same LatencyNs
+	// totals accumulate either way. Off by default; wall-clock benchmarks
+	// opt in so their tail latencies include device time, not just host
+	// simulation softcosts.
+	EmulateLatency bool
 
 	// VerifyWrites models a controller that reads back after programming:
 	// when a write leaves stuck cells disagreeing with the requested data,
@@ -249,9 +259,26 @@ func (d *Device) segBytes(phys int) []byte {
 	return d.mem[off : off+d.cfg.SegmentSize]
 }
 
+// emulate busy-spins until ns modeled nanoseconds have elapsed since t0.
+// Spinning — not sleeping — is how a CPU waits out a synchronous NVM
+// load, and stays accurate at the sub-microsecond scale where timer
+// sleeps cannot. Runs with the device lock held: the device serves one
+// operation at a time, so queueing delay behind a slow write is part of
+// what the emulation models.
+func emulate(t0 time.Time, ns float64) {
+	d := time.Duration(ns)
+	// lint:allow deepdeterminism — the clock only paces the spin-wait; no result depends on it, and experiments leave EmulateLatency off
+	for time.Since(t0) < d {
+	}
+}
+
 // Read returns a copy of the segment's current content and charges read
 // energy/latency.
 func (d *Device) Read(addr int) ([]byte, error) {
+	var t0 time.Time
+	if d.cfg.EmulateLatency {
+		t0 = time.Now()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if addr < 0 || addr >= d.cfg.NumSegments {
@@ -265,6 +292,9 @@ func (d *Device) Read(addr int) ([]byte, error) {
 	d.stats.BitsRead += uint64(len(src) * 8)
 	d.stats.EnergyPJ += float64(len(src)*8)*d.cfg.ReadEnergyPerBitPJ + d.cfg.AccessOverheadPJ
 	d.stats.ReadLatencyNs += d.cfg.ReadLatencyNs + lines*d.cfg.ReadLineLatencyNs
+	if d.cfg.EmulateLatency {
+		emulate(t0, d.cfg.ReadLatencyNs+lines*d.cfg.ReadLineLatencyNs)
+	}
 	return out, nil
 }
 
@@ -287,6 +317,10 @@ func (d *Device) Peek(addr int) ([]byte, error) {
 // exactly one segment long) and charges read energy/latency — the
 // allocation-free variant of Read for the measured path.
 func (d *Device) ReadInto(addr int, dst []byte) error {
+	var t0 time.Time
+	if d.cfg.EmulateLatency {
+		t0 = time.Now() // lint:allow deepdeterminism — only paces the opt-in latency spin; off in every experiment
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if addr < 0 || addr >= d.cfg.NumSegments {
@@ -302,6 +336,9 @@ func (d *Device) ReadInto(addr int, dst []byte) error {
 	d.stats.BitsRead += uint64(len(src) * 8)
 	d.stats.EnergyPJ += float64(len(src)*8)*d.cfg.ReadEnergyPerBitPJ + d.cfg.AccessOverheadPJ
 	d.stats.ReadLatencyNs += d.cfg.ReadLatencyNs + lines*d.cfg.ReadLineLatencyNs
+	if d.cfg.EmulateLatency {
+		emulate(t0, d.cfg.ReadLatencyNs+lines*d.cfg.ReadLineLatencyNs)
+	}
 	return nil
 }
 
@@ -341,6 +378,10 @@ func (d *Device) WriteRaw(addr int, data []byte) (WriteResult, error) {
 }
 
 func (d *Device) write(addr int, data []byte, differential bool) (WriteResult, error) {
+	var t0 time.Time
+	if d.cfg.EmulateLatency {
+		t0 = time.Now() // lint:allow deepdeterminism — only paces the opt-in latency spin; off in every experiment
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var res WriteResult
@@ -434,6 +475,9 @@ func (d *Device) write(addr int, data []byte, differential bool) (WriteResult, e
 	d.stats.LinesSkipped += uint64(res.LinesSkipped)
 	d.stats.EnergyPJ += res.EnergyPJ
 	d.stats.WriteLatencyNs += res.LatencyNs
+	if d.cfg.EmulateLatency {
+		emulate(t0, res.LatencyNs)
+	}
 
 	if res.FaultyBits > 0 {
 		d.stats.FaultyWrites++
@@ -552,6 +596,19 @@ func (d *Device) SegmentWrites() []uint64 {
 	out := make([]uint64, len(d.segWrites))
 	copy(out, d.segWrites)
 	return out
+}
+
+// SegmentWriteCount returns the write-op counter of a single segment —
+// the wear statistic the address pool's hot/cold steering averages per
+// cluster — without copying the whole table. Out-of-range addresses
+// report 0.
+func (d *Device) SegmentWriteCount(addr int) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if addr < 0 || addr >= len(d.segWrites) {
+		return 0
+	}
+	return d.segWrites[addr]
 }
 
 // BitWear returns a copy of the per-bit flip counters, or nil when

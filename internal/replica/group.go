@@ -110,6 +110,14 @@ type Group struct {
 	migrated  atomic.Uint64
 	migLost   atomic.Uint64
 
+	// Reported counters are the raw atomics net of these base snapshots,
+	// so Cluster.ResetCounters can zero what Status/Failovers report
+	// without disturbing the raw values (drain bookkeeping derives live
+	// record counts from the raw migrated counter).
+	failoverBase atomic.Uint64
+	migratedBase atomic.Uint64
+	migLostBase  atomic.Uint64
+
 	// drain carries the migration fields; see migrate.go.
 	drain drainState
 

@@ -445,11 +445,15 @@ type GroupStatus struct {
 func (c *Cluster) Status() []GroupStatus {
 	out := make([]GroupStatus, len(c.groups))
 	for i, g := range c.groups {
+		// Bases are loaded before the raw counters: the raw atomics are
+		// monotonic and each base is a past raw value, so this order can
+		// never observe base > raw even racing with ResetCounters.
+		fb, mb, lb := g.failoverBase.Load(), g.migratedBase.Load(), g.migLostBase.Load()
 		gs := GroupStatus{
 			Group:     i,
-			Failovers: g.failovers.Load(),
-			Migrated:  g.migrated.Load(),
-			Lost:      g.migLost.Load(),
+			Failovers: g.failovers.Load() - fb,
+			Migrated:  g.migrated.Load() - mb,
+			Lost:      g.migLost.Load() - lb,
 		}
 		switch g.state.Load() {
 		case stateActive:
@@ -481,13 +485,28 @@ func (c *Cluster) Status() []GroupStatus {
 	return out
 }
 
-// Failovers sums completed leader promotions over all groups.
+// Failovers sums completed leader promotions over all groups since the
+// last ResetCounters.
 func (c *Cluster) Failovers() uint64 {
 	var n uint64
 	for _, g := range c.groups {
-		n += g.failovers.Load()
+		base := g.failoverBase.Load() // before the raw load; see Status
+		n += g.failovers.Load() - base
 	}
 	return n
+}
+
+// ResetCounters rebases the failover and migration counters that Status
+// and Failovers report, so a metrics reset on the owning store starts the
+// cluster's counters from zero too. The raw atomics are left untouched:
+// drain bookkeeping derives live record counts from the raw migrated
+// counter, which must keep its absolute value.
+func (c *Cluster) ResetCounters() {
+	for _, g := range c.groups {
+		g.failoverBase.Store(g.failovers.Load())
+		g.migratedBase.Store(g.migrated.Load())
+		g.migLostBase.Store(g.migLost.Load())
+	}
 }
 
 // DrainedGroups counts groups whose keyspace has fully migrated away.

@@ -7,6 +7,7 @@ import (
 
 	"e2nvm/internal/batch"
 	"e2nvm/internal/core"
+	"e2nvm/internal/dap"
 	"e2nvm/internal/kvstore"
 	"e2nvm/internal/nvm"
 )
@@ -40,7 +41,7 @@ func OpenWithModel(cfg Config, model io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("%w: model input %d bits, want %d for %d-byte segments",
 			ErrConfig, m.InputBits(), cfg.SegmentSize*8, cfg.SegmentSize)
 	}
-	return openShards(cfg, func(i int, dev *nvm.Device) (*kvstore.Store, error) {
+	return openShards(cfg, func(i int, dev *nvm.Device, keyTemp func(uint64) dap.Temp) (*kvstore.Store, error) {
 		sm := m
 		if i > 0 {
 			// Each shard owns a mutable model (retrain replaces it
@@ -50,7 +51,7 @@ func OpenWithModel(cfg Config, model io.Reader) (*Store, error) {
 				return nil, lerr
 			}
 		}
-		return kvstore.OpenWith(dev, sm, cfg.storeOptions(cfg.placement()))
+		return kvstore.OpenWith(dev, sm, cfg.storeOptions(cfg.placement(), keyTemp))
 	})
 }
 

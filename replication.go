@@ -1,6 +1,7 @@
 package e2nvm
 
 import (
+	"e2nvm/internal/dap"
 	"e2nvm/internal/kvstore"
 	"e2nvm/internal/nvm"
 	"e2nvm/internal/replica"
@@ -102,9 +103,9 @@ func (s *Store) Close() {
 // leaders: ReplicationFactor-1 follower devices per shard, seeded with the
 // leader's content so a promoted follower converges byte-identically, each
 // drawing an independent fault sequence.
-func (c Config) newCluster(stores []*kvstore.Store, starts []int) (*replica.Cluster, error) {
+func (c Config) newCluster(stores []*kvstore.Store, starts []int, keyTemp func(uint64) dap.Temp) (*replica.Cluster, error) {
 	specs := make([]replica.GroupSpec, len(stores))
-	opts := c.storeOptions(c.placement())
+	opts := c.storeOptions(c.placement(), keyTemp)
 	for i, st := range stores {
 		spec := replica.GroupSpec{Leader: st, Opts: opts}
 		for f := 0; f < c.ReplicationFactor-1; f++ {
@@ -175,6 +176,7 @@ func (s *Store) clusterMetrics() Metrics {
 		addStoreStats(&ss, st.Stats())
 	}
 	m := metricsFrom(ds, ss)
+	s.addCacheMetrics(&m)
 	m.Failovers = s.cluster.Failovers()
 	for _, gs := range s.cluster.Status() {
 		m.MigratedRecords += gs.Migrated
@@ -272,6 +274,7 @@ func addDeviceStats(agg *nvm.Stats, d nvm.Stats) {
 // addStoreStats folds one store snapshot into an aggregate.
 func addStoreStats(agg *kvstore.Stats, st kvstore.Stats) {
 	agg.Fallbacks += st.Fallbacks
+	agg.Steered += st.Steered
 	agg.Retrains += st.Retrains
 	agg.WornWrites += st.WornWrites
 	agg.Retired += st.Retired
